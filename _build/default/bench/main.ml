@@ -1,0 +1,611 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§5, §7).
+
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe -- fig5    -- one experiment
+     dune exec bench/main.exe -- quick   -- everything, reduced iterations
+     dune exec bench/main.exe -- bechamel -- harness self-measurement
+
+   Simulated cycle counts are printed; EXPERIMENTS.md compares them to the
+   paper's numbers. *)
+
+let quick = ref false
+
+let micro_iters () = if !quick then 60 else 200
+
+(* ----- Figures 5-8: the madvise microbenchmark ----- *)
+
+let micro_cell ~opts ~placement ~pte_count =
+  let cfg = Microbench.default_config ~opts ~placement ~pte_count in
+  Microbench.run { cfg with Microbench.iterations = micro_iters (); warmup = 20 }
+
+(* All stacks for all placements; returns (placement, (label, result) list). *)
+let micro_matrix ~safe ~pte_count =
+  let stacks = Opts.cumulative_general ~safe in
+  List.map
+    (fun placement ->
+      let cells =
+        List.map
+          (fun (label, opts) ->
+            (label, micro_cell ~opts:(Opts.copy opts) ~placement ~pte_count))
+          stacks
+      in
+      (placement, cells))
+    Microbench.all_placements
+
+let print_micro_figure ~fig ~safe ~pte_count matrix =
+  let stacks = List.map fst (List.assoc Microbench.Same_core matrix) in
+  let header = "placement" :: stacks in
+  let side name pick =
+    let rows =
+      List.map
+        (fun (placement, cells) ->
+          Microbench.placement_label placement
+          :: List.map (fun (_, r) -> Report.cycles (pick r)) cells)
+        matrix
+    in
+    Report.table
+      ~title:
+        (Printf.sprintf "Figure %d%s (%s mode, %d PTE%s) — %s cycles" fig
+           (match name with "initiator" -> "a" | _ -> "b")
+           (if safe then "safe" else "unsafe")
+           pte_count
+           (if pte_count = 1 then "" else "s")
+           name)
+      ~header rows
+  in
+  side "initiator" (fun r -> r.Microbench.initiator_mean);
+  side "responder" (fun r -> r.Microbench.responder_mean);
+  (* The paper's bar-figure rendition for the farthest placement. *)
+  Report.bars
+    ~title:
+      (Printf.sprintf "Figure %da, cross-socket initiator cycles (bars)" fig)
+    (List.map
+       (fun (label, r) -> (label, r.Microbench.initiator_mean))
+       (List.assoc Microbench.Cross_socket matrix))
+
+let run_micro_figure ~fig ~safe ~pte_count =
+  let matrix = micro_matrix ~safe ~pte_count in
+  print_micro_figure ~fig ~safe ~pte_count matrix;
+  matrix
+
+(* ----- Table 3: latency reduction cross-socket, all four techniques ----- *)
+
+let table3 () =
+  let cell ~safe ~pte_count =
+    let matrix = micro_matrix ~safe ~pte_count in
+    let cells = List.assoc Microbench.Cross_socket matrix in
+    let first = snd (List.hd cells) in
+    let last = snd (List.nth cells (List.length cells - 1)) in
+    let pct baseline v =
+      if baseline = 0.0 then 0.0 else (baseline -. v) /. baseline *. 100.0
+    in
+    ( pct first.Microbench.initiator_mean last.Microbench.initiator_mean,
+      pct first.Microbench.responder_mean last.Microbench.responder_mean )
+  in
+  let s1 = cell ~safe:true ~pte_count:1 in
+  let s10 = cell ~safe:true ~pte_count:10 in
+  let u1 = cell ~safe:false ~pte_count:1 in
+  let u10 = cell ~safe:false ~pte_count:10 in
+  let fmt (i, r) = Printf.sprintf "%.0f%% / %.0f%%" i r in
+  Report.table
+    ~title:
+      "Table 3 — [initiator / responder] latency reduction, cross-socket, all \
+       techniques of §3 (paper: safe 39%/13% & 58%/22%; unsafe 39%/18% & 54%/14%)"
+    ~header:[ ""; "Safe Mode"; "Unsafe Mode" ]
+    [ [ "1 PTE"; fmt s1; fmt u1 ]; [ "10 PTEs"; fmt s10; fmt u10 ] ]
+
+(* ----- Figure 9: CoW fault latency ----- *)
+
+let fig9 () =
+  let run ~safe ~label opts =
+    let cfg = Cow_bench.default_config ~opts in
+    let cfg =
+      if !quick then { cfg with Cow_bench.rounds = 4; pages_per_round = 32 } else cfg
+    in
+    let r = Cow_bench.run cfg in
+    ( (if safe then "safe" else "unsafe"),
+      label,
+      r.Cow_bench.write_mean,
+      r.Cow_bench.write_sd )
+  in
+  let rows =
+    List.concat_map
+      (fun safe ->
+        let baseline = run ~safe ~label:"baseline" (Opts.baseline ~safe) in
+        let all = run ~safe ~label:"all (SS3)" (Opts.all_general ~safe) in
+        let cow_opts = Opts.all_general ~safe in
+        cow_opts.Opts.cow_avoid_flush <- true;
+        let cow = run ~safe ~label:"all + CoW" cow_opts in
+        [ baseline; all; cow ])
+      [ true; false ]
+  in
+  Report.table
+    ~title:
+      "Figure 9 — CoW write latency, cycles (paper: CoW avoidance saves ~130 \
+       cycles, 3-5%)"
+    ~header:[ "mode"; "config"; "cycles"; "sd" ]
+    (List.map
+       (fun (mode, label, mean, sd) ->
+         [ mode; label; Report.cycles mean; Printf.sprintf "%.0f" sd ])
+       rows)
+
+(* ----- Figure 10: Sysbench ----- *)
+
+let fig10 () =
+  let threads =
+    if !quick then [ 1; 4; 10; 16 ] else [ 1; 2; 3; 4; 6; 8; 10; 12; 16; 20; 24; 28 ]
+  in
+  (* Average several seeds, as the paper averages 5 runs. *)
+  let seeds = if !quick then [ 23L ] else [ 23L; 137L; 911L ] in
+  let run ~opts ~n =
+    let one seed =
+      let cfg = Sysbench.default_config ~opts ~threads:n in
+      let cfg =
+        if !quick then { cfg with Sysbench.ops_per_thread = 120; file_pages = 1024; seed }
+        else { cfg with Sysbench.ops_per_thread = 288; file_pages = 4096; seed }
+      in
+      (Sysbench.run cfg).Sysbench.throughput
+    in
+    List.fold_left (fun acc s -> acc +. one s) 0.0 seeds
+    /. float_of_int (List.length seeds)
+  in
+  List.iter
+    (fun safe ->
+      let stacks = Opts.cumulative_workload ~safe in
+      let header = "threads" :: "base ops/kcyc" :: List.map fst stacks in
+      let rows =
+        List.map
+          (fun n ->
+            let base = run ~opts:(Opts.baseline ~safe) ~n in
+            string_of_int n
+            :: Printf.sprintf "%.3f" base
+            :: List.map
+                 (fun (_, opts) -> Report.speedup (run ~opts:(Opts.copy opts) ~n /. base))
+                 stacks)
+          threads
+      in
+      Report.table
+        ~title:
+          (Printf.sprintf
+             "Figure 10 — Sysbench rnd-write + fdatasync speedup over baseline (%s \
+              mode; paper: up to 1.22x, batching up to 1.18x, gains fade at high \
+              thread counts)"
+             (if safe then "safe" else "unsafe"))
+        ~header rows)
+    [ true; false ]
+
+(* ----- Figure 11: Apache ----- *)
+
+let fig11 () =
+  let cores =
+    if !quick then [ 1; 4; 8; 11 ] else [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11 ]
+  in
+  let seeds = if !quick then [ 31L ] else [ 31L; 211L; 1013L ] in
+  let run ~opts ~n =
+    let one seed =
+      let cfg = Apache.default_config ~opts ~cores:n in
+      let cfg =
+        if !quick then { cfg with Apache.requests = 220; seed }
+        else { cfg with Apache.requests = 660; seed }
+      in
+      (Apache.run cfg).Apache.throughput
+    in
+    List.fold_left (fun acc s -> acc +. one s) 0.0 seeds
+    /. float_of_int (List.length seeds)
+  in
+  List.iter
+    (fun safe ->
+      let stacks = Opts.cumulative_workload ~safe in
+      let header = "cores" :: "base req/Mcyc" :: List.map fst stacks in
+      let rows =
+        List.map
+          (fun n ->
+            let base = run ~opts:(Opts.baseline ~safe) ~n in
+            string_of_int n
+            :: Printf.sprintf "%.2f" base
+            :: List.map
+                 (fun (_, opts) -> Report.speedup (run ~opts:(Opts.copy opts) ~n /. base))
+                 stacks)
+          cores
+      in
+      Report.table
+        ~title:
+          (Printf.sprintf
+             "Figure 11 — Apache mpm_event speedup over baseline (%s mode; paper: \
+              concurrent up to 1.10x, in-context up to 1.05x)"
+             (if safe then "safe" else "unsafe"))
+        ~header rows)
+    [ true; false ]
+
+(* ----- Table 2: lines of code ----- *)
+
+let table2 () =
+  (* Our implementation sizes, measured from the sources when run from the
+     repository root; the paper's patch sizes alongside. *)
+  let wc path =
+    if Sys.file_exists path then begin
+      let ic = open_in path in
+      let n = ref 0 in
+      (try
+         while true do
+           ignore (input_line ic);
+           incr n
+         done
+       with End_of_file -> ());
+      close_in ic;
+      Some !n
+    end
+    else None
+  in
+  let ours paths =
+    match List.filter_map wc paths with
+    | [] -> "n/a (run from repo root)"
+    | counts -> string_of_int (List.fold_left ( + ) 0 counts)
+  in
+  Report.table
+    ~title:"Table 2 — lines of code per optimization (paper patch vs this repo)"
+    ~header:[ "Optimization"; "paper LoC"; "this repo (module LoC)" ]
+    [
+      [ "Concurrent flushes"; "103"; ours [ "lib/core/shootdown.ml" ] ];
+      [ "Early ack + cacheline consolidation"; "73"; ours [ "lib/core/smp.ml" ] ];
+      [ "In-context page flushing"; "353"; ours [ "lib/core/percpu.ml" ] ];
+      [ "CoW"; "35"; ours [ "lib/core/fault.ml" ] ];
+      [ "Userspace-safe batching"; "221"; ours [ "lib/core/syscall.ml" ] ];
+    ]
+
+(* ----- Table 4: page fracturing ----- *)
+
+let table4 () =
+  let cfg =
+    if !quick then { Fracture.working_set_pages = 512; rounds = 40; tlb_capacity = 1536 }
+    else { Fracture.working_set_pages = 1024; rounds = 100; tlb_capacity = 1536 }
+  in
+  let results = Fracture.run_all cfg in
+  Report.table
+    ~title:
+      "Table 4 — dTLB misses after full vs selective flush (paper's anomaly: \
+       guest-2M-on-host-4K makes selective ~= full)"
+    ~header:[ "configuration"; "full flush"; "selective flush"; "promoted-to-full" ]
+    (List.map
+       (fun (r : Fracture.result) ->
+         [
+           r.Fracture.shape.Fracture.label;
+           Report.count r.Fracture.full_misses;
+           Report.count r.Fracture.selective_misses;
+           Report.count r.Fracture.fracture_promotions;
+         ])
+       results)
+
+(* ----- Ablations: design choices DESIGN.md calls out ----- *)
+
+let ablation_single_opt () =
+  (* Each optimization alone (non-cumulative), cross-socket, safe, 10 PTEs:
+     isolates each technique's contribution without stacking. *)
+  let cell opts =
+    micro_cell ~opts ~placement:Microbench.Cross_socket ~pte_count:10
+  in
+  let base = cell (Opts.baseline ~safe:true) in
+  let rows =
+    List.map
+      (fun (label, set) ->
+        let opts = Opts.baseline ~safe:true in
+        set opts;
+        let r = cell opts in
+        [
+          label;
+          Report.cycles r.Microbench.initiator_mean;
+          Report.reduction ~baseline:base.Microbench.initiator_mean
+            r.Microbench.initiator_mean;
+          Report.cycles r.Microbench.responder_mean;
+          Report.reduction ~baseline:base.Microbench.responder_mean
+            r.Microbench.responder_mean;
+        ])
+      [
+        ("concurrent alone", fun o -> o.Opts.concurrent_flush <- true);
+        ("early-ack alone", fun o -> o.Opts.early_ack <- true);
+        ("cacheline alone", fun o -> o.Opts.cacheline_consolidation <- true);
+        ("in-context alone", fun o -> o.Opts.in_context_flush <- true);
+      ]
+  in
+  Report.table
+    ~title:
+      (Printf.sprintf
+         "Ablation A — each §3 technique alone (cross-socket, safe, 10 PTEs; \
+          baseline init=%s resp=%s)"
+         (Report.cycles base.Microbench.initiator_mean)
+         (Report.cycles base.Microbench.responder_mean))
+    ~header:[ "technique"; "initiator"; "init cut"; "responder"; "resp cut" ]
+    rows
+
+let ablation_ipi_latency () =
+  (* §2.3.2: works evaluated without multicast IPIs saw ~500k-cycle
+     shootdowns; scaling IPI latency shows how the case for *avoiding*
+     shootdowns (rather than speeding them up) depends on slow IPIs. *)
+  let scaled k =
+    {
+      Costs.default with
+      Costs.ipi_fixed = Costs.default.Costs.ipi_fixed * k;
+      ipi_smt = Costs.default.Costs.ipi_smt * k;
+      ipi_same_socket = Costs.default.Costs.ipi_same_socket * k;
+      ipi_cross_socket = Costs.default.Costs.ipi_cross_socket * k;
+    }
+  in
+  let rows =
+    List.map
+      (fun k ->
+        let run opts =
+          let cfg =
+            Microbench.default_config ~opts ~placement:Microbench.Cross_socket
+              ~pte_count:10
+          in
+          (Microbench.run
+             { cfg with Microbench.costs = scaled k; iterations = micro_iters () })
+            .Microbench.initiator_mean
+        in
+        let base = run (Opts.baseline ~safe:true) in
+        let all = run (Opts.all_general ~safe:true) in
+        [
+          Printf.sprintf "x%d" k;
+          Report.cycles base;
+          Report.cycles all;
+          Report.reduction ~baseline:base all;
+        ])
+      [ 1; 4; 16; 64 ]
+  in
+  Report.table
+    ~title:
+      "Ablation B — IPI-latency sensitivity (initiator, cross-socket, safe, 10 \
+       PTEs): with slow pre-x2APIC IPIs the protocol work the paper optimizes \
+       is noise, which is §2.3.2's point about older evaluations"
+    ~header:[ "IPI scale"; "baseline"; "all §3"; "reduction" ]
+    rows
+
+let ablation_batch_slots () =
+  let rows =
+    List.map
+      (fun slots ->
+        let opts = Opts.all ~safe:true in
+        opts.Opts.batch_slots <- slots;
+        let cfg = Sysbench.default_config ~opts ~threads:8 in
+        let cfg =
+          { cfg with Sysbench.ops_per_thread = (if !quick then 120 else 240) }
+        in
+        let r = Sysbench.run cfg in
+        [
+          string_of_int slots;
+          Printf.sprintf "%.3f" r.Sysbench.throughput;
+          string_of_int r.Sysbench.shootdowns;
+          string_of_int r.Sysbench.batched_deferrals;
+        ])
+      [ 1; 2; 4; 8; 16 ]
+  in
+  Report.table
+    ~title:
+      "Ablation C — §4.2 batch slots (sysbench, 8 threads, safe; the paper \
+       allocates 4)"
+    ~header:[ "slots"; "ops/kcyc"; "shootdowns"; "deferrals" ]
+    rows
+
+let ablation_full_flush_threshold () =
+  (* madvise of 24 pages: below the threshold the kernel INVLPGs 24 entries
+     per CPU; above it one cheap CR3 reload flushes everything — faster for
+     the flusher, but every other cached translation is collateral (§2.1:
+     Linux picks 33, FreeBSD 4096). *)
+  let rows =
+    List.map
+      (fun threshold ->
+        let run safe =
+          let opts = Opts.all_general ~safe in
+          opts.Opts.full_flush_threshold <- threshold;
+          let cfg =
+            Microbench.default_config ~opts ~placement:Microbench.Cross_socket
+              ~pte_count:24
+          in
+          let r = Microbench.run { cfg with Microbench.iterations = micro_iters () } in
+          (r.Microbench.initiator_mean, r.Microbench.responder_mean)
+        in
+        let si, sr = run true in
+        let ui, ur = run false in
+        [
+          string_of_int threshold;
+          (if threshold < 24 then "full" else "ranged");
+          Report.cycles si;
+          Report.cycles sr;
+          Report.cycles ui;
+          Report.cycles ur;
+        ])
+      [ 8; 16; 33; 64 ]
+  in
+  Report.table
+    ~title:
+      "Ablation D — full-flush threshold on a 24-page madvise (cross-socket): \
+       a full flush is cheaper for the flusher but drops every cached \
+       translation"
+    ~header:
+      [ "threshold"; "mode"; "safe init"; "safe resp"; "unsafe init"; "unsafe resp" ]
+    rows
+
+let ablation_paravirt_fracture () =
+  (* §7's proposed mitigation: a host-provided fracturing hint makes the
+     guest use one full flush instead of n selective flushes that would be
+     promoted to full anyway. *)
+  let cfg = { Fracture.working_set_pages = 512; rounds = 1; tlb_capacity = 1536 } in
+  let shape = List.nth Fracture.table4_rows 1 (* host=4K guest=2M *) in
+  let flush_count = 16 in
+  let run ~hint =
+    let mmu = Fracture.build_mmu_for_tests cfg shape in
+    Nested_mmu.set_paravirt_fracture_hint mmu hint;
+    ignore
+      (Nested_mmu.touch_range mmu ~start_vpn:Fracture.base_vpn
+         ~pages:cfg.Fracture.working_set_pages);
+    let instructions =
+      Nested_mmu.flush_pages mmu
+        ~vpns:(List.init flush_count (fun i -> Fracture.base_vpn + (i * 3)))
+    in
+    let _, misses =
+      Nested_mmu.touch_range mmu ~start_vpn:Fracture.base_vpn
+        ~pages:cfg.Fracture.working_set_pages
+    in
+    (instructions, misses)
+  in
+  let i_no, m_no = run ~hint:false in
+  let i_yes, m_yes = run ~hint:true in
+  Report.table
+    ~title:
+      "Extension (§7) — paravirtual fracturing hint: flushing 16 pages of a \
+       fractured guest working set"
+    ~header:[ "guest behaviour"; "flush instructions"; "misses on re-touch" ]
+    [
+      [ "16 selective flushes (unhinted)"; string_of_int i_no; Report.count m_no ];
+      [ "1 full flush (hinted)"; string_of_int i_yes; Report.count m_yes ];
+    ]
+
+let ablation_freebsd () =
+  (* §3.3 dismisses FreeBSD's scheme because smp_ipi_mtx admits one
+     shootdown machine-wide; under concurrent mutators the serialization
+     shows up directly. *)
+  let run ~label opts ~threads =
+    let cfg = Sysbench.default_config ~opts ~threads in
+    let cfg = { cfg with Sysbench.ops_per_thread = (if !quick then 100 else 200) } in
+    let r = Sysbench.run cfg in
+    [ label; string_of_int threads; Printf.sprintf "%.3f" r.Sysbench.throughput ]
+  in
+  let rows =
+    List.concat_map
+      (fun threads ->
+        [
+          run ~label:"Linux baseline" (Opts.baseline ~safe:true) ~threads;
+          run ~label:"FreeBSD (smp_ipi_mtx)" (Opts.freebsd ~safe:true) ~threads;
+          run ~label:"Linux + all six" (Opts.all ~safe:true) ~threads;
+        ])
+      [ 2; 8 ]
+  in
+  Report.table
+    ~title:
+      "Ablation E — protocol comparison on sysbench (safe mode): FreeBSD's \
+       global shootdown mutex vs Linux's concurrent protocol vs the paper's \
+       optimizations"
+    ~header:[ "protocol"; "threads"; "ops/kcyc" ]
+    rows
+
+let ablation () =
+  ablation_single_opt ();
+  ablation_ipi_latency ();
+  ablation_batch_slots ();
+  ablation_full_flush_threshold ();
+  ablation_freebsd ();
+  ablation_paravirt_fracture ()
+
+(* ----- Bechamel: wall-clock self-measurement of the harness ----- *)
+
+let bechamel () =
+  let open Bechamel in
+  let micro_test =
+    Test.make ~name:"figs5-8:microbench-cell"
+      (Staged.stage (fun () ->
+           ignore
+             (micro_cell
+                ~opts:(Opts.all_general ~safe:true)
+                ~placement:Microbench.Cross_socket ~pte_count:10)))
+  in
+  let cow_test =
+    Test.make ~name:"fig9:cow-bench"
+      (Staged.stage (fun () ->
+           let cfg = Cow_bench.default_config ~opts:(Opts.all ~safe:true) in
+           ignore (Cow_bench.run { cfg with Cow_bench.rounds = 2; pages_per_round = 16 })))
+  in
+  let sysbench_test =
+    Test.make ~name:"fig10:sysbench-point"
+      (Staged.stage (fun () ->
+           let cfg = Sysbench.default_config ~opts:(Opts.all ~safe:true) ~threads:4 in
+           ignore
+             (Sysbench.run { cfg with Sysbench.ops_per_thread = 40; file_pages = 128 })))
+  in
+  let apache_test =
+    Test.make ~name:"fig11:apache-point"
+      (Staged.stage (fun () ->
+           let cfg = Apache.default_config ~opts:(Opts.all ~safe:true) ~cores:4 in
+           ignore (Apache.run { cfg with Apache.requests = 60 })))
+  in
+  let fracture_test =
+    Test.make ~name:"table4:fracture-row"
+      (Staged.stage (fun () ->
+           ignore
+             (Fracture.run_shape
+                { Fracture.working_set_pages = 256; rounds = 10; tlb_capacity = 1536 }
+                (List.hd Fracture.table4_rows))))
+  in
+  let test =
+    Test.make_grouped ~name:"shootdown-repro"
+      [ micro_test; cow_test; sysbench_test; apache_test; fracture_test ]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) () in
+  let raw = Benchmark.all cfg instances test in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  print_endline "\n== Bechamel: harness wall-clock (ns per run) ==";
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Printf.printf "  %-32s %12.0f ns/run\n" name est
+      | Some _ | None -> Printf.printf "  %-32s (no estimate)\n" name)
+    results
+
+(* ----- driver ----- *)
+
+let run_figs_5_to_8 () =
+  ignore (run_micro_figure ~fig:5 ~safe:true ~pte_count:1);
+  ignore (run_micro_figure ~fig:6 ~safe:true ~pte_count:10);
+  ignore (run_micro_figure ~fig:7 ~safe:false ~pte_count:1);
+  ignore (run_micro_figure ~fig:8 ~safe:false ~pte_count:10)
+
+let all () =
+  run_figs_5_to_8 ();
+  table3 ();
+  fig9 ();
+  fig10 ();
+  fig11 ();
+  table2 ();
+  table4 ();
+  ablation ()
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "quick" || a = "--quick" then begin
+          quick := true;
+          false
+        end
+        else true)
+      args
+  in
+  match args with
+  | [] -> all ()
+  | cmds ->
+      List.iter
+        (function
+          | "fig5" -> ignore (run_micro_figure ~fig:5 ~safe:true ~pte_count:1)
+          | "fig6" -> ignore (run_micro_figure ~fig:6 ~safe:true ~pte_count:10)
+          | "fig7" -> ignore (run_micro_figure ~fig:7 ~safe:false ~pte_count:1)
+          | "fig8" -> ignore (run_micro_figure ~fig:8 ~safe:false ~pte_count:10)
+          | "figs5-8" -> run_figs_5_to_8 ()
+          | "table3" -> table3 ()
+          | "fig9" -> fig9 ()
+          | "fig10" -> fig10 ()
+          | "fig11" -> fig11 ()
+          | "table2" -> table2 ()
+          | "table4" -> table4 ()
+          | "ablation" -> ablation ()
+          | "bechamel" -> bechamel ()
+          | "all" -> all ()
+          | other ->
+              Printf.eprintf
+                "unknown experiment %S (try fig5..fig11, table2, table3, table4, \
+                 bechamel, all, quick)\n"
+                other;
+              exit 2)
+        cmds

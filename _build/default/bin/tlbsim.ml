@@ -1,0 +1,240 @@
+(* tlbsim: command-line front end for the shootdown simulator.
+
+     tlbsim micro --placement cross-socket --ptes 10 --safe ...
+     tlbsim sysbench --threads 8 --opts all
+     tlbsim apache --cores 6 --opts concurrent,early-ack
+     tlbsim cow --opts all
+     tlbsim fracture
+     tlbsim trace --ptes 4          (print a protocol timeline)
+*)
+
+open Cmdliner
+
+(* --- shared options --- *)
+
+let safe_t =
+  let doc = "Mitigation mode: true = PTI + mitigations (Linux default)." in
+  Arg.(value & opt bool true & info [ "safe" ] ~doc)
+
+let opt_names =
+  [
+    ("concurrent", fun o -> o.Opts.concurrent_flush <- true);
+    ("early-ack", fun o -> o.Opts.early_ack <- true);
+    ("cacheline", fun o -> o.Opts.cacheline_consolidation <- true);
+    ("in-context", fun o -> o.Opts.in_context_flush <- true);
+    ("cow", fun o -> o.Opts.cow_avoid_flush <- true);
+    ("batching", fun o -> o.Opts.userspace_batching <- true);
+    ("unsafe-lazy", fun o -> o.Opts.unsafe_lazy_batching <- true);
+    ( "freebsd",
+      fun o ->
+        o.Opts.freebsd_protocol <- true;
+        o.Opts.full_flush_threshold <- 4096 );
+  ]
+
+let opts_t =
+  let doc =
+    "Optimizations to enable: comma-separated subset of concurrent, early-ack, \
+     cacheline, in-context, cow, batching, unsafe-lazy, freebsd; or 'all', 'general', \
+     'none'."
+  in
+  let parse s =
+    if s = "none" then Ok `None
+    else if s = "all" then Ok `All
+    else if s = "general" then Ok `General
+    else begin
+      let names = String.split_on_char ',' s in
+      let unknown = List.filter (fun n -> not (List.mem_assoc n opt_names)) names in
+      if unknown = [] then Ok (`List names)
+      else Error (`Msg (Printf.sprintf "unknown optimization(s): %s" (String.concat ", " unknown)))
+    end
+  in
+  let print fmt v =
+    Format.pp_print_string fmt
+      (match v with
+      | `None -> "none"
+      | `All -> "all"
+      | `General -> "general"
+      | `List names -> String.concat "," names)
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) `None
+    & info [ "opts" ] ~doc)
+
+let seed_t =
+  let doc = "Deterministic RNG seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let make_opts ~safe spec =
+  match spec with
+  | `None -> Opts.baseline ~safe
+  | `All -> Opts.all ~safe
+  | `General -> Opts.all_general ~safe
+  | `List names ->
+      let o = Opts.baseline ~safe in
+      List.iter (fun n -> (List.assoc n opt_names) o) names;
+      o
+
+(* --- micro --- *)
+
+let placement_t =
+  let doc = "Responder placement: same-core, same-socket or cross-socket." in
+  let alist =
+    [
+      ("same-core", Microbench.Same_core);
+      ("same-socket", Microbench.Same_socket);
+      ("cross-socket", Microbench.Cross_socket);
+    ]
+  in
+  Arg.(value & opt (enum alist) Microbench.Cross_socket & info [ "placement" ] ~doc)
+
+let ptes_t =
+  let doc = "PTEs flushed per madvise." in
+  Arg.(value & opt int 10 & info [ "ptes" ] ~doc)
+
+let iters_t =
+  let doc = "Measured iterations." in
+  Arg.(value & opt int 200 & info [ "iterations" ] ~doc)
+
+let micro_cmd =
+  let run safe spec placement ptes iterations seed =
+    let opts = make_opts ~safe spec in
+    let cfg = Microbench.default_config ~opts ~placement ~pte_count:ptes in
+    let cfg = { cfg with Microbench.iterations; seed = Int64.of_int seed } in
+    let r = Microbench.run cfg in
+    Printf.printf "config: %s, %d PTE(s), %s\n"
+      (Microbench.placement_label placement)
+      ptes
+      (Format.asprintf "%a" Opts.pp opts);
+    Printf.printf "initiator: %.0f +- %.0f cycles per madvise\n" r.Microbench.initiator_mean
+      r.Microbench.initiator_sd;
+    Printf.printf "responder: %.0f cycles interruption per shootdown (%d shootdowns)\n"
+      r.Microbench.responder_mean r.Microbench.shootdowns
+  in
+  Cmd.v
+    (Cmd.info "micro" ~doc:"The paper's §5.1 madvise microbenchmark (Figures 5-8).")
+    Term.(const run $ safe_t $ opts_t $ placement_t $ ptes_t $ iters_t $ seed_t)
+
+(* --- sysbench --- *)
+
+let sysbench_cmd =
+  let threads_t =
+    Arg.(value & opt int 8 & info [ "threads" ] ~doc:"Worker threads (1-28, one NUMA node).")
+  in
+  let ops_t = Arg.(value & opt int 240 & info [ "ops" ] ~doc:"Writes per thread.") in
+  let run safe spec threads ops seed =
+    let opts = make_opts ~safe spec in
+    let cfg = Sysbench.default_config ~opts ~threads in
+    let cfg = { cfg with Sysbench.ops_per_thread = ops; seed = Int64.of_int seed } in
+    let r = Sysbench.run cfg in
+    Printf.printf "%d threads, %s\n" threads (Format.asprintf "%a" Opts.pp opts);
+    Printf.printf
+      "ops=%d cycles=%d throughput=%.3f ops/kcyc shootdowns=%d full-fallbacks=%d \
+       batched=%d\n"
+      r.Sysbench.ops r.Sysbench.cycles r.Sysbench.throughput r.Sysbench.shootdowns
+      r.Sysbench.full_flush_fallbacks r.Sysbench.batched_deferrals
+  in
+  Cmd.v
+    (Cmd.info "sysbench" ~doc:"Random writes + fdatasync on a mapped file (Figure 10).")
+    Term.(const run $ safe_t $ opts_t $ threads_t $ ops_t $ seed_t)
+
+(* --- apache --- *)
+
+let apache_cmd =
+  let cores_t = Arg.(value & opt int 8 & info [ "cores" ] ~doc:"Worker cores (1-11).") in
+  let requests_t = Arg.(value & opt int 660 & info [ "requests" ] ~doc:"Total requests.") in
+  let run safe spec cores requests seed =
+    let opts = make_opts ~safe spec in
+    let cfg = Apache.default_config ~opts ~cores in
+    let cfg = { cfg with Apache.requests; seed = Int64.of_int seed } in
+    let r = Apache.run cfg in
+    Printf.printf "%d cores, %s\n" cores (Format.asprintf "%a" Opts.pp opts);
+    Printf.printf "requests=%d cycles=%d throughput=%.2f req/Mcyc shootdowns=%d\n"
+      r.Apache.requests_done r.Apache.cycles r.Apache.throughput r.Apache.shootdowns
+  in
+  Cmd.v
+    (Cmd.info "apache" ~doc:"mpm_event-style request serving (Figure 11).")
+    Term.(const run $ safe_t $ opts_t $ cores_t $ requests_t $ seed_t)
+
+(* --- cow --- *)
+
+let cow_cmd =
+  let run safe spec seed =
+    let opts = make_opts ~safe spec in
+    let cfg = Cow_bench.default_config ~opts in
+    let cfg = { cfg with Cow_bench.seed = Int64.of_int seed } in
+    let r = Cow_bench.run cfg in
+    Printf.printf "%s\n" (Format.asprintf "%a" Opts.pp opts);
+    Printf.printf "CoW write: %.0f +- %.0f cycles (%d breaks, %d flushes avoided)\n"
+      r.Cow_bench.write_mean r.Cow_bench.write_sd r.Cow_bench.cow_breaks
+      r.Cow_bench.flushes_avoided
+  in
+  Cmd.v
+    (Cmd.info "cow" ~doc:"Copy-on-write fault latency (Figure 9).")
+    Term.(const run $ safe_t $ opts_t $ seed_t)
+
+(* --- fracture --- *)
+
+let fracture_cmd =
+  let ws_t =
+    Arg.(value & opt int 1024 & info [ "working-set" ] ~doc:"Working set in 4KiB pages.")
+  in
+  let rounds_t = Arg.(value & opt int 100 & info [ "rounds" ] ~doc:"Touch+flush rounds.") in
+  let run working_set_pages rounds =
+    let cfg = { Fracture.working_set_pages; rounds; tlb_capacity = 1536 } in
+    List.iter
+      (fun (r : Fracture.result) ->
+        Printf.printf "%-24s full=%-10s selective=%-10s promoted=%s\n"
+          r.Fracture.shape.Fracture.label
+          (Report.count r.Fracture.full_misses)
+          (Report.count r.Fracture.selective_misses)
+          (Report.count r.Fracture.fracture_promotions))
+      (Fracture.run_all cfg)
+  in
+  Cmd.v
+    (Cmd.info "fracture" ~doc:"Page-fracturing dTLB miss counts (Table 4).")
+    Term.(const run $ ws_t $ rounds_t)
+
+(* --- trace --- *)
+
+let trace_cmd =
+  let run safe spec ptes =
+    let opts = make_opts ~safe spec in
+    let m = Machine.create ~opts ~seed:1L () in
+    Trace.enable m.Machine.trace;
+    let mm = Machine.new_mm m in
+    let stop = ref false in
+    Kernel.spawn_user m ~cpu:14 ~mm ~name:"responder" (fun () ->
+        let cpu = Machine.cpu m 14 in
+        while not !stop do
+          Cpu.compute cpu ~quantum:100 100
+        done);
+    Kernel.spawn_user m ~cpu:0 ~mm ~name:"initiator" (fun () ->
+        Machine.delay m 2_000;
+        let addr = Syscall.mmap m ~cpu:0 ~pages:ptes () in
+        Access.touch_range m ~cpu:0 ~addr ~pages:ptes ~write:true;
+        Trace.clear m.Machine.trace;
+        let t0 = Machine.now m in
+        Syscall.madvise_dontneed m ~cpu:0 ~addr ~pages:ptes;
+        Printf.printf "madvise took %d cycles\n" (Machine.now m - t0);
+        Machine.delay m 10_000;
+        stop := true);
+    Kernel.run m;
+    Format.printf "%a@?" Trace.pp m.Machine.trace
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Print the timeline of one shootdown.")
+    Term.(const run $ safe_t $ opts_t $ ptes_t)
+
+let () =
+  let info =
+    Cmd.info "tlbsim" ~version:"1.0.0"
+      ~doc:
+        "Simulator reproducing 'Don't shoot down TLB shootdowns!' (EuroSys 2020): \
+         the Linux TLB shootdown protocol and the paper's six optimizations on a \
+         simulated multicore x86 machine."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ micro_cmd; sysbench_cmd; apache_cmd; cow_cmd; fracture_cmd; trace_cmd ]))

@@ -1,0 +1,1 @@
+examples/cow_fork.ml: Access Addr Checker Cpu Fork Frame_alloc Kernel Machine Mm_struct Opts Page_table Printf Pte Report Stats Syscall

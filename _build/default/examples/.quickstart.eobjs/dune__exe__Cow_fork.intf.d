@@ -1,0 +1,1 @@
+examples/cow_fork.mli:

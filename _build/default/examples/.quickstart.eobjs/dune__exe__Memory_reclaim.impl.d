@@ -1,0 +1,1 @@
+examples/memory_reclaim.ml: Access Addr Apic Checker Cpu Fault Kernel List Machine Opts Printf Report Rng Syscall Waitq

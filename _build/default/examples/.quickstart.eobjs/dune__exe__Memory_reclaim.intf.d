@@ -1,0 +1,1 @@
+examples/memory_reclaim.mli:

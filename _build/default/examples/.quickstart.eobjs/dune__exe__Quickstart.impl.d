@@ -1,0 +1,1 @@
+examples/quickstart.ml: Access Checker Cpu Format Kernel Machine Opts Printf Syscall Trace

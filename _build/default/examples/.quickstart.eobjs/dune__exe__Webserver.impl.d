@@ -1,0 +1,1 @@
+examples/webserver.ml: Access Apic Array Checker Cpu File Kernel Machine Opts Printf Report Rng Syscall Vma

@@ -1,0 +1,75 @@
+(* Background memory reclaim: a kswapd-style kernel daemon unmaps cold
+   pages of a running application, shooting down the TLBs of every CPU the
+   application runs on — the "reclamation" flush source of paper §2.1.
+   Demonstrates per-optimization effects on a workload that never asks for
+   flushes itself, and that lazy-TLB CPUs are skipped.
+
+     dune exec examples/memory_reclaim.exe
+*)
+
+let run ~label opts =
+  let m = Machine.create ~opts ~seed:8L () in
+  let mm = Machine.new_mm m in
+  let app_cpus = [ 0; 1; 2; 3 ] in
+  let working_pages = 64 in
+  let stop = ref false in
+  let addr_box = ref 0 in
+  let ready = Waitq.Completion.create m.Machine.engine in
+  let app_ops = ref 0 in
+
+  (* Application threads stream over the working set. *)
+  List.iter
+    (fun cpu ->
+      let rng = Rng.split m.Machine.rng in
+      Kernel.spawn_user m ~cpu ~mm ~name:(Printf.sprintf "app%d" cpu) (fun () ->
+          Waitq.Completion.wait ready;
+          let cpu_t = Machine.cpu m cpu in
+          while not !stop do
+            let page = Rng.int rng working_pages in
+            (try Access.write m ~cpu ~vaddr:(!addr_box + (page * Addr.page_size))
+             with Fault.Segfault _ -> ());
+            incr app_ops;
+            Cpu.compute cpu_t 400
+          done))
+    app_cpus;
+
+  (* The reclaim daemon: periodically picks a cold run of pages and drops
+     it, exactly like reclaim zapping PTEs of a victim mm. *)
+  Kernel.spawn_user m ~cpu:13 ~mm ~name:"kswapd" (fun () ->
+      let addr = Syscall.mmap m ~cpu:13 ~pages:working_pages () in
+      addr_box := addr;
+      Access.touch_range m ~cpu:13 ~addr ~pages:working_pages ~write:true;
+      Waitq.Completion.fire ready;
+      let rng = Rng.split m.Machine.rng in
+      for _round = 1 to 40 do
+        let victim = Rng.int rng (working_pages - 8) in
+        Syscall.madvise_dontneed m ~cpu:13
+          ~addr:(addr + (victim * Addr.page_size))
+          ~pages:8;
+        Machine.delay m 20_000
+      done;
+      Machine.delay m 30_000;
+      stop := true);
+  Kernel.run m;
+  let s = m.Machine.stats in
+  Printf.printf
+    "%-28s reclaim-done-in=%-9s app-rate=%5.2f ops/kcyc shootdowns=%-3d ipis=%-4d \
+     refaults=%-5d violations=%d\n"
+    label
+    (Report.cycles (float_of_int (Machine.now m)))
+    (float_of_int !app_ops *. 1000.0 /. float_of_int (Machine.now m))
+    s.Machine.shootdowns (Apic.ipis_sent m.Machine.apic) s.Machine.faults
+    (Checker.violation_count m.Machine.checker)
+
+let () =
+  print_endline
+    "Background reclaim (kswapd) unmapping a 4-thread application's cold pages.";
+  print_endline "Reclaim-triggered shootdowns hit every CPU the app runs on.\n";
+  run ~label:"baseline safe" (Opts.baseline ~safe:true);
+  run ~label:"all optimizations safe" (Opts.all ~safe:true);
+  run ~label:"baseline unsafe" (Opts.baseline ~safe:false);
+  run ~label:"all optimizations unsafe" (Opts.all ~safe:false);
+  print_endline
+    "\nNote: 'refaults' counts the demand-paging faults the app takes to pull\n\
+     reclaimed pages back in; the checker confirms no stale translation was\n\
+     ever used despite the continuous unmapping."

@@ -1,0 +1,1 @@
+lib/core/access.ml: Addr Checker Costs Cpu Fault Machine Mm_struct Opts Page_table Percpu Printf Pte Tlb

@@ -1,0 +1,1 @@
+lib/core/checker.ml: Flush_info Format Hashtbl List Page_table Pte Tlb

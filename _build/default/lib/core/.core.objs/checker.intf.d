@@ -1,0 +1,1 @@
+lib/core/checker.mli: Flush_info Format Page_table Tlb

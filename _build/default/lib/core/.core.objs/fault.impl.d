@@ -1,0 +1,1 @@
+lib/core/fault.ml: Addr Checker Costs Cpu File Flush_info Frame_alloc Fun Machine Mm_struct Option Opts Page_table Percpu Pte Rng Rwsem Shootdown Tlb Vma

@@ -1,0 +1,1 @@
+lib/core/fault.mli: Machine Mm_struct

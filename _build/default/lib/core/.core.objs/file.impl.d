@@ -1,0 +1,1 @@
+lib/core/file.ml: Frame_alloc Hashtbl List Printf

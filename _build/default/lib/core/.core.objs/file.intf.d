@@ -1,0 +1,1 @@
+lib/core/file.mli: Frame_alloc

@@ -1,0 +1,1 @@
+lib/core/flush_info.ml: Addr Format List Stdlib Tlb

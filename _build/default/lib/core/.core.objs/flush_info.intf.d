@@ -1,0 +1,1 @@
+lib/core/flush_info.mli: Format Tlb

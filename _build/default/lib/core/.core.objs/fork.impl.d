@@ -1,0 +1,1 @@
+lib/core/fork.ml: Checker Costs Cpu Flush_info Frame_alloc Fun List Machine Mm_struct Opts Page_table Percpu Pte Rwsem Shootdown Stdlib Tlb Vma

@@ -1,0 +1,1 @@
+lib/core/fork.mli: Machine Mm_struct

@@ -1,0 +1,1 @@
+lib/core/kernel.ml: Cpu Fun Machine Printf Process Sched Shootdown

@@ -1,0 +1,1 @@
+lib/core/kernel.mli: Machine Mm_struct

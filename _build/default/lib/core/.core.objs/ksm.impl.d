@@ -1,0 +1,1 @@
+lib/core/ksm.ml: Checker Costs Cpu Flush_info Frame_alloc Fun Machine Mm_struct Page_table Pte Rwsem Shootdown Tlb Vma

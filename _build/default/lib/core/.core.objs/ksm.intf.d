@@ -1,0 +1,1 @@
+lib/core/ksm.mli: Machine Mm_struct

@@ -1,0 +1,1 @@
+lib/core/machine.ml: Apic Array Cache Checker Costs Cpu Engine Format Frame_alloc Hashtbl Mm_struct Opts Percpu Process Rng Rwsem Topology Trace

@@ -1,0 +1,1 @@
+lib/core/machine.mli: Apic Cache Checker Costs Cpu Engine Format Frame_alloc Hashtbl Mm_struct Opts Percpu Rng Rwsem Topology Trace

@@ -1,0 +1,1 @@
+lib/core/migrate.mli: Machine Mm_struct

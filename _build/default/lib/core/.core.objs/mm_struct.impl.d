@@ -1,0 +1,1 @@
+lib/core/mm_struct.ml: Array Cache Frame_alloc Page_table Printf Rwsem Stdlib Vma

@@ -1,0 +1,1 @@
+lib/core/mm_struct.mli: Cache Engine Frame_alloc Page_table Rwsem Vma

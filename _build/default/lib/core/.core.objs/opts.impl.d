@@ -1,0 +1,1 @@
+lib/core/opts.ml: Format Fun List String

@@ -1,0 +1,1 @@
+lib/core/opts.mli: Format

@@ -1,0 +1,1 @@
+lib/core/percpu.ml: Array Cache Checker Cpu Flush_info Mm_struct Printf Queue

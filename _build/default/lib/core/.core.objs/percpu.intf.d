@@ -1,0 +1,1 @@
+lib/core/percpu.mli: Cache Checker Cpu Flush_info Mm_struct Queue

@@ -1,0 +1,1 @@
+lib/core/sched.ml: Array Costs Cpu Machine Mm_struct Opts Percpu Shootdown Tlb

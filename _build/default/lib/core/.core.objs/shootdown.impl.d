@@ -1,0 +1,1 @@
+lib/core/shootdown.ml: Array Checker Costs Cpu Flush_info List Machine Mm_struct Option Opts Percpu Printf Queue Rwsem Smp Stdlib Tlb Trace

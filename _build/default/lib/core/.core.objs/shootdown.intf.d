@@ -1,0 +1,1 @@
+lib/core/shootdown.mli: Flush_info Machine Mm_struct Tlb

@@ -1,0 +1,1 @@
+lib/core/smp.ml: Apic Array Costs Cpu List Machine Opts Percpu Queue

@@ -1,0 +1,1 @@
+lib/core/smp.mli: Cpu Flush_info Machine Percpu

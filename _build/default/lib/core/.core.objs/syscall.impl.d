@@ -1,0 +1,1 @@
+lib/core/syscall.ml: Addr Checker Costs Cpu File Flush_info Frame_alloc Fun List Machine Mm_struct Opts Page_table Percpu Pte Rwsem Shootdown Stdlib Tlb Vma

@@ -1,0 +1,1 @@
+lib/core/syscall.mli: File Machine Tlb Vma

@@ -1,0 +1,1 @@
+lib/core/vma.ml: Addr File Int List Map Option Stdlib Tlb

@@ -1,0 +1,1 @@
+lib/core/vma.mli: File Tlb

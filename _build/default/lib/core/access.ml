@@ -1,0 +1,74 @@
+let max_fault_retries = 8
+
+let rec access m ~cpu ~vaddr ~write ~attempt =
+  if attempt > max_fault_retries then
+    failwith
+      (Printf.sprintf "Access: fault loop at vaddr %d on cpu %d (kernel bug)" vaddr cpu);
+  let pcpu = Machine.percpu m cpu in
+  let mm =
+    match pcpu.Percpu.loaded_mm with
+    | Some mm -> mm
+    | None -> invalid_arg "Access: no address space loaded on this CPU"
+  in
+  let costs = m.Machine.costs in
+  let vpn = Addr.vpn_of_addr vaddr in
+  let tlb = Cpu.tlb (Machine.cpu m cpu) in
+  let pcid =
+    if m.Machine.opts.Opts.safe then Percpu.user_pcid pcpu.Percpu.curr_asid
+    else Percpu.kernel_pcid pcpu.Percpu.curr_asid
+  in
+  (* Instruction boundary: pending interrupts preempt user execution here
+     (user code is never interleaved with a handler, only preceded). *)
+  Cpu.service_pending (Machine.cpu m cpu);
+  Machine.delay m costs.Costs.mem_access;
+  match Tlb.lookup tlb ~pcid ~vpn with
+  | Some entry ->
+      let pt = Mm_struct.page_table mm in
+      Checker.check_hit m.Machine.checker ~now:(Machine.now m) ~cpu
+        ~mm_id:(Mm_struct.id mm) ~vpn ~write ~entry ~walk:(Page_table.walk pt ~vpn);
+      if write && not entry.Tlb.writable then begin
+        (* Permission fault; the hardware invalidates the faulting entry. *)
+        Tlb.drop tlb ~pcid ~vpn;
+        Fault.handle m ~cpu ~mm ~vaddr ~write;
+        access m ~cpu ~vaddr ~write ~attempt:(attempt + 1)
+      end
+  | None -> begin
+      let pt = Mm_struct.page_table mm in
+      match Page_table.walk pt ~vpn with
+      | Some w
+        when w.Page_table.pte.Pte.present
+             && ((not write) || w.Page_table.pte.Pte.writable) ->
+          let walk_cost =
+            if Tlb.pwc_warm tlb then costs.Costs.page_walk else costs.Costs.page_walk_cold
+          in
+          Machine.delay m walk_cost;
+          Tlb.warm_pwc tlb;
+          let base =
+            match w.Page_table.size with
+            | Tlb.Four_k -> vpn
+            | Tlb.Two_m -> vpn land lnot 511
+          in
+          Tlb.insert tlb
+            {
+              Tlb.vpn = base;
+              pfn = w.Page_table.pte.Pte.pfn;
+              pcid;
+              size = w.Page_table.size;
+              global = w.Page_table.pte.Pte.global;
+              writable = w.Page_table.pte.Pte.writable;
+              fractured = false;
+            }
+      | Some _ | None ->
+          Fault.handle m ~cpu ~mm ~vaddr ~write;
+          access m ~cpu ~vaddr ~write ~attempt:(attempt + 1)
+    end
+
+let read m ~cpu ~vaddr = access m ~cpu ~vaddr ~write:false ~attempt:0
+let write m ~cpu ~vaddr = access m ~cpu ~vaddr ~write:true ~attempt:0
+
+let touch_range m ~cpu ~addr ~pages ~write =
+  for i = 0 to pages - 1 do
+    let vaddr = addr + (i * Addr.page_size) in
+    if write then access m ~cpu ~vaddr ~write:true ~attempt:0
+    else access m ~cpu ~vaddr ~write:false ~attempt:0
+  done

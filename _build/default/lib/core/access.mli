@@ -1,0 +1,16 @@
+(** User-mode memory accesses through the TLB.
+
+    The full translation path: TLB lookup under the current (user, when PTI
+    is on) PCID; on a miss, a page walk priced by the paging-structure-cache
+    temperature; on a permission or not-present condition, the page-fault
+    handler and a retry. Every TLB {e hit} is verified against the page
+    table by the {!Checker}, which is how unsafe flush protocols are caught.
+
+    The calling process must be a user thread whose CPU has the target
+    address space loaded (see {!Kernel.spawn_user}). *)
+
+val read : Machine.t -> cpu:int -> vaddr:int -> unit
+val write : Machine.t -> cpu:int -> vaddr:int -> unit
+
+(** Touch [pages] consecutive pages starting at [addr] (one access each). *)
+val touch_range : Machine.t -> cpu:int -> addr:int -> pages:int -> write:bool -> unit

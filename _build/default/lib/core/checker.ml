@@ -1,0 +1,93 @@
+type violation = {
+  v_time : int;
+  v_cpu : int;
+  v_mm : int;
+  v_vpn : int;
+  v_detail : string;
+}
+
+type token = int
+
+type t = {
+  mutable on : bool;
+  in_flight : (int, Flush_info.t) Hashtbl.t;
+  mutable next_token : int;
+  mutable viols : violation list;
+  mutable n_viols : int;
+  mutable benign : int;
+  mutable n_checks : int;
+}
+
+let max_recorded_violations = 1000
+
+let create ?(enabled = true) () =
+  {
+    on = enabled;
+    in_flight = Hashtbl.create 16;
+    next_token = 0;
+    viols = [];
+    n_viols = 0;
+    benign = 0;
+    n_checks = 0;
+  }
+
+let enabled t = t.on
+let set_enabled t b = t.on <- b
+
+let begin_invalidation t info =
+  t.next_token <- t.next_token + 1;
+  if t.on then Hashtbl.replace t.in_flight t.next_token info;
+  t.next_token
+
+let end_invalidation t token = Hashtbl.remove t.in_flight token
+
+let covered t ~mm_id ~vpn =
+  Hashtbl.fold
+    (fun _ (info : Flush_info.t) acc ->
+      acc || (info.mm_id = mm_id && Flush_info.covers info ~vpn))
+    t.in_flight false
+
+let record t v =
+  t.n_viols <- t.n_viols + 1;
+  if t.n_viols <= max_recorded_violations then t.viols <- v :: t.viols
+
+let check_hit t ~now ~cpu ~mm_id ~vpn ~write ~entry ~walk =
+  if t.on then begin
+    t.n_checks <- t.n_checks + 1;
+    let stale_reason =
+      match walk with
+      | None -> Some "translation removed from page table"
+      | Some (w : Page_table.walk) ->
+          let walk_base =
+            match w.size with Tlb.Four_k -> vpn | Tlb.Two_m -> vpn land lnot 511
+          in
+          let walk_pfn = w.pte.Pte.pfn + (vpn - walk_base) in
+          let entry_pfn = entry.Tlb.pfn + (vpn - entry.Tlb.vpn) in
+          if entry_pfn <> walk_pfn then Some "page remapped to a different frame"
+          else if write && entry.Tlb.writable && not w.pte.Pte.writable then
+            Some "write through a since-write-protected mapping"
+          else None
+    in
+    match stale_reason with
+    | None -> ()
+    | Some reason ->
+        if covered t ~mm_id ~vpn then t.benign <- t.benign + 1
+        else
+          record t { v_time = now; v_cpu = cpu; v_mm = mm_id; v_vpn = vpn; v_detail = reason }
+  end
+
+let violations t = List.rev t.viols
+let violation_count t = t.n_viols
+let benign_races t = t.benign
+let checks t = t.n_checks
+let open_windows t = Hashtbl.length t.in_flight
+
+let clear t =
+  Hashtbl.reset t.in_flight;
+  t.viols <- [];
+  t.n_viols <- 0;
+  t.benign <- 0;
+  t.n_checks <- 0
+
+let pp_violation fmt v =
+  Format.fprintf fmt "t=%d cpu%d mm%d vpn=%d: %s" v.v_time v.v_cpu v.v_mm v.v_vpn v.v_detail

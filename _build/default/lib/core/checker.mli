@@ -1,0 +1,72 @@
+(** TLB-coherence safety oracle.
+
+    The paper's central correctness argument (§2.3.2, §3.2, §4.2) is that a
+    stale TLB entry is harmless {e while} its invalidation is still
+    in-flight — the initiator has not yet returned to its caller — but
+    becomes a correctness/safety violation the moment the kernel behaves as
+    if the flush completed (frames may be recycled). This module encodes
+    exactly that invariant:
+
+    - when the kernel changes PTEs it opens an invalidation window
+      ({!begin_invalidation});
+    - when the flush operation returns to its caller the window closes
+      ({!end_invalidation});
+    - every user-mode TLB {e hit} is checked against the live page table:
+      a stale hit inside an open window is a benign race (x86 permits it),
+      a stale hit with no covering window is a violation.
+
+    Stock protocols and all six paper optimizations run violation-free; the
+    LATR-style [unsafe_lazy_batching] strawman does not — which is the
+    paper's point. *)
+
+type t
+
+type violation = {
+  v_time : int;
+  v_cpu : int;
+  v_mm : int;
+  v_vpn : int;
+  v_detail : string;
+}
+
+type token
+
+val create : ?enabled:bool -> unit -> t
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+(** Open an invalidation window for the PTE change described by [info]. *)
+val begin_invalidation : t -> Flush_info.t -> token
+
+(** Close the window: from now on a stale hit covered only by this window
+    is a violation. Idempotent. *)
+val end_invalidation : t -> token -> unit
+
+(** Verify a user-mode TLB hit on [cpu] against the current page-table walk
+    result. Records a violation or a benign race if the entry is stale. *)
+val check_hit :
+  t ->
+  now:int ->
+  cpu:int ->
+  mm_id:int ->
+  vpn:int ->
+  write:bool ->
+  entry:Tlb.entry ->
+  walk:Page_table.walk option ->
+  unit
+
+val violations : t -> violation list
+val violation_count : t -> int
+
+(** Stale hits excused by an open window. *)
+val benign_races : t -> int
+
+(** Total hits checked. *)
+val checks : t -> int
+
+(** Open windows right now (should be 0 at quiescence). *)
+val open_windows : t -> int
+
+val clear : t -> unit
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,197 @@
+exception Segfault of { sf_cpu : int; sf_vaddr : int; sf_write : bool }
+
+let current_pcids m pcpu =
+  let kernel = Percpu.kernel_pcid pcpu.Percpu.curr_asid in
+  if m.Machine.opts.Opts.safe then (kernel, Percpu.user_pcid pcpu.Percpu.curr_asid)
+  else (kernel, kernel)
+
+(* Install a freshly built PTE unless another CPU faulted the page in
+   while we were allocating/copying (the pte_none re-check Linux performs
+   under the page-table lock). Returns the frame to release on a lost
+   race, if the caller allocated one. *)
+let map_unless_raced pt ~vpn ~size pte ~owned_frame ~frames =
+  match Page_table.walk pt ~vpn with
+  | Some _ -> Option.iter (Frame_alloc.free frames) owned_frame
+  | None -> Page_table.map pt ~vpn ~size pte
+
+let demand_map m ~mm ~vma ~vpn ~write =
+  let costs = m.Machine.costs in
+  let pt = Mm_struct.page_table mm in
+  let frames = Mm_struct.frames mm in
+  match vma.Vma.backing with
+  | Vma.Anonymous when vma.Vma.page_size = Tlb.Two_m ->
+      (* Hugepage fault: one 2 MiB mapping covers the whole aligned run. *)
+      let base = vpn land lnot (Addr.pages_per_huge - 1) in
+      (match Page_table.walk pt ~vpn:base with
+      | Some _ -> ()
+      | None ->
+          let pfn = Frame_alloc.alloc_huge frames in
+          Machine.delay m (costs.Costs.page_zero * Addr.pages_per_huge);
+          (match Page_table.walk pt ~vpn:base with
+          | Some _ -> Frame_alloc.free_huge frames pfn
+          | None ->
+              Page_table.map pt ~vpn:base ~size:Tlb.Two_m
+                {
+                  (Pte.user_data ~pfn) with
+                  writable = vma.Vma.writable;
+                  executable = vma.Vma.executable;
+                }))
+  | Vma.Anonymous ->
+      let pfn = Frame_alloc.alloc frames in
+      Machine.delay m costs.Costs.page_zero;
+      map_unless_raced pt ~vpn ~size:Tlb.Four_k
+        {
+          (Pte.user_data ~pfn) with
+          writable = vma.Vma.writable;
+          executable = vma.Vma.executable;
+        }
+        ~owned_frame:(Some pfn) ~frames
+  | Vma.File_shared _ ->
+      let file, index = Option.get (Vma.file_page vma ~vpn) in
+      let fresh = not (File.cached file ~index) in
+      let pfn = File.frame_of_page file ~index in
+      if fresh then Machine.delay m costs.Costs.io_page;
+      (* The mapping takes its own reference on the page-cache frame. *)
+      Frame_alloc.ref_get frames pfn;
+      (* Map writable only on a write fault so writeback's write-protect /
+         re-dirty cycle is observable (the msync/fdatasync path). *)
+      let writable = vma.Vma.writable && write in
+      map_unless_raced pt ~vpn ~size:Tlb.Four_k
+        {
+          (Pte.user_data ~pfn) with
+          writable;
+          dirty = write;
+          executable = vma.Vma.executable;
+        }
+        ~owned_frame:(Some pfn) ~frames;
+      if write then File.mark_dirty file ~index
+  | Vma.File_private _ ->
+      let file, index = Option.get (Vma.file_page vma ~vpn) in
+      let fresh = not (File.cached file ~index) in
+      let src_pfn = File.frame_of_page file ~index in
+      if fresh then Machine.delay m costs.Costs.io_page;
+      if write then begin
+        (* do_cow_fault: no stale translation exists, so copying directly
+           into a private page needs no TLB flush at all. *)
+        let pfn = Frame_alloc.alloc frames in
+        Machine.delay m costs.Costs.page_copy;
+        map_unless_raced pt ~vpn ~size:Tlb.Four_k
+          { (Pte.user_data ~pfn) with executable = vma.Vma.executable; dirty = true }
+          ~owned_frame:(Some pfn) ~frames
+      end
+      else begin
+        (* Map the page-cache frame read-only and COW-marked, with its own
+           reference. *)
+        Frame_alloc.ref_get frames src_pfn;
+        map_unless_raced pt ~vpn ~size:Tlb.Four_k
+          {
+            (Pte.user_data ~pfn:src_pfn) with
+            writable = false;
+            cow = true;
+            executable = vma.Vma.executable;
+          }
+          ~owned_frame:(Some src_pfn) ~frames
+      end
+
+let cow_break m ~cpu ~mm ~vma ~vpn (old : Pte.t) =
+  let costs = m.Machine.costs and opts = m.Machine.opts and stats = m.Machine.stats in
+  stats.Machine.cow_breaks <- stats.Machine.cow_breaks + 1;
+  let pt = Mm_struct.page_table mm in
+  (* The PTE changes before the flush API runs: keep the checker's
+     invalidation window open across the whole break. *)
+  let window =
+    Checker.begin_invalidation m.Machine.checker
+      (Flush_info.ranged ~mm_id:(Mm_struct.id mm) ~start_vpn:vpn ~pages:1
+         ~new_tlb_gen:(Mm_struct.tlb_gen mm) ())
+  in
+  Fun.protect
+    ~finally:(fun () -> Checker.end_invalidation m.Machine.checker window)
+  @@ fun () ->
+  let new_pfn = Frame_alloc.alloc (Mm_struct.frames mm) in
+  Machine.delay m costs.Costs.page_copy;
+  (* The CPU may speculatively re-walk and re-cache the stale PTE between
+     the fault and the PTE update (§4.1) — the reason a flush (or the dummy
+     write) is needed even though faults invalidate the faulting entry. *)
+  if Rng.bool m.Machine.rng ~p:opts.Opts.spec_pte_recache_p then begin
+    let pcpu = Machine.percpu m cpu in
+    let _, pcid = current_pcids m pcpu in
+    Tlb.insert
+      (Cpu.tlb (Machine.cpu m cpu))
+      {
+        Tlb.vpn;
+        pfn = old.Pte.pfn;
+        pcid;
+        size = Tlb.Four_k;
+        global = false;
+        writable = false;
+        fractured = false;
+      }
+  end;
+  (* Re-check under the "page-table lock": another CPU may have broken the
+     COW while we copied; if so, discard our copy and take no flush. *)
+  let raced = ref false in
+  (match
+     Page_table.update pt ~vpn ~f:(fun pte ->
+         if pte.Pte.cow then Pte.break_cow pte ~new_pfn
+         else begin
+           raced := true;
+           pte
+         end)
+   with
+  | Some _ -> ()
+  | None -> raced := true);
+  ignore vma;
+  if !raced then Frame_alloc.free (Mm_struct.frames mm) new_pfn
+  else begin
+    (* This mapping's reference moves to the private copy. *)
+    Frame_alloc.free (Mm_struct.frames mm) old.Pte.pfn;
+    Shootdown.flush_tlb_page_cow m ~from:cpu ~mm ~vpn ~executable:old.Pte.executable
+  end
+
+let write_notify ~mm ~vma ~vpn =
+  (* Shared-file write to a clean, write-protected page: upgrading
+     permissions needs no shootdown — remote CPUs holding the read-only
+     entry take their own spurious fault. The local stale entry was already
+     dropped by the faulting hardware. *)
+  let pt = Mm_struct.page_table mm in
+  (match Page_table.update pt ~vpn ~f:(fun pte -> Pte.mark_dirty { pte with Pte.writable = true }) with
+  | Some _ -> ()
+  | None -> assert false);
+  match Vma.file_page vma ~vpn with
+  | Some (file, index) -> File.mark_dirty file ~index
+  | None -> ()
+
+let handle m ~cpu ~mm ~vaddr ~write =
+  let costs = m.Machine.costs and opts = m.Machine.opts and stats = m.Machine.stats in
+  stats.Machine.faults <- stats.Machine.faults + 1;
+  let cpu_t = Machine.cpu m cpu in
+  let was_user = Cpu.in_user cpu_t in
+  Cpu.set_in_user cpu_t false;
+  Fun.protect
+    ~finally:(fun () ->
+      (* Resume whichever mode faulted. Returning to user runs the full
+         IRQ-disabled exit protocol so deferred user flushes (e.g. from the
+         CoW shootdown) cannot be skipped by a racing IPI. *)
+      if was_user then Shootdown.return_to_user m ~cpu ~has_stack:true)
+    (fun () ->
+      Machine.delay m
+        (costs.Costs.fault_fixed
+        + if opts.Opts.safe then costs.Costs.fault_fixed_safe_extra else 0);
+      let vpn = Addr.vpn_of_addr vaddr in
+      let sem = Mm_struct.mmap_sem mm in
+      Rwsem.with_read sem (fun () ->
+          match Mm_struct.find_vma mm ~vpn with
+          | None -> raise (Segfault { sf_cpu = cpu; sf_vaddr = vaddr; sf_write = write })
+          | Some vma ->
+              if write && not vma.Vma.writable then
+                raise (Segfault { sf_cpu = cpu; sf_vaddr = vaddr; sf_write = write });
+              let pt = Mm_struct.page_table mm in
+              (match Page_table.walk pt ~vpn with
+              | None -> demand_map m ~mm ~vma ~vpn ~write
+              | Some w when write && not w.Page_table.pte.Pte.writable ->
+                  if w.Page_table.pte.Pte.cow then
+                    cow_break m ~cpu ~mm ~vma ~vpn w.Page_table.pte
+                  else write_notify ~mm ~vma ~vpn
+              | Some _ ->
+                  (* Spurious: another CPU already resolved it. *)
+                  ())))

@@ -1,0 +1,21 @@
+(** The page-fault handler: demand paging, shared-file write notification,
+    and copy-on-write breaking — including the paper's §4.1 local-flush
+    avoidance.
+
+    On a CoW write fault the handler copies the page, updates the PTE and
+    must invalidate the stale translation. Baseline Linux runs INVLPG
+    (which also wipes the paging-structure cache); with [cow_avoid_flush]
+    and a non-executable PTE, an atomic dummy write evicts the stale entry
+    instead. The handler also models the speculative re-caching of the old
+    PTE between fault and update ([Opts.spec_pte_recache_p]) that makes the
+    explicit eviction necessary. *)
+
+exception Segfault of { sf_cpu : int; sf_vaddr : int; sf_write : bool }
+
+(** Resolve a fault at [vaddr] so that a retry of the access succeeds.
+    Runs in kernel context (flips the CPU's privilege for the duration),
+    takes mmap_sem for read, may allocate/copy pages and trigger a remote
+    shootdown (CoW with the mm active on other CPUs).
+    @raise Segfault when no VMA covers the address or permissions forbid
+    the access. *)
+val handle : Machine.t -> cpu:int -> mm:Mm_struct.t -> vaddr:int -> write:bool -> unit

@@ -1,0 +1,56 @@
+type t = {
+  frames : Frame_alloc.t;
+  file_name : string;
+  size : int;
+  pagecache : (int, int) Hashtbl.t;  (* page index -> pfn *)
+  dirty : (int, unit) Hashtbl.t;
+}
+
+let create frames ~name ~size_pages =
+  if size_pages <= 0 then invalid_arg "File.create: size must be positive";
+  { frames; file_name = name; size = size_pages; pagecache = Hashtbl.create 64; dirty = Hashtbl.create 64 }
+
+let name t = t.file_name
+let size_pages t = t.size
+
+let check t index =
+  if index < 0 || index >= t.size then
+    invalid_arg (Printf.sprintf "File %s: page %d out of range [0,%d)" t.file_name index t.size)
+
+let frame_of_page t ~index =
+  check t index;
+  match Hashtbl.find_opt t.pagecache index with
+  | Some pfn -> pfn
+  | None ->
+      let pfn = Frame_alloc.alloc t.frames in
+      Hashtbl.replace t.pagecache index pfn;
+      pfn
+
+let cached t ~index =
+  check t index;
+  Hashtbl.mem t.pagecache index
+
+let mark_dirty t ~index =
+  check t index;
+  Hashtbl.replace t.dirty index ()
+
+let clear_dirty t ~index =
+  check t index;
+  Hashtbl.remove t.dirty index
+
+let is_dirty t ~index =
+  check t index;
+  Hashtbl.mem t.dirty index
+
+let dirty_in_range t ~index ~count =
+  Hashtbl.fold
+    (fun i () acc -> if i >= index && i < index + count then i :: acc else acc)
+    t.dirty []
+  |> List.sort compare
+
+let dirty_count t = Hashtbl.length t.dirty
+
+let drop_cache t =
+  Hashtbl.iter (fun _ pfn -> Frame_alloc.free t.frames pfn) t.pagecache;
+  Hashtbl.reset t.pagecache;
+  Hashtbl.reset t.dirty

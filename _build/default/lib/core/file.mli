@@ -1,0 +1,32 @@
+(** A memory-mappable file with a page cache and dirty tracking.
+
+    Backs the Sysbench (random writes + fdatasync) and Apache (per-request
+    mmap of served files) workloads. Pages get physical frames on first
+    touch; writeback enumerates dirty pages so msync/fdatasync can
+    write-protect and clean them (the shootdown-heavy path of §4.2). *)
+
+type t
+
+val create : Frame_alloc.t -> name:string -> size_pages:int -> t
+
+val name : t -> string
+val size_pages : t -> int
+
+(** Physical frame of file page [index], filling the page cache on demand.
+    Raises [Invalid_argument] past EOF. *)
+val frame_of_page : t -> index:int -> int
+
+(** Is the page already in the page cache? *)
+val cached : t -> index:int -> bool
+
+val mark_dirty : t -> index:int -> unit
+val clear_dirty : t -> index:int -> unit
+val is_dirty : t -> index:int -> bool
+
+(** Dirty page indices intersecting \[index, index+count), ascending. *)
+val dirty_in_range : t -> index:int -> count:int -> int list
+
+val dirty_count : t -> int
+
+(** Drop the whole page cache, freeing frames (for teardown in tests). *)
+val drop_cache : t -> unit

@@ -1,0 +1,19 @@
+(** fork(): duplicate the calling address space with copy-on-write sharing —
+    the workload that motivates §4.1's CoW flush avoidance.
+
+    Every writable private page of the parent is write-protected and marked
+    COW in {e both} address spaces; the child's PTEs reference the same
+    frames (page reference counts track the sharing). Write-protecting live
+    PTEs demands a TLB flush of the parent's address space before fork
+    returns — a stale writable translation would let the parent scribble on
+    what is now a shared frame — so fork performs a full shootdown of the
+    parent's mm, inside a checker window.
+
+    Simplifications: hugepage VMAs are not COW-shared (the child refaults
+    fresh hugepages), and the child starts with no CPUs — run it with
+    {!Kernel.spawn_user}. *)
+
+(** [fork m ~cpu] duplicates the address space loaded on [cpu]; returns the
+    child mm. Runs in syscall context (entry/exit costs, mmap_sem held for
+    write during the copy). *)
+val fork : Machine.t -> cpu:int -> Mm_struct.t

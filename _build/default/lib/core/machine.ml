@@ -1,0 +1,118 @@
+type stats = {
+  mutable shootdowns : int;
+  mutable local_only_flushes : int;
+  mutable ipis_skipped_lazy : int;
+  mutable ipis_skipped_batched : int;
+  mutable flush_requests_skipped : int;
+  mutable full_flush_fallbacks : int;
+  mutable batched_deferrals : int;
+  mutable cow_flush_avoided : int;
+  mutable in_context_deferrals : int;
+  mutable faults : int;
+  mutable cow_breaks : int;
+}
+
+type t = {
+  engine : Engine.t;
+  topo : Topology.t;
+  costs : Costs.t;
+  opts : Opts.t;
+  registry : Cache.registry;
+  frames : Frame_alloc.t;
+  trace : Trace.t;
+  rng : Rng.t;
+  cpus : Cpu.t array;
+  apic : Apic.t;
+  percpu : Percpu.t array;
+  mms : (int, Mm_struct.t) Hashtbl.t;
+  mutable next_mm_id : int;
+  checker : Checker.t;
+  ipi_mutex : Rwsem.t;
+  stats : stats;
+}
+
+let fresh_stats () =
+  {
+    shootdowns = 0;
+    local_only_flushes = 0;
+    ipis_skipped_lazy = 0;
+    ipis_skipped_batched = 0;
+    flush_requests_skipped = 0;
+    full_flush_fallbacks = 0;
+    batched_deferrals = 0;
+    cow_flush_avoided = 0;
+    in_context_deferrals = 0;
+    faults = 0;
+    cow_breaks = 0;
+  }
+
+let create ?(topo = Topology.paper_machine) ?(costs = Costs.default)
+    ?(frames = 262144) ?(seed = 42L) ?(checker = true) ~opts () =
+  let engine = Engine.create () in
+  let n = Topology.n_cpus topo in
+  let cpus =
+    Array.init n (fun id -> Cpu.create engine topo costs ~id ~safe:opts.Opts.safe ())
+  in
+  let registry = Cache.create_registry topo costs in
+  let percpu = Array.map (fun cpu -> Percpu.create cpu registry ~n_cpus:n) cpus in
+  {
+    engine;
+    topo;
+    costs;
+    opts;
+    registry;
+    frames = Frame_alloc.create ~frames;
+    trace = Trace.create engine;
+    rng = Rng.create ~seed;
+    cpus;
+    apic = Apic.create engine topo costs ~cpus;
+    percpu;
+    mms = Hashtbl.create 16;
+    next_mm_id = 1;
+    checker = Checker.create ~enabled:checker ();
+    ipi_mutex = Rwsem.create engine;
+    stats = fresh_stats ();
+  }
+
+let new_mm t =
+  let id = t.next_mm_id in
+  t.next_mm_id <- id + 1;
+  let mm =
+    Mm_struct.create ~engine:t.engine ~registry:t.registry ~frames:t.frames
+      ~n_cpus:(Array.length t.cpus) ~id
+  in
+  Hashtbl.replace t.mms id mm;
+  mm
+
+let mm_by_id t id = Hashtbl.find_opt t.mms id
+let cpu t i = t.cpus.(i)
+let percpu t i = t.percpu.(i)
+let n_cpus t = Array.length t.cpus
+let now t = Engine.now t.engine
+let delay t cycles = Process.delay t.engine cycles
+let charge_read t line ~by = delay t (Cache.read line ~by)
+let charge_write t line ~by = delay t (Cache.write line ~by)
+let charge_atomic t line ~by = delay t (Cache.atomic line ~by)
+let run t = Engine.run t.engine
+
+let reset_stats t =
+  let s = t.stats in
+  s.shootdowns <- 0;
+  s.local_only_flushes <- 0;
+  s.ipis_skipped_lazy <- 0;
+  s.ipis_skipped_batched <- 0;
+  s.flush_requests_skipped <- 0;
+  s.full_flush_fallbacks <- 0;
+  s.batched_deferrals <- 0;
+  s.cow_flush_avoided <- 0;
+  s.in_context_deferrals <- 0;
+  s.faults <- 0;
+  s.cow_breaks <- 0
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "shootdowns=%d local-only=%d skip-lazy=%d skip-batched=%d resp-skip=%d \
+     full-fallback=%d batched=%d cow-avoided=%d in-context=%d faults=%d cow=%d"
+    s.shootdowns s.local_only_flushes s.ipis_skipped_lazy s.ipis_skipped_batched
+    s.flush_requests_skipped s.full_flush_fallbacks s.batched_deferrals
+    s.cow_flush_avoided s.in_context_deferrals s.faults s.cow_breaks

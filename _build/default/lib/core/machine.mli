@@ -1,0 +1,72 @@
+(** The simulated machine plus kernel-global state: the root object every
+    experiment builds first. *)
+
+type stats = {
+  mutable shootdowns : int;  (** flush operations that sent IPIs *)
+  mutable local_only_flushes : int;  (** flush operations with no targets *)
+  mutable ipis_skipped_lazy : int;  (** targets skipped: lazy-TLB mode *)
+  mutable ipis_skipped_batched : int;  (** targets skipped: batched syscall *)
+  mutable flush_requests_skipped : int;  (** responder skips: gen already seen *)
+  mutable full_flush_fallbacks : int;  (** responder gen fast-forward fulls *)
+  mutable batched_deferrals : int;  (** flushes deferred by §4.2 batching *)
+  mutable cow_flush_avoided : int;  (** local flushes avoided by §4.1 *)
+  mutable in_context_deferrals : int;  (** user flushes deferred by §3.4 *)
+  mutable faults : int;
+  mutable cow_breaks : int;
+}
+
+type t = {
+  engine : Engine.t;
+  topo : Topology.t;
+  costs : Costs.t;
+  opts : Opts.t;
+  registry : Cache.registry;
+  frames : Frame_alloc.t;
+  trace : Trace.t;
+  rng : Rng.t;
+  cpus : Cpu.t array;
+  apic : Apic.t;
+  percpu : Percpu.t array;
+  mms : (int, Mm_struct.t) Hashtbl.t;
+  mutable next_mm_id : int;
+  checker : Checker.t;
+  ipi_mutex : Rwsem.t;
+      (** FreeBSD's smp_ipi_mtx: taken (write) around each shootdown when
+          [Opts.freebsd_protocol] is set, serializing shootdowns
+          machine-wide (§3.3's reason for studying the Linux protocol). *)
+  stats : stats;
+}
+
+(** [create ~opts ()] builds a machine. Defaults: the paper's 2x14x2
+    topology, {!Costs.default}, 1 GiB of frames, seed 42, checker on. *)
+val create :
+  ?topo:Topology.t ->
+  ?costs:Costs.t ->
+  ?frames:int ->
+  ?seed:int64 ->
+  ?checker:bool ->
+  opts:Opts.t ->
+  unit ->
+  t
+
+val new_mm : t -> Mm_struct.t
+val mm_by_id : t -> int -> Mm_struct.t option
+val cpu : t -> int -> Cpu.t
+val percpu : t -> int -> Percpu.t
+val n_cpus : t -> int
+val now : t -> int
+
+(** Advance the calling process by [cycles]. *)
+val delay : t -> int -> unit
+
+(** Pay for a cacheline access from process context. *)
+val charge_read : t -> Cache.line -> by:int -> unit
+
+val charge_write : t -> Cache.line -> by:int -> unit
+val charge_atomic : t -> Cache.line -> by:int -> unit
+
+(** Run the engine until idle. *)
+val run : t -> unit
+
+val reset_stats : t -> unit
+val pp_stats : Format.formatter -> stats -> unit

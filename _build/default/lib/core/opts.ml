@@ -1,0 +1,123 @@
+type t = {
+  mutable safe : bool;
+  mutable concurrent_flush : bool;
+  mutable early_ack : bool;
+  mutable cacheline_consolidation : bool;
+  mutable in_context_flush : bool;
+  mutable cow_avoid_flush : bool;
+  mutable userspace_batching : bool;
+  mutable unsafe_lazy_batching : bool;
+  mutable freebsd_protocol : bool;
+  mutable spec_pte_recache_p : float;
+  mutable full_flush_threshold : int;
+  mutable batch_slots : int;
+}
+
+let baseline ~safe =
+  {
+    safe;
+    concurrent_flush = false;
+    early_ack = false;
+    cacheline_consolidation = false;
+    in_context_flush = false;
+    cow_avoid_flush = false;
+    userspace_batching = false;
+    unsafe_lazy_batching = false;
+    freebsd_protocol = false;
+    spec_pte_recache_p = 0.05;
+    full_flush_threshold = 33;
+    batch_slots = 4;
+  }
+
+let freebsd ~safe =
+  let t = baseline ~safe in
+  t.freebsd_protocol <- true;
+  t.full_flush_threshold <- 4096;
+  t
+
+let all_general ~safe =
+  let t = baseline ~safe in
+  t.concurrent_flush <- true;
+  t.early_ack <- true;
+  t.cacheline_consolidation <- true;
+  (* In-context flushing only exists under PTI; harmless to leave off when
+     unsafe since there is no user PCID to flush. *)
+  t.in_context_flush <- safe;
+  t
+
+let all ~safe =
+  let t = all_general ~safe in
+  t.cow_avoid_flush <- true;
+  t.userspace_batching <- true;
+  t
+
+let copy t =
+  {
+    safe = t.safe;
+    concurrent_flush = t.concurrent_flush;
+    early_ack = t.early_ack;
+    cacheline_consolidation = t.cacheline_consolidation;
+    in_context_flush = t.in_context_flush;
+    cow_avoid_flush = t.cow_avoid_flush;
+    userspace_batching = t.userspace_batching;
+    unsafe_lazy_batching = t.unsafe_lazy_batching;
+    freebsd_protocol = t.freebsd_protocol;
+    spec_pte_recache_p = t.spec_pte_recache_p;
+    full_flush_threshold = t.full_flush_threshold;
+    batch_slots = t.batch_slots;
+  }
+
+(* Build a cumulative stack: each stage copies the previous one and enables
+   one more flag. Sequenced with explicit lets (list-element evaluation
+   order is unspecified in OCaml). *)
+let cumulative_stack ~safe ~with_base ~with_batching =
+  let stack = ref (baseline ~safe) in
+  let step label f =
+    let t = copy !stack in
+    f t;
+    stack := t;
+    (label, t)
+  in
+  let base = if with_base then [ ("baseline", copy !stack) ] else [] in
+  let s1 =
+    step (if with_base then "+concurrent" else "concurrent") (fun t ->
+        t.concurrent_flush <- true)
+  in
+  let s2 = step "+early-ack" (fun t -> t.early_ack <- true) in
+  let s3 = step "+cacheline" (fun t -> t.cacheline_consolidation <- true) in
+  let s4 =
+    if safe then [ step "+in-context" (fun t -> t.in_context_flush <- true) ] else []
+  in
+  let s5 =
+    if with_batching then
+      [
+        step "+batching" (fun t ->
+            t.userspace_batching <- true;
+            t.cow_avoid_flush <- true);
+      ]
+    else []
+  in
+  base @ [ s1; s2; s3 ] @ s4 @ s5
+
+let cumulative_general ~safe = cumulative_stack ~safe ~with_base:true ~with_batching:false
+
+let cumulative_workload ~safe = cumulative_stack ~safe ~with_base:false ~with_batching:true
+
+let pp fmt t =
+  let flag name b = if b then Some name else None in
+  let flags =
+    List.filter_map Fun.id
+      [
+        flag "concurrent" t.concurrent_flush;
+        flag "early-ack" t.early_ack;
+        flag "cacheline" t.cacheline_consolidation;
+        flag "in-context" t.in_context_flush;
+        flag "cow" t.cow_avoid_flush;
+        flag "batching" t.userspace_batching;
+        flag "UNSAFE-LAZY" t.unsafe_lazy_batching;
+        flag "freebsd" t.freebsd_protocol;
+      ]
+  in
+  Format.fprintf fmt "%s mode [%s]"
+    (if t.safe then "safe" else "unsafe")
+    (String.concat " " flags)

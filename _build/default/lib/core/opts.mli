@@ -1,0 +1,58 @@
+(** Optimization switches — the paper's Table 1 — plus the mitigation mode.
+
+    Each flag corresponds to one of the six techniques; figures are produced
+    by enabling them cumulatively. [safe] selects "safe mode" (PTI +
+    Spectre/Meltdown mitigations, Linux's default) versus "unsafe mode"
+    (mitigations off); under [safe], every address space has separate kernel
+    and user PCIDs and user PTEs must be flushed too. *)
+
+type t = {
+  mutable safe : bool;  (** PTI + mitigations on *)
+  mutable concurrent_flush : bool;  (** §3.1 flush local TLB while waiting *)
+  mutable early_ack : bool;  (** §3.2 ack on handler entry *)
+  mutable cacheline_consolidation : bool;  (** §3.3 merged kernel cachelines *)
+  mutable in_context_flush : bool;  (** §3.4 defer user flushes to kernel exit *)
+  mutable cow_avoid_flush : bool;  (** §4.1 dummy write instead of INVLPG *)
+  mutable userspace_batching : bool;  (** §4.2 batch flushes in msync etc. *)
+  mutable unsafe_lazy_batching : bool;
+      (** LATR-style strawman: skip shootdown IPIs entirely and flush lazily.
+          Deliberately unsafe; exists to let the {!Checker} demonstrate the
+          correctness argument of paper §2.3.2. *)
+  mutable freebsd_protocol : bool;
+      (** FreeBSD-style comparator (paper §2.1/§3.3): every shootdown takes
+          the global smp_ipi_mtx, so only one shootdown is in flight
+          machine-wide; pair with a 4096-entry full-flush threshold via
+          {!freebsd}. Safe but serializing. *)
+  mutable spec_pte_recache_p : float;
+      (** probability that, between a CoW fault and its PTE update, a
+          speculative page walk re-caches the stale PTE (paper §4.1's
+          motivation for the explicit write) *)
+  mutable full_flush_threshold : int;  (** Linux's 33-entry ceiling *)
+  mutable batch_slots : int;  (** deferred flush_tlb_info entries, paper: 4 *)
+}
+
+(** Everything off: stock Linux 5.2.8 behaviour in the given mode. *)
+val baseline : safe:bool -> t
+
+(** The four general techniques of §3 enabled. *)
+val all_general : safe:bool -> t
+
+(** All six optimizations. *)
+val all : safe:bool -> t
+
+(** FreeBSD-flavoured baseline: serialized shootdowns (smp_ipi_mtx) and the
+    4096-entry full-flush ceiling (§2.1). *)
+val freebsd : safe:bool -> t
+
+val copy : t -> t
+
+(** Cumulative stacks in paper order:
+    baseline, +concurrent, +early ack, +cacheline, (+in-context when [safe]).
+    Each pair is (label, opts). *)
+val cumulative_general : safe:bool -> (string * t) list
+
+(** Cumulative stacks for the workload figures (adds batching last):
+    concurrent, +early ack, +cacheline, (+in-context when safe), +batching. *)
+val cumulative_workload : safe:bool -> (string * t) list
+
+val pp : Format.formatter -> t -> unit

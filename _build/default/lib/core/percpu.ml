@@ -1,0 +1,117 @@
+type asid_slot = {
+  mutable slot_mm : int;
+  mutable gen_seen : int;
+  mutable last_used : int;
+}
+
+type cfd = {
+  cfd_initiator : int;
+  cfd_info : Flush_info.t;
+  cfd_early_ack : bool;
+  mutable cfd_acked : bool;
+  mutable cfd_executed : bool;
+  cfd_line : Cache.line;
+  cfd_info_line : Cache.line option;
+}
+
+type pending_user = No_flush | Ranged of Flush_info.t | Full_flush
+
+type t = {
+  cpu : Cpu.t;
+  asids : asid_slot array;
+  mutable curr_asid : int;
+  mutable loaded_mm : Mm_struct.t option;
+  mutable lazy_mode : bool;
+  mutable pending_user : pending_user;
+  mutable inflight_flush : bool;
+  mutable batched_mode : bool;
+  mutable batch : (Flush_info.t * Checker.token) list;
+  mutable batch_overflowed : bool;
+  csq : cfd Queue.t;
+  line_tlb : Cache.line;
+  line_csq : Cache.line;
+  csd_lines : Cache.line array;
+  line_stack_info : Cache.line;
+}
+
+let n_asids = 6
+
+let create cpu registry ~n_cpus =
+  let id = Cpu.id cpu in
+  {
+    cpu;
+    asids = Array.init n_asids (fun _ -> { slot_mm = -1; gen_seen = 0; last_used = 0 });
+    curr_asid = 0;
+    loaded_mm = None;
+    lazy_mode = false;
+    pending_user = No_flush;
+    inflight_flush = false;
+    batched_mode = false;
+    batch = [];
+    batch_overflowed = false;
+    csq = Queue.create ();
+    line_tlb = Cache.create_line registry ~name:(Printf.sprintf "cpu%d.tlb_state" id);
+    line_csq = Cache.create_line registry ~name:(Printf.sprintf "cpu%d.csq" id);
+    csd_lines =
+      Array.init n_cpus (fun dest ->
+          Cache.create_line registry ~name:(Printf.sprintf "cpu%d.csd[%d]" id dest));
+    line_stack_info =
+      Cache.create_line registry ~name:(Printf.sprintf "cpu%d.stack_flush_info" id);
+  }
+
+let kernel_pcid slot = slot + 1
+let user_pcid slot = slot + 1 + 2048
+
+let current_kernel_pcid t = kernel_pcid t.curr_asid
+let current_user_pcid t = user_pcid t.curr_asid
+
+let find_slot t ~mm_id =
+  let found = ref None in
+  Array.iteri
+    (fun i slot -> if slot.slot_mm = mm_id && !found = None then found := Some i)
+    t.asids;
+  !found
+
+let choose_slot t ~mm_id ~now =
+  match find_slot t ~mm_id with
+  | Some i ->
+      t.asids.(i).last_used <- now;
+      (i, false)
+  | None ->
+      let best = ref 0 in
+      Array.iteri
+        (fun i slot ->
+          if slot.slot_mm = -1 && t.asids.(!best).slot_mm <> -1 then best := i
+          else if
+            slot.slot_mm <> -1
+            && t.asids.(!best).slot_mm <> -1
+            && slot.last_used < t.asids.(!best).last_used
+          then best := i)
+        t.asids;
+      let i = !best in
+      let needs_flush = t.asids.(i).slot_mm <> -1 in
+      t.asids.(i).slot_mm <- mm_id;
+      t.asids.(i).gen_seen <- 0;
+      t.asids.(i).last_used <- now;
+      (i, needs_flush)
+
+let defer_user_flush t info ~threshold =
+  match t.pending_user with
+  | Full_flush -> ()
+  | No_flush ->
+      if Flush_info.nr_entries info > threshold then t.pending_user <- Full_flush
+      else t.pending_user <- Ranged info
+  | Ranged existing ->
+      if existing.Flush_info.mm_id <> info.Flush_info.mm_id then
+        (* A different address space is pending: punt to a full flush. *)
+        t.pending_user <- Full_flush
+      else begin
+        let merged = Flush_info.merge existing info in
+        if Flush_info.nr_entries merged > threshold then t.pending_user <- Full_flush
+        else t.pending_user <- Ranged merged
+      end
+
+let take_pending_user t =
+  let p = t.pending_user in
+  t.pending_user <- No_flush;
+  p

@@ -1,0 +1,85 @@
+(** Per-CPU kernel state: loaded address space, PCID (ASID) slots with
+    per-generation flush tracking, lazy-TLB mode, the SMP call queue, the
+    deferred-flush records of §3.4 and §4.2 — and the cachelines they live
+    on.
+
+    Cacheline layout is explicit because it is what §3.3 optimizes:
+
+    - baseline (Figure 4a): the lazy-mode flag shares [line_tlb] with other
+      TLB state; each outbound call-function-data (CSD) occupies its own
+      line [csd_lines.(dest)]; the flush_tlb_info lives on the initiator's
+      stack line [line_stack_info]; the call queue head is [line_csq].
+    - consolidated (Figure 4b): the lazy flag is colocated with the queue
+      head (one line answers "lazy? enqueue!") and the flush info is inlined
+      into the CSD, eliminating the stack line. *)
+
+(** One of the 6 dynamic ASIDs Linux multiplexes per CPU. *)
+type asid_slot = {
+  mutable slot_mm : int;  (** mm id, or -1 when free *)
+  mutable gen_seen : int;  (** mm generation this CPU has flushed up to *)
+  mutable last_used : int;  (** for round-robin eviction *)
+}
+
+(** Call-function data: one outbound shootdown request to one CPU. *)
+type cfd = {
+  cfd_initiator : int;
+  cfd_info : Flush_info.t;
+  cfd_early_ack : bool;  (** responder may ack on handler entry *)
+  mutable cfd_acked : bool;
+  mutable cfd_executed : bool;  (** flush function completed *)
+  cfd_line : Cache.line;
+  cfd_info_line : Cache.line option;  (** baseline layout only *)
+}
+
+(** Deferred user-address-space flush state (in-context flushing, §3.4). *)
+type pending_user = No_flush | Ranged of Flush_info.t | Full_flush
+
+type t = {
+  cpu : Cpu.t;
+  asids : asid_slot array;
+  mutable curr_asid : int;
+  mutable loaded_mm : Mm_struct.t option;
+  mutable lazy_mode : bool;
+  mutable pending_user : pending_user;
+  mutable inflight_flush : bool;
+      (** a shootdown was acknowledged (early ack) but its flush has not
+          completed; NMI handlers must not touch user memory (§3.2) *)
+  mutable batched_mode : bool;  (** inside a batching syscall (§4.2) *)
+  mutable batch : (Flush_info.t * Checker.token) list;
+      (** deferred infos (newest first) with their open checker windows *)
+  mutable batch_overflowed : bool;
+  csq : cfd Queue.t;
+  line_tlb : Cache.line;
+  line_csq : Cache.line;
+  csd_lines : Cache.line array;
+  line_stack_info : Cache.line;
+}
+
+val create : Cpu.t -> Cache.registry -> n_cpus:int -> t
+
+val n_asids : int
+
+(** Hardware PCID values for a slot (user PCID has bit 11 set, like Linux).
+    In unsafe mode (no PTI) only the kernel PCID is used. *)
+val kernel_pcid : int -> int
+
+val user_pcid : int -> int
+
+(** Currently loaded kernel/user PCIDs. *)
+val current_kernel_pcid : t -> int
+
+val current_user_pcid : t -> int
+
+(** Slot caching [mm_id], if any. *)
+val find_slot : t -> mm_id:int -> int option
+
+(** Slot to (re)use for [mm_id]: an existing slot, a free one, or the least
+    recently used (in which case its stale contents must be flushed by the
+    caller). Returns [(slot, needs_flush)]. *)
+val choose_slot : t -> mm_id:int -> now:int -> int * bool
+
+(** Record the merged deferred user flush; collapses to [Full_flush] past
+    [threshold] entries. *)
+val defer_user_flush : t -> Flush_info.t -> threshold:int -> unit
+
+val take_pending_user : t -> pending_user

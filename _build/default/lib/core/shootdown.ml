@@ -1,0 +1,396 @@
+(* The TLB shootdown protocol. Figure 1 (baseline) / Figure 3 (optimized).
+
+   Terminology matches the paper: the "initiator" runs flush_tlb_mm_range;
+   "responders" run the IPI handler. flush_tlb_func is the shared flush
+   logic with Linux's generation bookkeeping. *)
+
+let actor cpu = Printf.sprintf "cpu%d" cpu
+
+let tracef m ~cpu fmt = Trace.emitf m.Machine.trace ~actor:(actor cpu) fmt
+
+(* How the user-PCID half of a flush is handled under PTI. *)
+type user_flush = Eager | Defer | Skip
+
+(* Full local flush of the kernel PCID; the user PCID full flush is always
+   deferred to the next return-to-user CR3 load (stock Linux behaviour). *)
+let local_full_flush m ~cpu pcpu =
+  let tlb = Cpu.tlb (Machine.cpu m cpu) in
+  Machine.delay m m.Machine.costs.Costs.cr3_write;
+  Tlb.cr3_flush tlb ~pcid:(Percpu.kernel_pcid pcpu.Percpu.curr_asid);
+  if m.Machine.opts.Opts.safe then pcpu.Percpu.pending_user <- Percpu.Full_flush
+
+let flush_tlb_func_impl m ~cpu ~user (info : Flush_info.t) =
+  let opts = m.Machine.opts and costs = m.Machine.costs and stats = m.Machine.stats in
+  let pcpu = Machine.percpu m cpu in
+  let tlb = Cpu.tlb (Machine.cpu m cpu) in
+  match pcpu.Percpu.loaded_mm with
+  | Some mm when Mm_struct.id mm = info.Flush_info.mm_id ->
+      let slot = pcpu.Percpu.asids.(pcpu.Percpu.curr_asid) in
+      if slot.Percpu.gen_seen >= info.Flush_info.new_tlb_gen then begin
+        stats.Machine.flush_requests_skipped <- stats.Machine.flush_requests_skipped + 1;
+        `Skipped
+      end
+      else begin
+        (* Read the mm's current generation (one contended line). *)
+        Machine.charge_read m (Mm_struct.line mm) ~by:cpu;
+        let latest_gen = Mm_struct.tlb_gen mm in
+        let behind = info.Flush_info.new_tlb_gen > slot.Percpu.gen_seen + 1 in
+        if info.Flush_info.full
+           || Flush_info.nr_entries info > opts.Opts.full_flush_threshold
+           || behind
+        then begin
+          (* Full flush; fast-forward to the latest generation so queued
+             requests can be skipped (the §5.2 "flush storm" shortcut). *)
+          if behind && not info.Flush_info.full then
+            stats.Machine.full_flush_fallbacks <- stats.Machine.full_flush_fallbacks + 1;
+          local_full_flush m ~cpu pcpu;
+          slot.Percpu.gen_seen <- Stdlib.max latest_gen info.Flush_info.new_tlb_gen;
+          tracef m ~cpu "full flush (gen -> %d)" slot.Percpu.gen_seen;
+          `Full
+        end
+        else begin
+          let vpns = Flush_info.vpns info in
+          let kernel_pcid = Percpu.kernel_pcid pcpu.Percpu.curr_asid in
+          List.iter
+            (fun vpn ->
+              Machine.delay m costs.Costs.invlpg;
+              Tlb.invlpg tlb ~current_pcid:kernel_pcid ~vpn)
+            vpns;
+          if opts.Opts.safe then begin
+            match user with
+            | Eager ->
+                let user_pcid = Percpu.user_pcid pcpu.Percpu.curr_asid in
+                List.iter
+                  (fun vpn ->
+                    Machine.delay m costs.Costs.invpcid_single;
+                    Tlb.invpcid_addr tlb ~pcid:user_pcid ~vpn)
+                  vpns
+            | Defer ->
+                stats.Machine.in_context_deferrals <- stats.Machine.in_context_deferrals + 1;
+                Percpu.defer_user_flush pcpu info ~threshold:opts.Opts.full_flush_threshold
+            | Skip -> ()
+          end;
+          slot.Percpu.gen_seen <- info.Flush_info.new_tlb_gen;
+          tracef m ~cpu "ranged flush of %d PTE(s) (gen -> %d)" (List.length vpns)
+            slot.Percpu.gen_seen;
+          `Ranged
+        end
+      end
+  | Some _ | None ->
+      (* The address space is not loaded here (raced with a context
+         switch); the switch-in generation check covers it. *)
+      stats.Machine.flush_requests_skipped <- stats.Machine.flush_requests_skipped + 1;
+      `Skipped
+
+(* Default user-flush policy for a CPU that is not the initiator (or an
+   initiator without the concurrent-flush overlap): defer under §3.4 unless
+   page tables are being freed. *)
+let default_user_policy m (info : Flush_info.t) =
+  if m.Machine.opts.Opts.in_context_flush && not info.Flush_info.freed_tables then Defer
+  else Eager
+
+let flush_tlb_func m ~cpu info =
+  flush_tlb_func_impl m ~cpu ~user:(default_user_policy m info) info
+
+let flush_pending_user m ~cpu ~has_stack =
+  let opts = m.Machine.opts and costs = m.Machine.costs in
+  if opts.Opts.safe then begin
+    let pcpu = Machine.percpu m cpu in
+    let tlb = Cpu.tlb (Machine.cpu m cpu) in
+    let user_pcid = Percpu.user_pcid pcpu.Percpu.curr_asid in
+    match Percpu.take_pending_user pcpu with
+    | Percpu.No_flush -> ()
+    | Percpu.Full_flush ->
+        (* The return-to-user CR3 load simply skips the NOFLUSH bit: the
+           whole user PCID is invalidated for free. *)
+        Tlb.cr3_flush tlb ~pcid:user_pcid;
+        tracef m ~cpu "deferred user flush: full (free CR3 reload)"
+    | Percpu.Ranged info ->
+        if not has_stack then begin
+          (* No stack to run the INVLPG loop on (e.g. IRET return path). *)
+          Tlb.cr3_flush tlb ~pcid:user_pcid;
+          tracef m ~cpu "deferred user flush: full (no stack)"
+        end
+        else begin
+          let vpns = Flush_info.vpns info in
+          List.iter
+            (fun vpn ->
+              Machine.delay m costs.Costs.invlpg;
+              Tlb.invlpg tlb ~current_pcid:user_pcid ~vpn)
+            vpns;
+          (* Spectre-v1: the flush loop's bound must not be speculated
+             past while stale user PTEs linger. *)
+          Machine.delay m costs.Costs.lfence;
+          tracef m ~cpu "deferred user flush: %d INVLPG + LFENCE" (List.length vpns)
+        end
+  end
+
+let return_to_user m ~cpu ~has_stack =
+  let cpu_t = Machine.cpu m cpu in
+  Cpu.quiesce_and_mask cpu_t;
+  flush_pending_user m ~cpu ~has_stack;
+  Cpu.set_in_user cpu_t true;
+  Cpu.irq_enable cpu_t
+
+(* The shootdown IPI handler run by responder CPUs. *)
+let ipi_handler m ~me (_ : Cpu.t) =
+  let pcpu = Machine.percpu m me in
+  Smp.drain_queue m ~me ~run:(fun cfd ->
+      let info = cfd.Percpu.cfd_info in
+      if cfd.Percpu.cfd_early_ack then begin
+        (* §3.2: no user mapping can be used from inside this handler, so
+           acknowledge before flushing — unless page tables are freed,
+           which the initiator already encoded in cfd_early_ack. An NMI
+           could still preempt us between the ack and the flush: flag the
+           window so nmi_uaccess_okay refuses user accesses. *)
+        pcpu.Percpu.inflight_flush <- true;
+        Smp.ack m ~me cfd;
+        tracef m ~cpu:me "early ack to cpu%d" cfd.Percpu.cfd_initiator
+      end;
+      ignore (flush_tlb_func_impl m ~cpu:me ~user:(default_user_policy m info) info);
+      cfd.Percpu.cfd_executed <- true;
+      pcpu.Percpu.inflight_flush <- false;
+      if not cfd.Percpu.cfd_early_ack then begin
+        Smp.ack m ~me cfd;
+        tracef m ~cpu:me "ack to cpu%d" cfd.Percpu.cfd_initiator
+      end);
+  (* If we interrupted user mode we are about to return to it: any flush
+     deferred by §3.4 must complete first. *)
+  if Cpu.irq_from_user (Machine.cpu m me) then flush_pending_user m ~cpu:me ~has_stack:true
+
+(* Initiator-side local flush. Returns the list of user VPNs left for the
+   §3.4/§3.1 interplay to flush during the ack wait (empty otherwise). *)
+let initiator_local_flush m ~from ~has_remote_targets (info : Flush_info.t) =
+  let opts = m.Machine.opts in
+  let hybrid =
+    opts.Opts.safe && opts.Opts.in_context_flush && opts.Opts.concurrent_flush
+    && has_remote_targets
+    && (not info.Flush_info.full)
+    && (not info.Flush_info.freed_tables)
+    && Flush_info.nr_entries info <= opts.Opts.full_flush_threshold
+  in
+  let user = if hybrid then Skip else default_user_policy m info in
+  let result = flush_tlb_func_impl m ~cpu:from ~user info in
+  if hybrid && result = `Ranged then Flush_info.vpns info else []
+
+(* Select remote targets, paying one line read per candidate. *)
+let select_targets m ~from ~mm (info : Flush_info.t) =
+  let opts = m.Machine.opts and stats = m.Machine.stats in
+  let candidates = List.filter (fun c -> c <> from) (Mm_struct.cpumask mm) in
+  List.filter
+    (fun c ->
+      Smp.read_remote_tlb_state m ~from ~target:c;
+      let p = Machine.percpu m c in
+      if p.Percpu.lazy_mode then begin
+        (* Lazy-TLB CPU: it will sync generations before resuming user. *)
+        stats.Machine.ipis_skipped_lazy <- stats.Machine.ipis_skipped_lazy + 1;
+        false
+      end
+      else if
+        opts.Opts.userspace_batching && p.Percpu.batched_mode
+        && not info.Flush_info.freed_tables
+      then begin
+        (* §4.2: the CPU is inside a batching syscall and will sync at its
+           mmap_sem-release barrier; no IPI needed. *)
+        stats.Machine.ipis_skipped_batched <- stats.Machine.ipis_skipped_batched + 1;
+        false
+      end
+      else true)
+    candidates
+
+(* One complete shootdown for [info], generation already bumped. *)
+let perform m ~from ~mm (info : Flush_info.t) token =
+  let opts = m.Machine.opts and costs = m.Machine.costs and stats = m.Machine.stats in
+  if opts.Opts.unsafe_lazy_batching then begin
+    (* LATR-style strawman: flush locally, never notify remote CPUs, and
+       return as if the flush were complete. The Checker flags the stale
+       accesses this permits. *)
+    ignore (flush_tlb_func_impl m ~cpu:from ~user:(default_user_policy m info) info);
+    stats.Machine.local_only_flushes <- stats.Machine.local_only_flushes + 1;
+    Checker.end_invalidation m.Machine.checker token
+  end
+  else begin
+    let targets = select_targets m ~from ~mm info in
+    if targets = [] then begin
+      stats.Machine.local_only_flushes <- stats.Machine.local_only_flushes + 1;
+      ignore (initiator_local_flush m ~from ~has_remote_targets:false info);
+      Checker.end_invalidation m.Machine.checker token
+    end
+    else begin
+      stats.Machine.shootdowns <- stats.Machine.shootdowns + 1;
+      (* FreeBSD comparator: one machine-wide shootdown at a time. *)
+      if opts.Opts.freebsd_protocol then begin
+        Machine.delay m m.Machine.costs.Costs.lock_uncontended;
+        Rwsem.down_write m.Machine.ipi_mutex
+      end;
+      let early_ack = opts.Opts.early_ack && not info.Flush_info.freed_tables in
+      let run_remote () =
+        let cfds = Smp.enqueue_work m ~from ~targets ~info ~early_ack in
+        List.iter
+          (fun t -> tracef m ~cpu:from "IPI -> cpu%d (%a)" t Flush_info.pp info)
+          targets;
+        Smp.send_ipis m ~from ~targets ~handler:(fun cpu ->
+            ipi_handler m ~me:(Cpu.id cpu) cpu);
+        cfds
+      in
+      if opts.Opts.concurrent_flush then begin
+        (* §3.1: send first; the local flush overlaps IPI delivery. *)
+        let cfds = run_remote () in
+        let leftover = ref (initiator_local_flush m ~from ~has_remote_targets:true info) in
+        let pcpu = Machine.percpu m from in
+        let tlb = Cpu.tlb (Machine.cpu m from) in
+        let user_pcid = Percpu.user_pcid pcpu.Percpu.curr_asid in
+        let any_ack () = List.exists (fun c -> c.Percpu.cfd_acked) cfds in
+        let while_waiting () =
+          (* §3.4 interplay: burn the wait on user-PTE INVPCIDs until the
+             first ack lands, then defer the rest to kernel exit. *)
+          match !leftover with
+          | [] -> ()
+          | vpn :: rest ->
+              if not (any_ack ()) then begin
+                Machine.delay m costs.Costs.invpcid_single;
+                Tlb.invpcid_addr tlb ~pcid:user_pcid ~vpn;
+                leftover := rest
+              end
+        in
+        Smp.wait_for_acks m ~from cfds ~while_waiting ();
+        (match !leftover with
+        | [] -> ()
+        | vpn :: _ as rest ->
+            stats.Machine.in_context_deferrals <- stats.Machine.in_context_deferrals + 1;
+            let deferred =
+              Flush_info.ranged ~mm_id:info.Flush_info.mm_id ~start_vpn:vpn
+                ~pages:(List.length rest) ~stride:info.Flush_info.stride
+                ~new_tlb_gen:info.Flush_info.new_tlb_gen ()
+            in
+            Percpu.defer_user_flush pcpu deferred ~threshold:opts.Opts.full_flush_threshold)
+      end
+      else begin
+        (* Baseline (Figure 1): local flush strictly before the IPIs. *)
+        ignore (initiator_local_flush m ~from ~has_remote_targets:false info);
+        let cfds = run_remote () in
+        Smp.wait_for_acks m ~from cfds ()
+      end;
+      if opts.Opts.freebsd_protocol then Rwsem.up_write m.Machine.ipi_mutex;
+      Checker.end_invalidation m.Machine.checker token;
+      tracef m ~cpu:from "shootdown complete"
+    end
+  end
+
+let make_info m ~mm ~start_vpn ~pages ~stride ~freed_tables ~new_tlb_gen =
+  if pages > m.Machine.opts.Opts.full_flush_threshold then
+    Flush_info.full ~mm_id:(Mm_struct.id mm) ~freed_tables ~new_tlb_gen ()
+  else
+    Flush_info.ranged ~mm_id:(Mm_struct.id mm) ~start_vpn ~pages ~stride ~freed_tables
+      ~new_tlb_gen ()
+
+let flush_tlb_mm_range m ~from ~mm ~start_vpn ~pages ?(stride = Tlb.Four_k)
+    ?(freed_tables = false) () =
+  let opts = m.Machine.opts and stats = m.Machine.stats in
+  let pcpu = Machine.percpu m from in
+  (* Bump the generation: one atomic RMW on the mm's shared line. *)
+  Machine.charge_atomic m (Mm_struct.line mm) ~by:from;
+  let new_tlb_gen = Mm_struct.bump_tlb_gen mm in
+  let info = make_info m ~mm ~start_vpn ~pages ~stride ~freed_tables ~new_tlb_gen in
+  let token = Checker.begin_invalidation m.Machine.checker info in
+  if opts.Opts.userspace_batching && pcpu.Percpu.batched_mode && not freed_tables then begin
+    (* §4.2: defer the flush to the mmap_sem-release barrier. Flushes that
+       free page tables are never deferred: the tables must be gone from
+       every TLB before their pages are recycled. Only batch_slots (4)
+       flush_tlb_info records exist; when they are full the accumulated
+       batch is flushed eagerly — deferral is bounded, which is why the
+       paper sees at most ~1.18x from batching, not a flush amnesty. *)
+    stats.Machine.batched_deferrals <- stats.Machine.batched_deferrals + 1;
+    if List.length pcpu.Percpu.batch >= opts.Opts.batch_slots then begin
+      pcpu.Percpu.batch_overflowed <- true;
+      let overflow = List.rev pcpu.Percpu.batch in
+      pcpu.Percpu.batch <- [];
+      List.iter (fun (i, tok) -> perform m ~from ~mm i tok) overflow
+    end;
+    pcpu.Percpu.batch <- (info, token) :: pcpu.Percpu.batch
+  end
+  else perform m ~from ~mm info token
+
+let flush_tlb_page m ~from ~mm ~vpn =
+  flush_tlb_mm_range m ~from ~mm ~start_vpn:vpn ~pages:1 ()
+
+let flush_tlb_page_cow m ~from ~mm ~vpn ~executable =
+  let opts = m.Machine.opts and costs = m.Machine.costs and stats = m.Machine.stats in
+  (* The instruction TLB is not affected by data accesses, so the trick is
+     unusable for executable mappings (§4.1). *)
+  if not (opts.Opts.cow_avoid_flush && not executable) then
+    flush_tlb_page m ~from ~mm ~vpn
+  else begin
+    Machine.charge_atomic m (Mm_struct.line mm) ~by:from;
+    let new_tlb_gen = Mm_struct.bump_tlb_gen mm in
+    let info =
+      Flush_info.ranged ~mm_id:(Mm_struct.id mm) ~start_vpn:vpn ~pages:1 ~new_tlb_gen ()
+    in
+    let token = Checker.begin_invalidation m.Machine.checker info in
+    (* Local "flush": one atomic write to the page. The write-protected old
+       PTE cannot be used for a store, so the access walks the tables,
+       evicting the stale translation and caching the fresh one — without
+       INVLPG's paging-structure-cache invalidation. *)
+    let pcpu = Machine.percpu m from in
+    let tlb = Cpu.tlb (Machine.cpu m from) in
+    Machine.delay m costs.Costs.atomic_op;
+    Tlb.drop tlb ~pcid:(Percpu.kernel_pcid pcpu.Percpu.curr_asid) ~vpn;
+    if opts.Opts.safe then Tlb.drop tlb ~pcid:(Percpu.user_pcid pcpu.Percpu.curr_asid) ~vpn;
+    let slot = pcpu.Percpu.asids.(pcpu.Percpu.curr_asid) in
+    if slot.Percpu.slot_mm = Mm_struct.id mm && slot.Percpu.gen_seen = new_tlb_gen - 1 then
+      slot.Percpu.gen_seen <- new_tlb_gen;
+    stats.Machine.cow_flush_avoided <- stats.Machine.cow_flush_avoided + 1;
+    tracef m ~cpu:from "CoW: avoided local flush for vpn %d" vpn;
+    (* Remote CPUs sharing the mapping still need the shootdown. *)
+    let targets = select_targets m ~from ~mm info in
+    if targets = [] then Checker.end_invalidation m.Machine.checker token
+    else begin
+      stats.Machine.shootdowns <- stats.Machine.shootdowns + 1;
+      let early_ack = opts.Opts.early_ack in
+      let cfds = Smp.enqueue_work m ~from ~targets ~info ~early_ack in
+      Smp.send_ipis m ~from ~targets ~handler:(fun cpu ->
+          ipi_handler m ~me:(Cpu.id cpu) cpu);
+      Smp.wait_for_acks m ~from cfds ();
+      Checker.end_invalidation m.Machine.checker token
+    end
+  end
+
+let flush_tlb_mm m ~from ~mm =
+  let new_tlb_gen =
+    (Machine.charge_atomic m (Mm_struct.line mm) ~by:from;
+     Mm_struct.bump_tlb_gen mm)
+  in
+  let info = Flush_info.full ~mm_id:(Mm_struct.id mm) ~new_tlb_gen () in
+  let token = Checker.begin_invalidation m.Machine.checker info in
+  perform m ~from ~mm info token
+
+let flush_batched m ~from ~mm =
+  let pcpu = Machine.percpu m from in
+  let batch = List.rev pcpu.Percpu.batch in
+  pcpu.Percpu.batch <- [];
+  pcpu.Percpu.batch_overflowed <- false;
+  (* Leave batched mode before flushing so nothing re-defers. *)
+  pcpu.Percpu.batched_mode <- false;
+  List.iter (fun (info, token) -> perform m ~from ~mm info token) batch
+
+let nmi_uaccess_okay m ~cpu =
+  let pcpu = Machine.percpu m cpu in
+  Option.is_some pcpu.Percpu.loaded_mm
+  && (not pcpu.Percpu.inflight_flush)
+  && Queue.is_empty pcpu.Percpu.csq
+  && pcpu.Percpu.pending_user = Percpu.No_flush
+
+let check_and_sync_tlb m ~cpu =
+  let pcpu = Machine.percpu m cpu in
+  match pcpu.Percpu.loaded_mm with
+  | None -> ()
+  | Some mm ->
+      Machine.charge_read m (Mm_struct.line mm) ~by:cpu;
+      let slot = pcpu.Percpu.asids.(pcpu.Percpu.curr_asid) in
+      if slot.Percpu.slot_mm = Mm_struct.id mm
+         && slot.Percpu.gen_seen < Mm_struct.tlb_gen mm
+      then begin
+        local_full_flush m ~cpu pcpu;
+        slot.Percpu.gen_seen <- Mm_struct.tlb_gen mm;
+        tracef m ~cpu "sync: full flush to gen %d" slot.Percpu.gen_seen
+      end

@@ -1,0 +1,89 @@
+let tlb_shootdown_vector = 0xf6  (* CALL_FUNCTION_SINGLE_VECTOR-ish *)
+
+let read_remote_tlb_state m ~from ~target =
+  let pcpu = Machine.percpu m target in
+  (* Consolidated layout (§3.3): the lazy/batched flags live on the same
+     line as the call-queue head, which the initiator is about to write
+     anyway; baseline pulls a separate tlb_state line. *)
+  let line =
+    if m.Machine.opts.Opts.cacheline_consolidation then pcpu.Percpu.line_csq
+    else pcpu.Percpu.line_tlb
+  in
+  Machine.charge_read m line ~by:from
+
+let enqueue_work m ~from ~targets ~info ~early_ack =
+  let me = Machine.percpu m from in
+  let consolidated = m.Machine.opts.Opts.cacheline_consolidation in
+  (* Baseline keeps flush_tlb_info on the initiator's stack and points every
+     CSD at it: one extra shared line written here and read by every
+     responder. *)
+  if not consolidated then
+    Machine.charge_write m me.Percpu.line_stack_info ~by:from;
+  List.map
+    (fun target ->
+      let pcpu = Machine.percpu m target in
+      let cfd =
+        {
+          Percpu.cfd_initiator = from;
+          cfd_info = info;
+          cfd_early_ack = early_ack;
+          cfd_acked = false;
+          cfd_executed = false;
+          cfd_line = me.Percpu.csd_lines.(target);
+          cfd_info_line = (if consolidated then None else Some me.Percpu.line_stack_info);
+        }
+      in
+      Machine.charge_write m cfd.Percpu.cfd_line ~by:from;
+      Machine.charge_write m pcpu.Percpu.line_csq ~by:from;
+      Queue.push cfd pcpu.Percpu.csq;
+      cfd)
+    targets
+
+let send_ipis m ~from ~targets ~handler =
+  let make_irq _target =
+    { Cpu.vector = tlb_shootdown_vector; maskable = true; handler }
+  in
+  let send_cost = Apic.send_ipi m.Machine.apic ~from ~targets ~make_irq in
+  Machine.delay m send_cost
+
+let drain_queue m ~me ~run =
+  let pcpu = Machine.percpu m me in
+  Machine.charge_read m pcpu.Percpu.line_csq ~by:me;
+  while not (Queue.is_empty pcpu.Percpu.csq) do
+    let cfd = Queue.pop pcpu.Percpu.csq in
+    Machine.charge_read m cfd.Percpu.cfd_line ~by:me;
+    (match cfd.Percpu.cfd_info_line with
+    | Some line ->
+        Machine.charge_read m line ~by:me;
+        (* The baseline keeps flush_tlb_info on the initiator's stack,
+           which is 4 KiB-mapped — unlike the 2 MiB-mapped per-cpu/global
+           data — so touching it costs a page walk the consolidated layout
+           avoids (§3.3 item 2). *)
+        Machine.delay m m.Machine.costs.Costs.page_walk
+    | None -> ());
+    run cfd
+  done
+
+let ack m ~me cfd =
+  if not cfd.Percpu.cfd_acked then begin
+    cfd.Percpu.cfd_acked <- true;
+    Machine.charge_write m cfd.Percpu.cfd_line ~by:me
+  end
+
+let wait_for_acks m ~from cfds ?(while_waiting = fun () -> ()) () =
+  let cpu = Machine.cpu m from in
+  let all_acked () = List.for_all (fun c -> c.Percpu.cfd_acked) cfds in
+  (* Spin with IRQ servicing; between polls give the §3.4 interplay a
+     chance to flush user PTEs in the otherwise-dead time. *)
+  let rec loop () =
+    if not (all_acked ()) then begin
+      while_waiting ();
+      if not (all_acked ()) then begin
+        Cpu.poll cpu;
+        loop ()
+      end
+    end
+  in
+  loop ();
+  (* Observing each ack pulls the responder-written CSD line back. *)
+  List.iter (fun c -> Machine.charge_read m c.Percpu.cfd_line ~by:from) cfds

@@ -1,0 +1,45 @@
+(** The SMP function-call layer: call-single queues, call-function data and
+    acknowledgements, with every cacheline access priced.
+
+    This is the mechanism layer of the shootdown ({!Shootdown} is the
+    policy): enqueueing work to remote CPUs, sending the multicast IPI,
+    draining the queue on the responder, and spinning for acks on the
+    initiator. Which lines are touched depends on
+    [opts.cacheline_consolidation] (§3.3): the consolidated layout inlines
+    the flush info in the CSD and colocates the lazy flag with the queue
+    head. *)
+
+(** Read the "is this CPU lazy / in a batched syscall" state of [target]
+    from [from]: one cacheline read whose identity depends on the layout. *)
+val read_remote_tlb_state : Machine.t -> from:int -> target:int -> unit
+
+(** Build and enqueue one CFD per target (pays the CSD writes, the info
+    write under the baseline layout, and the queue-head writes), returning
+    the CFDs in target order. Does not send IPIs. *)
+val enqueue_work :
+  Machine.t ->
+  from:int ->
+  targets:int list ->
+  info:Flush_info.t ->
+  early_ack:bool ->
+  Percpu.cfd list
+
+(** Send the shootdown vector to [targets]; [handler] runs on each target
+    when it services the IPI. Pays the sender's ICR-write cost inline. *)
+val send_ipis :
+  Machine.t -> from:int -> targets:int list -> handler:(Cpu.t -> unit) -> unit
+
+(** Responder: drain this CPU's call queue, paying the queue and CFD/info
+    line reads, invoking [run] on each CFD in FIFO order. *)
+val drain_queue : Machine.t -> me:int -> run:(Percpu.cfd -> unit) -> unit
+
+(** Responder: flip the CFD's ack flag (one line write). Idempotent. *)
+val ack : Machine.t -> me:int -> Percpu.cfd -> unit
+
+(** Initiator: spin until every CFD is acked, servicing our own IRQs while
+    spinning. [while_waiting] is called between polls while at least one ack
+    is outstanding (used by the in-context/concurrent interplay of §3.4);
+    it must be cheap or advance time itself. Pays one read per CFD to
+    observe the acks. *)
+val wait_for_acks :
+  Machine.t -> from:int -> Percpu.cfd list -> ?while_waiting:(unit -> unit) -> unit -> unit

@@ -1,0 +1,294 @@
+(* PTE changes become visible before the flush API is even called; stale
+   hits in that window are legal ("in flight"). Wrap every modify-then-
+   flush sequence so the checker knows. The inner windows opened by the
+   flush itself (and kept open by batching deferral) take over from here. *)
+let with_invalidation_window m ~mm ~start_vpn ~pages f =
+  let info =
+    Flush_info.ranged ~mm_id:(Mm_struct.id mm) ~start_vpn ~pages
+      ~new_tlb_gen:(Mm_struct.tlb_gen mm) ()
+  in
+  let token = Checker.begin_invalidation m.Machine.checker info in
+  Fun.protect ~finally:(fun () -> Checker.end_invalidation m.Machine.checker token) f
+
+let current_mm m ~cpu =
+  match (Machine.percpu m cpu).Percpu.loaded_mm with
+  | Some mm -> mm
+  | None -> invalid_arg "Syscall: no address space loaded on this CPU"
+
+(* Kernel entry/exit bracket. The exit path performs the deferred
+   user-PCID flush (§3.4) right before the return-to-user CR3 switch. *)
+let in_syscall m ~cpu f =
+  let costs = m.Machine.costs and safe = m.Machine.opts.Opts.safe in
+  Cpu.set_in_user (Machine.cpu m cpu) false;
+  Machine.delay m (Costs.syscall_entry costs ~safe);
+  Fun.protect
+    ~finally:(fun () ->
+      Machine.delay m (Costs.syscall_exit costs ~safe);
+      Shootdown.return_to_user m ~cpu ~has_stack:true)
+    f
+
+(* Every removed PTE drops its frame reference: privately owned frames
+   (anonymous, broken-CoW copies, at refcount 1) are released outright;
+   shared frames (page cache, COW-shared after fork) survive on their
+   remaining references. *)
+let private_frames removed ~vma_of =
+  List.filter_map
+    (fun (vpn, (pte : Pte.t), size) ->
+      match vma_of vpn with None -> None | Some _ -> Some (pte.Pte.pfn, size))
+    removed
+
+let free_frames mm frames_to_free =
+  let frames = Mm_struct.frames mm in
+  List.iter
+    (fun (pfn, size) ->
+      match size with
+      | Tlb.Four_k -> Frame_alloc.free frames pfn
+      | Tlb.Two_m -> Frame_alloc.free_huge frames pfn)
+    frames_to_free
+
+(* Flush geometry for a range: hugepage VMAs flush one entry per 2 MiB
+   (the flush_tlb_info "stride shift"), everything else per 4 KiB page. *)
+let stride_of mm ~vpn =
+  match Mm_struct.find_vma mm ~vpn with
+  | Some { Vma.page_size = Tlb.Two_m; _ } -> Tlb.Two_m
+  | Some _ | None -> Tlb.Four_k
+
+let flush_entries ~stride ~pages =
+  match stride with
+  | Tlb.Four_k -> pages
+  | Tlb.Two_m -> (pages + Addr.pages_per_huge - 1) / Addr.pages_per_huge
+
+(* Bracket for batching-eligible syscalls: mmap_sem, batched mode, the
+   release-time flush of deferred shootdowns, deferred frame frees, and the
+   exit-side generation barrier. *)
+let in_batched_section m ~cpu ~mm ~write_sem f =
+  let pcpu = Machine.percpu m cpu in
+  let sem = Mm_struct.mmap_sem mm in
+  let lock, unlock =
+    if write_sem then (Rwsem.down_write, Rwsem.up_write)
+    else (Rwsem.down_read, Rwsem.up_read)
+  in
+  Machine.delay m m.Machine.costs.Costs.lock_uncontended;
+  lock sem;
+  if m.Machine.opts.Opts.userspace_batching then pcpu.Percpu.batched_mode <- true;
+  let to_free =
+    Fun.protect
+      ~finally:(fun () ->
+        (* Order matters: leave batched mode and flush the deferred
+           shootdowns before anyone can observe the released semaphore,
+           then free frames only after every TLB has let go of them. *)
+        Shootdown.flush_batched m ~from:cpu ~mm;
+        pcpu.Percpu.batched_mode <- false;
+        unlock sem)
+      (fun () ->
+        let to_free = f () in
+        Shootdown.flush_batched m ~from:cpu ~mm;
+        pcpu.Percpu.batched_mode <- false;
+        free_frames mm to_free;
+        [])
+  in
+  ignore to_free;
+  (* The §4.2 barrier: initiators may have skipped us while batched. *)
+  Shootdown.check_and_sync_tlb m ~cpu
+
+let mmap m ~cpu ~pages ?(writable = true) ?(executable = false) ?backing
+    ?(page_size = Tlb.Four_k) () =
+  in_syscall m ~cpu (fun () ->
+      let mm = current_mm m ~cpu in
+      Rwsem.with_write (Mm_struct.mmap_sem mm) (fun () ->
+          Machine.delay m m.Machine.costs.Costs.vma_op;
+          let align = Addr.pages_of_size page_size in
+          let start_vpn = Mm_struct.alloc_va_range mm ~align ~pages () in
+          let vma =
+            match backing with
+            | Some backing ->
+                Vma.make ~start_vpn ~pages ~writable ~executable ~backing ~page_size ()
+            | None -> Vma.make ~start_vpn ~pages ~writable ~executable ~page_size ()
+          in
+          Mm_struct.add_vma mm vma;
+          Addr.addr_of_vpn start_vpn))
+
+let munmap m ~cpu ~addr ~pages =
+  in_syscall m ~cpu (fun () ->
+      let mm = current_mm m ~cpu in
+      let vpn = Addr.vpn_of_addr addr in
+      in_batched_section m ~cpu ~mm ~write_sem:true (fun () ->
+          with_invalidation_window m ~mm ~start_vpn:vpn ~pages (fun () ->
+              let stride = stride_of mm ~vpn in
+              Machine.delay m m.Machine.costs.Costs.vma_op;
+              let removed_vmas = Mm_struct.remove_vma_range mm ~vpn ~pages in
+              let r =
+                Page_table.unmap_range (Mm_struct.page_table mm) ~vpn ~pages
+                  ~free_tables:true ()
+              in
+              Machine.delay m
+                (m.Machine.costs.Costs.zap_pte * List.length r.Page_table.removed);
+              let vma_of v =
+                List.find_opt (fun vma -> Vma.contains vma ~vpn:v) removed_vmas
+              in
+              let to_free = private_frames r.Page_table.removed ~vma_of in
+              (* Linux batches the whole munmap range into one flush; freed
+                 page tables disable early ack and batching deferral. *)
+              if r.Page_table.removed <> [] || r.Page_table.freed_tables then
+                Shootdown.flush_tlb_mm_range m ~from:cpu ~mm ~start_vpn:vpn
+                  ~pages:(flush_entries ~stride ~pages)
+                  ~stride ~freed_tables:r.Page_table.freed_tables ();
+              to_free)))
+
+let madvise_dontneed m ~cpu ~addr ~pages =
+  in_syscall m ~cpu (fun () ->
+      let mm = current_mm m ~cpu in
+      let vpn = Addr.vpn_of_addr addr in
+      in_batched_section m ~cpu ~mm ~write_sem:false (fun () ->
+          with_invalidation_window m ~mm ~start_vpn:vpn ~pages (fun () ->
+              let stride = stride_of mm ~vpn in
+              let r =
+                Page_table.unmap_range (Mm_struct.page_table mm) ~vpn ~pages
+                  ~free_tables:false ()
+              in
+              Machine.delay m
+                (m.Machine.costs.Costs.zap_pte * Stdlib.max 1 (List.length r.Page_table.removed));
+              let vma_of v = Mm_struct.find_vma mm ~vpn:v in
+              let to_free = private_frames r.Page_table.removed ~vma_of in
+              if r.Page_table.removed <> [] then
+                Shootdown.flush_tlb_mm_range m ~from:cpu ~mm ~start_vpn:vpn
+                  ~pages:(flush_entries ~stride ~pages)
+                  ~stride ();
+              to_free)))
+
+let mprotect m ~cpu ~addr ~pages ~writable =
+  in_syscall m ~cpu (fun () ->
+      let mm = current_mm m ~cpu in
+      let vpn = Addr.vpn_of_addr addr in
+      Rwsem.with_write (Mm_struct.mmap_sem mm) (fun () ->
+          with_invalidation_window m ~mm ~start_vpn:vpn ~pages (fun () ->
+              Machine.delay m m.Machine.costs.Costs.vma_op;
+              (* Split and re-add the covered VMA pieces with the new mode. *)
+              let removed = Mm_struct.remove_vma_range mm ~vpn ~pages in
+              List.iter
+                (fun vma -> Mm_struct.add_vma mm { vma with Vma.writable })
+                removed;
+              let pt = Mm_struct.page_table mm in
+              let changed = ref 0 in
+              for v = vpn to vpn + pages - 1 do
+                Machine.delay m m.Machine.costs.Costs.zap_pte;
+                match
+                  Page_table.update pt ~vpn:v ~f:(fun pte ->
+                      if writable then { pte with Pte.writable = not pte.Pte.cow }
+                      else Pte.write_protect pte)
+                with
+                | Some _ -> incr changed
+                | None -> ()
+              done;
+              if !changed > 0 then
+                Shootdown.flush_tlb_mm_range m ~from:cpu ~mm ~start_vpn:vpn ~pages ())))
+
+let mremap m ~cpu ~addr ~pages =
+  in_syscall m ~cpu (fun () ->
+      let mm = current_mm m ~cpu in
+      let vpn = Addr.vpn_of_addr addr in
+      Rwsem.with_write (Mm_struct.mmap_sem mm) (fun () ->
+          with_invalidation_window m ~mm ~start_vpn:vpn ~pages (fun () ->
+              let stride = stride_of mm ~vpn in
+              Machine.delay m (2 * m.Machine.costs.Costs.vma_op);
+              let removed_vmas = Mm_struct.remove_vma_range mm ~vpn ~pages in
+              let align = Addr.pages_of_size stride in
+              let new_vpn = Mm_struct.alloc_va_range mm ~align ~pages () in
+              let rebase v = new_vpn + (v - vpn) in
+              List.iter
+                (fun vma ->
+                  Mm_struct.add_vma mm
+                    { vma with Vma.start_vpn = rebase vma.Vma.start_vpn })
+                removed_vmas;
+              (* Move live PTEs: the frame references move with them. *)
+              let pt = Mm_struct.page_table mm in
+              let r = Page_table.unmap_range pt ~vpn ~pages ~free_tables:true () in
+              Machine.delay m
+                (m.Machine.costs.Costs.zap_pte * List.length r.Page_table.removed);
+              List.iter
+                (fun (old_vpn, pte, size) ->
+                  Page_table.map pt ~vpn:(rebase old_vpn) ~size pte)
+                r.Page_table.removed;
+              (* The old translations must die everywhere before anything
+                 reuses the old range; tables were freed, so no early ack. *)
+              if r.Page_table.removed <> [] || r.Page_table.freed_tables then
+                Shootdown.flush_tlb_mm_range m ~from:cpu ~mm ~start_vpn:vpn
+                  ~pages:(flush_entries ~stride ~pages)
+                  ~stride ~freed_tables:r.Page_table.freed_tables ();
+              Addr.addr_of_vpn new_vpn)))
+
+(* Write back one dirty file page mapped at [vpn]: write-protect + clean
+   the PTE, flush (possibly deferred into the §4.2 batch), then do the IO.
+   Pages already cleaned — concurrently, by another syncer — are skipped,
+   and a flush is only issued when the PTE actually changed, mirroring
+   clear_page_dirty_for_io. *)
+let writeback_page m ~cpu ~mm ~file ~index ~vpn =
+  if File.is_dirty file ~index then begin
+    let pt = Mm_struct.page_table mm in
+    let owned = ref true in
+    with_invalidation_window m ~mm ~start_vpn:vpn ~pages:1 (fun () ->
+        match
+          Page_table.update pt ~vpn ~f:(fun pte -> Pte.clean (Pte.write_protect pte))
+        with
+        | Some (old, _) when old.Pte.writable || old.Pte.dirty ->
+            Shootdown.flush_tlb_page m ~from:cpu ~mm ~vpn
+        | Some _ ->
+            (* Clean and protected already: a concurrent writeback owns this
+               page and will complete the IO. *)
+            owned := false
+        | None ->
+            (* Dirty data without a live mapping (e.g. unmapped since):
+               just write it out. *)
+            ());
+    if !owned then begin
+      Machine.delay m m.Machine.costs.Costs.io_page;
+      File.clear_dirty file ~index
+    end
+  end
+
+let msync m ~cpu ~addr ~pages =
+  in_syscall m ~cpu (fun () ->
+      let mm = current_mm m ~cpu in
+      let vpn = Addr.vpn_of_addr addr in
+      in_batched_section m ~cpu ~mm ~write_sem:false (fun () ->
+          (match Mm_struct.find_vma mm ~vpn with
+          | Some ({ Vma.backing = Vma.File_shared { file; offset }; _ } as vma) ->
+              let first = offset + (vpn - vma.Vma.start_vpn) in
+              let dirty = File.dirty_in_range file ~index:first ~count:pages in
+              List.iter
+                (fun index ->
+                  let page_vpn = vma.Vma.start_vpn + (index - offset) in
+                  writeback_page m ~cpu ~mm ~file ~index ~vpn:page_vpn)
+                dirty
+          | Some _ | None -> ());
+          []))
+
+let fdatasync m ~cpu ~file =
+  in_syscall m ~cpu (fun () ->
+      let mm = current_mm m ~cpu in
+      (* Find a shared mapping of the file in this address space. *)
+      let mapping =
+        List.find_opt
+          (fun vma ->
+            match vma.Vma.backing with
+            | Vma.File_shared { file = f; _ } -> f == file
+            | Vma.File_private _ | Vma.Anonymous -> false)
+          (Vma.Set.to_list (Mm_struct.vmas mm))
+      in
+      match mapping with
+      | None -> ()
+      | Some ({ Vma.backing = Vma.File_shared { offset; _ }; _ } as vma) ->
+          (* Journal commit and writeback-machinery work independent of the
+             dirty count. *)
+          Machine.delay m m.Machine.costs.Costs.fsync_fixed;
+          in_batched_section m ~cpu ~mm ~write_sem:false (fun () ->
+              let dirty = File.dirty_in_range file ~index:offset ~count:vma.Vma.pages in
+              List.iter
+                (fun index ->
+                  let page_vpn = vma.Vma.start_vpn + (index - offset) in
+                  writeback_page m ~cpu ~mm ~file ~index ~vpn:page_vpn)
+                dirty;
+              [])
+      | Some _ -> ())
+
+let null m ~cpu = in_syscall m ~cpu (fun () -> ())

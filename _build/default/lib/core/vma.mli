@@ -1,0 +1,54 @@
+(** Virtual memory areas and the per-address-space VMA set.
+
+    A simplified mmap layer: VMAs are non-overlapping page ranges with
+    permissions and a backing (anonymous, or a file mapped shared or
+    private). Removal splits partially covered VMAs, as munmap does. *)
+
+type backing =
+  | Anonymous
+  | File_shared of { file : File.t; offset : int }  (** page offset in file *)
+  | File_private of { file : File.t; offset : int }  (** copy-on-write *)
+
+type t = {
+  start_vpn : int;
+  pages : int;  (** always in 4 KiB units, even for hugepage VMAs *)
+  writable : bool;
+  executable : bool;
+  backing : backing;
+  page_size : Tlb.page_size;  (** [Two_m]: faults install 2 MiB mappings *)
+}
+
+(** For [page_size = Two_m], [start_vpn] and [pages] must be 2 MiB-aligned
+    (anonymous backing only). *)
+val make :
+  start_vpn:int -> pages:int -> ?writable:bool -> ?executable:bool ->
+  ?backing:backing -> ?page_size:Tlb.page_size -> unit -> t
+
+val end_vpn : t -> int
+val contains : t -> vpn:int -> bool
+
+(** Backing file page index for [vpn], if file-backed. *)
+val file_page : t -> vpn:int -> (File.t * int) option
+
+module Set : sig
+  type set
+
+  val empty : set
+  val cardinal : set -> int
+
+  (** Insert; raises [Invalid_argument] on overlap with an existing VMA. *)
+  val add : set -> t -> set
+
+  (** VMA covering [vpn]. *)
+  val find : set -> vpn:int -> t option
+
+  (** Remove \[vpn, vpn+pages), splitting boundary VMAs. Returns the new set
+      and the removed pieces (clipped to the range). *)
+  val remove_range : set -> vpn:int -> pages:int -> set * t list
+
+  (** Does \[vpn, vpn+pages) overlap any VMA? *)
+  val overlaps : set -> vpn:int -> pages:int -> bool
+
+  val iter : set -> f:(t -> unit) -> unit
+  val to_list : set -> t list
+end

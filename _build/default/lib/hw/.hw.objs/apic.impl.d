@@ -1,0 +1,1 @@
+lib/hw/apic.ml: Array Costs Cpu Engine List Topology

@@ -1,0 +1,1 @@
+lib/hw/apic.mli: Costs Cpu Engine Topology

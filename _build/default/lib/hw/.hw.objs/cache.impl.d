@@ -1,0 +1,1 @@
+lib/hw/cache.ml: Costs Format Int List Option Set Topology

@@ -1,0 +1,1 @@
+lib/hw/cache.mli: Costs Format Topology

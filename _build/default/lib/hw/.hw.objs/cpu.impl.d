@@ -1,0 +1,1 @@
+lib/hw/cpu.ml: Costs Engine Fun Printf Process Queue Stdlib Tlb Topology Waitq

@@ -1,0 +1,1 @@
+lib/hw/tlb.ml: Format Hashtbl List Option Queue

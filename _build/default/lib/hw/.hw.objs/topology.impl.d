@@ -1,0 +1,1 @@
+lib/hw/topology.ml: Format Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/hw/topology.mli: Format

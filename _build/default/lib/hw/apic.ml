@@ -1,0 +1,45 @@
+type t = {
+  eng : Engine.t;
+  topo : Topology.t;
+  cost : Costs.t;
+  cpus : Cpu.t array;
+  mutable n_ipis : int;
+  mutable n_icr : int;
+}
+
+let create eng topo cost ~cpus =
+  if Array.length cpus <> Topology.n_cpus topo then
+    invalid_arg "Apic.create: cpu array does not match topology";
+  { eng; topo; cost; cpus; n_ipis = 0; n_icr = 0 }
+
+let send_ipi t ~from ~targets ~make_irq =
+  List.iter
+    (fun target ->
+      if target = from then invalid_arg "Apic.send_ipi: self-IPI not supported")
+    targets;
+  let clusters = Topology.clusters_of_targets t.topo targets in
+  t.n_icr <- t.n_icr + List.length clusters;
+  let send_cost = ref 0 in
+  List.iter
+    (fun (_cluster, members) ->
+      (* Each ICR write happens after the previous one; targets of later
+         clusters see correspondingly later delivery. *)
+      send_cost := !send_cost + t.cost.icr_write;
+      let offset = !send_cost in
+      List.iter
+        (fun target ->
+          t.n_ipis <- t.n_ipis + 1;
+          let latency = Costs.ipi_latency t.cost (Topology.distance t.topo from target) in
+          let irq = make_irq target in
+          Engine.schedule t.eng ~delay:(offset + latency) (fun () ->
+              Cpu.post_irq t.cpus.(target) irq))
+        members)
+    clusters;
+  !send_cost
+
+let ipis_sent t = t.n_ipis
+let icr_writes t = t.n_icr
+
+let reset_stats t =
+  t.n_ipis <- 0;
+  t.n_icr <- 0

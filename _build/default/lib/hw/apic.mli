@@ -1,0 +1,30 @@
+(** x2APIC in cluster mode: unicast and multicast IPIs.
+
+    Multicast IPIs reach a subset of one 16-CPU cluster per ICR write, so a
+    shootdown spanning several clusters pays one ICR write each (paper §2.2).
+    Delivery latency is priced by topological distance; handlers start when
+    the target CPU next services interrupts. *)
+
+type t
+
+val create : Engine.t -> Topology.t -> Costs.t -> cpus:Cpu.t array -> t
+
+(** [send_ipi t ~from ~targets ~make_irq] posts [make_irq target] to every
+    target CPU after per-target delivery latency, and returns the cycle cost
+    the {e sender} pays (one ICR write per cluster touched). The caller — a
+    process on CPU [from] — must delay by the returned cost. Self-IPIs are
+    rejected. *)
+val send_ipi :
+  t ->
+  from:Topology.cpu_id ->
+  targets:Topology.cpu_id list ->
+  make_irq:(Topology.cpu_id -> Cpu.irq) ->
+  int
+
+(** Total IPIs delivered (one per target). *)
+val ipis_sent : t -> int
+
+(** Total ICR writes (multicast efficiency metric). *)
+val icr_writes : t -> int
+
+val reset_stats : t -> unit

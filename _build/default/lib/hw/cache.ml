@@ -1,0 +1,190 @@
+module Int_set = Set.Make (Int)
+
+type totals = {
+  reads : int;
+  writes : int;
+  local_hits : int;
+  smt_transfers : int;
+  same_socket_transfers : int;
+  cross_socket_transfers : int;
+  cycles : int;
+}
+
+type registry = {
+  topo : Topology.t;
+  costs : Costs.t;
+  mutable t_reads : int;
+  mutable t_writes : int;
+  mutable t_local : int;
+  mutable t_smt : int;
+  mutable t_same : int;
+  mutable t_cross : int;
+  mutable t_cycles : int;
+  mutable lines : line list;
+}
+
+and line = {
+  reg : registry;
+  line_name : string;
+  mutable owner : Topology.cpu_id option;  (* last writer *)
+  mutable sharers : Int_set.t;
+  mutable n_accesses : int;
+  mutable n_transfers : int;
+}
+
+let create_registry topo costs =
+  {
+    topo;
+    costs;
+    t_reads = 0;
+    t_writes = 0;
+    t_local = 0;
+    t_smt = 0;
+    t_same = 0;
+    t_cross = 0;
+    t_cycles = 0;
+    lines = [];
+  }
+
+let create_line reg ~name =
+  let l =
+    { reg; line_name = name; owner = None; sharers = Int_set.empty; n_accesses = 0; n_transfers = 0 }
+  in
+  reg.lines <- l :: reg.lines;
+  l
+
+let name l = l.line_name
+
+let record l (d : Topology.distance) cost =
+  let reg = l.reg in
+  l.n_accesses <- l.n_accesses + 1;
+  reg.t_cycles <- reg.t_cycles + cost;
+  match d with
+  | Self -> reg.t_local <- reg.t_local + 1
+  | Smt_sibling ->
+      l.n_transfers <- l.n_transfers + 1;
+      reg.t_smt <- reg.t_smt + 1
+  | Same_socket ->
+      l.n_transfers <- l.n_transfers + 1;
+      reg.t_same <- reg.t_same + 1
+  | Cross_socket ->
+      l.n_transfers <- l.n_transfers + 1;
+      reg.t_cross <- reg.t_cross + 1
+
+let distance_rank = function
+  | Topology.Self -> 0
+  | Topology.Smt_sibling -> 1
+  | Topology.Same_socket -> 2
+  | Topology.Cross_socket -> 3
+
+let holders l ~by =
+  let hs =
+    match l.owner with
+    | Some o -> Int_set.add o l.sharers
+    | None -> l.sharers
+  in
+  Int_set.remove by hs
+
+let extreme_holder l ~by ~pick =
+  Int_set.fold
+    (fun cpu acc ->
+      let d = Topology.distance l.reg.topo by cpu in
+      match acc with None -> Some d | Some best -> Some (pick best d))
+    (holders l ~by) None
+
+(* A write must invalidate every sharer: priced by the farthest one. *)
+let farthest_holder l ~by =
+  extreme_holder l ~by ~pick:(fun a b -> if distance_rank a >= distance_rank b then a else b)
+
+(* A read fetches from the closest copy. *)
+let nearest_holder l ~by =
+  extreme_holder l ~by ~pick:(fun a b -> if distance_rank a <= distance_rank b then a else b)
+
+let read l ~by =
+  let reg = l.reg in
+  reg.t_reads <- reg.t_reads + 1;
+  if Int_set.mem by l.sharers || l.owner = Some by then begin
+    record l Self reg.costs.line_local;
+    l.sharers <- Int_set.add by l.sharers;
+    reg.costs.line_local
+  end
+  else begin
+    let d = Option.value (nearest_holder l ~by) ~default:Topology.Self in
+    let cost = Costs.line_transfer reg.costs d in
+    record l d cost;
+    l.sharers <- Int_set.add by l.sharers;
+    cost
+  end
+
+(* Stores retire through the store buffer: the writer does not stall for
+   the ownership transfer (the RFO completes asynchronously), so the
+   writer's visible cost is local. The invalidation still moves ownership
+   — the *next reader* pays the transfer — and is recorded as coherence
+   traffic by distance. Atomics, by contrast, stall for the line. *)
+let write l ~by =
+  let reg = l.reg in
+  reg.t_writes <- reg.t_writes + 1;
+  let d =
+    let exclusive =
+      l.owner = Some by && Int_set.subset l.sharers (Int_set.singleton by)
+    in
+    if exclusive then Topology.Self
+    else Option.value (farthest_holder l ~by) ~default:Topology.Self
+  in
+  record l d reg.costs.line_local;
+  l.owner <- Some by;
+  l.sharers <- Int_set.singleton by;
+  reg.costs.line_local
+
+let stalling_write l ~by =
+  let reg = l.reg in
+  reg.t_writes <- reg.t_writes + 1;
+  let exclusive = l.owner = Some by && Int_set.subset l.sharers (Int_set.singleton by) in
+  let cost, d =
+    if exclusive then (reg.costs.line_local, Topology.Self)
+    else begin
+      match farthest_holder l ~by with
+      | None -> (reg.costs.line_local, Topology.Self)
+      | Some d -> (Costs.line_transfer reg.costs d, d)
+    end
+  in
+  record l d cost;
+  l.owner <- Some by;
+  l.sharers <- Int_set.singleton by;
+  cost
+
+let atomic l ~by = stalling_write l ~by + l.reg.costs.atomic_op
+
+let accesses l = l.n_accesses
+let line_transfers l = l.n_transfers
+
+let totals reg =
+  {
+    reads = reg.t_reads;
+    writes = reg.t_writes;
+    local_hits = reg.t_local;
+    smt_transfers = reg.t_smt;
+    same_socket_transfers = reg.t_same;
+    cross_socket_transfers = reg.t_cross;
+    cycles = reg.t_cycles;
+  }
+
+let reset_stats reg =
+  reg.t_reads <- 0;
+  reg.t_writes <- 0;
+  reg.t_local <- 0;
+  reg.t_smt <- 0;
+  reg.t_same <- 0;
+  reg.t_cross <- 0;
+  reg.t_cycles <- 0;
+  List.iter
+    (fun l ->
+      l.n_accesses <- 0;
+      l.n_transfers <- 0)
+    reg.lines
+
+let pp_totals fmt t =
+  Format.fprintf fmt
+    "reads=%d writes=%d local=%d smt=%d same-socket=%d cross-socket=%d cycles=%d"
+    t.reads t.writes t.local_hits t.smt_transfers t.same_socket_transfers
+    t.cross_socket_transfers t.cycles

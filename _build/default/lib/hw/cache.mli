@@ -1,0 +1,62 @@
+(** Cacheline coherence cost model (MESI-flavoured).
+
+    Each kernel cacheline the shootdown protocol touches is registered here.
+    Reads and writes return a cycle cost that depends on where the line's
+    current owner/sharers sit in the topology, and update ownership. The
+    cacheline-consolidation optimization (paper §3.3) manifests as fewer
+    registered lines touched per shootdown, which this module prices and
+    counts. *)
+
+type registry
+type line
+
+(** Totals accumulated across all lines of a registry. *)
+type totals = {
+  reads : int;
+  writes : int;
+  local_hits : int;
+  smt_transfers : int;
+  same_socket_transfers : int;
+  cross_socket_transfers : int;
+  cycles : int;
+}
+
+val create_registry : Topology.t -> Costs.t -> registry
+
+(** Register a named cacheline; initially unowned (first touch is a cheap
+    local fill). *)
+val create_line : registry -> name:string -> line
+
+val name : line -> string
+
+(** [read line ~by] returns the cycle cost of loading the line on CPU [by]
+    and records [by] as a sharer. A read of a line last written elsewhere
+    pays a transfer priced by distance. *)
+val read : line -> by:Topology.cpu_id -> int
+
+(** [write line ~by] makes [by] the exclusive owner. The writer's visible
+    cost is local (stores retire through the store buffer; the RFO
+    completes asynchronously) but the invalidation is recorded as coherence
+    traffic and the next remote reader pays the transfer. *)
+val write : line -> by:Topology.cpu_id -> int
+
+(** A write that stalls for ownership like an atomic does (without the
+    locked-op cost); for code that must observe the store globally ordered
+    before proceeding. *)
+val stalling_write : line -> by:Topology.cpu_id -> int
+
+(** Atomic read-modify-write: exclusive ownership plus the locked-op cost. *)
+val atomic : line -> by:Topology.cpu_id -> int
+
+(** Per-line access count (reads + writes). *)
+val accesses : line -> int
+
+(** Per-line transfer count (accesses that were not local hits). *)
+val line_transfers : line -> int
+
+val totals : registry -> totals
+
+(** Reset all counters (line ownership is kept). *)
+val reset_stats : registry -> unit
+
+val pp_totals : Format.formatter -> totals -> unit

@@ -1,0 +1,183 @@
+type t = {
+  cpu_id : Topology.cpu_id;
+  eng : Engine.t;
+  topo : Topology.t;
+  cost : Costs.t;
+  safe : bool;
+  cpu_tlb : Tlb.t;
+  mutable masked : bool;
+  pending : irq Queue.t;
+  wake : Waitq.t;
+  mutable user : bool;
+  mutable draining : bool;
+  mutable t_interrupted : int;
+  mutable t_handled : int;
+  mutable t_compute : int;
+  mutable from_user_irq : bool;
+  mutable service_depth : int;
+      (* > 0 while some process is at a service point (compute / spin /
+         idle) and will drain the queue itself. *)
+  mutable occupancy : int;
+      (* processes bound to this CPU. IRQ handlers must never interleave
+         with user-mode execution of an occupant, so detached dispatch is
+         only legal in kernel context or on an empty CPU. *)
+}
+
+and irq = { vector : int; maskable : bool; handler : t -> unit }
+
+let create eng topo cost ~id ~safe ?tlb_capacity () =
+  if id < 0 || id >= Topology.n_cpus topo then
+    invalid_arg (Printf.sprintf "Cpu.create: id %d out of range" id);
+  {
+    cpu_id = id;
+    eng;
+    topo;
+    cost;
+    safe;
+    cpu_tlb = Tlb.create ?capacity:tlb_capacity ();
+    masked = false;
+    pending = Queue.create ();
+    wake = Waitq.create eng;
+    user = true;
+    draining = false;
+    t_interrupted = 0;
+    t_handled = 0;
+    t_compute = 0;
+    from_user_irq = false;
+    service_depth = 0;
+    occupancy = 0;
+  }
+
+let id t = t.cpu_id
+let irq_from_user t = t.from_user_irq
+let tlb t = t.cpu_tlb
+let engine t = t.eng
+let costs t = t.cost
+let in_user t = t.user
+let irqs_masked t = t.masked
+let pending_irqs t = Queue.length t.pending
+let interrupted_cycles t = t.t_interrupted
+let irqs_handled t = t.t_handled
+let compute_cycles t = t.t_compute
+
+let reset_accounting t =
+  t.t_interrupted <- 0;
+  t.t_handled <- 0;
+  t.t_compute <- 0
+
+let deliverable t irq = (not irq.maskable) || not t.masked
+
+let has_deliverable t = Queue.fold (fun acc irq -> acc || deliverable t irq) false t.pending
+
+(* Run one IRQ: entry cost depends on mitigation mode and on the privilege
+   we are interrupting; handler time is charged to interrupted_cycles. *)
+let run_irq t irq =
+  let started = Engine.now t.eng in
+  let was_user = t.user in
+  let outer_from_user = t.from_user_irq in
+  t.user <- false;
+  t.from_user_irq <- was_user;
+  Process.delay t.eng (Costs.irq_entry t.cost ~safe:t.safe ~from_user:was_user);
+  irq.handler t;
+  Process.delay t.eng t.cost.irq_exit;
+  t.user <- was_user;
+  t.from_user_irq <- outer_from_user;
+  t.t_handled <- t.t_handled + 1;
+  t.t_interrupted <- t.t_interrupted + (Engine.now t.eng - started)
+
+let service_pending t =
+  if not t.draining then begin
+    t.draining <- true;
+    Fun.protect
+      ~finally:(fun () -> t.draining <- false)
+      (fun () ->
+        let deferred = Queue.create () in
+        while not (Queue.is_empty t.pending) do
+          let irq = Queue.pop t.pending in
+          if deliverable t irq then run_irq t irq else Queue.push irq deferred
+        done;
+        Queue.transfer deferred t.pending)
+  end
+
+let in_service_window t f =
+  t.service_depth <- t.service_depth + 1;
+  Fun.protect ~finally:(fun () -> t.service_depth <- t.service_depth - 1) f
+
+(* Detached dispatch: legal only when no service point will drain soon AND
+   the CPU is not executing user code (handlers exclude user-mode
+   execution; kernel code — running or blocked — may be interleaved). *)
+let maybe_dispatch t =
+  if
+    t.service_depth = 0
+    && (t.occupancy = 0 || not t.user)
+    && (not t.draining)
+    && has_deliverable t
+  then
+    Process.spawn t.eng
+      ~name:(Printf.sprintf "irq-dispatch-cpu%d" t.cpu_id)
+      (fun () -> service_pending t)
+
+let post_irq t irq =
+  Queue.push irq t.pending;
+  Waitq.signal_all t.wake;
+  maybe_dispatch t
+
+let set_in_user t b =
+  t.user <- b;
+  (* Entering the kernel unblocks detached dispatch of anything pending. *)
+  if not b then maybe_dispatch t
+
+let occupy t = t.occupancy <- t.occupancy + 1
+
+let vacate t =
+  t.occupancy <- t.occupancy - 1;
+  if t.occupancy < 0 then invalid_arg "Cpu.vacate: not occupied";
+  maybe_dispatch t
+
+let irq_disable t = t.masked <- true
+
+let quiesce_and_mask t =
+  t.masked <- true;
+  while t.draining do
+    Process.delay t.eng t.cost.spin_poll
+  done
+
+let irq_enable t =
+  t.masked <- false;
+  if has_deliverable t then service_pending t
+
+let compute t ?(quantum = 200) cycles =
+  if cycles < 0 then invalid_arg "Cpu.compute: negative cycles";
+  in_service_window t (fun () ->
+      let remaining = ref cycles in
+      while !remaining > 0 do
+        if has_deliverable t then service_pending t;
+        let chunk = Stdlib.min quantum !remaining in
+        Process.delay t.eng chunk;
+        t.t_compute <- t.t_compute + chunk;
+        remaining := !remaining - chunk
+      done;
+      if has_deliverable t then service_pending t)
+
+let spin_until t cond =
+  in_service_window t (fun () ->
+      let rec loop () =
+        if not (cond ()) then begin
+          if has_deliverable t then service_pending t;
+          if not (cond ()) then begin
+            Process.delay t.eng t.cost.spin_poll;
+            loop ()
+          end
+        end
+      in
+      loop ())
+
+let poll t =
+  in_service_window t (fun () ->
+      if has_deliverable t then service_pending t;
+      Process.delay t.eng t.cost.spin_poll)
+
+let idle_wait t =
+  in_service_window t (fun () ->
+      if not (has_deliverable t) then Waitq.wait t.wake;
+      service_pending t)

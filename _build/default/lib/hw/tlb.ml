@@ -1,0 +1,202 @@
+type page_size = Four_k | Two_m
+
+let bytes_of_page_size = function Four_k -> 4096 | Two_m -> 2 * 1024 * 1024
+
+type entry = {
+  vpn : int;
+  pfn : int;
+  pcid : int;
+  size : page_size;
+  global : bool;
+  writable : bool;
+  fractured : bool;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  insertions : int;
+  evictions : int;
+  invlpg_ops : int;
+  invpcid_ops : int;
+  full_flushes : int;
+  fracture_full_flushes : int;
+}
+
+(* Keys: (pcid, tag, size); 2 MiB entries are tagged by vpn lsr 9 so a 4 KiB
+   lookup can find its covering hugepage. Global entries live in a separate
+   table because they match regardless of PCID. *)
+type key = int * int * page_size
+
+type t = {
+  cap : int;
+  table : (key, entry) Hashtbl.t;
+  globals : ((int * page_size), entry) Hashtbl.t;
+  order : key Queue.t;  (* FIFO eviction for the non-global table *)
+  mutable s_hits : int;
+  mutable s_misses : int;
+  mutable s_insertions : int;
+  mutable s_evictions : int;
+  mutable s_invlpg : int;
+  mutable s_invpcid : int;
+  mutable s_full : int;
+  mutable s_fracture_full : int;
+  mutable pwc : bool;
+  mutable fracture : bool;
+}
+
+let create ?(capacity = 1536) () =
+  if capacity <= 0 then invalid_arg "Tlb.create: capacity must be positive";
+  {
+    cap = capacity;
+    table = Hashtbl.create 1024;
+    globals = Hashtbl.create 64;
+    order = Queue.create ();
+    s_hits = 0;
+    s_misses = 0;
+    s_insertions = 0;
+    s_evictions = 0;
+    s_invlpg = 0;
+    s_invpcid = 0;
+    s_full = 0;
+    s_fracture_full = 0;
+    pwc = false;
+    fracture = false;
+  }
+
+let capacity t = t.cap
+let occupancy t = Hashtbl.length t.table + Hashtbl.length t.globals
+
+let tag_of vpn = function Four_k -> vpn | Two_m -> vpn lsr 9
+
+let find t ~pcid ~vpn =
+  let try_key size =
+    match Hashtbl.find_opt t.table (pcid, tag_of vpn size, size) with
+    | Some e -> Some e
+    | None -> Hashtbl.find_opt t.globals (tag_of vpn size, size)
+  in
+  match try_key Four_k with Some e -> Some e | None -> try_key Two_m
+
+let lookup t ~pcid ~vpn =
+  match find t ~pcid ~vpn with
+  | Some e ->
+      t.s_hits <- t.s_hits + 1;
+      Some e
+  | None ->
+      t.s_misses <- t.s_misses + 1;
+      None
+
+let mem t ~pcid ~vpn = Option.is_some (find t ~pcid ~vpn)
+
+(* Evict FIFO until under capacity; queue entries may be stale (flushed
+   already), in which case they are skipped for free. *)
+let rec make_room t =
+  if Hashtbl.length t.table >= t.cap then begin
+    match Queue.take_opt t.order with
+    | None -> ()
+    | Some key ->
+        if Hashtbl.mem t.table key then begin
+          Hashtbl.remove t.table key;
+          t.s_evictions <- t.s_evictions + 1
+        end;
+        make_room t
+  end
+
+let insert t e =
+  t.s_insertions <- t.s_insertions + 1;
+  if e.fractured then t.fracture <- true;
+  if e.global then Hashtbl.replace t.globals (tag_of e.vpn e.size, e.size) e
+  else begin
+    make_room t;
+    let key = (e.pcid, tag_of e.vpn e.size, e.size) in
+    if not (Hashtbl.mem t.table key) then Queue.push key t.order;
+    Hashtbl.replace t.table key e
+  end
+
+let full_flush_internal t =
+  Hashtbl.reset t.table;
+  Hashtbl.reset t.globals;
+  Queue.clear t.order;
+  t.pwc <- false;
+  t.fracture <- false
+
+let flush_all t =
+  t.s_full <- t.s_full + 1;
+  full_flush_internal t
+
+(* A selective flush on a fractured TLB is promoted to a full flush. *)
+let fracture_promote t =
+  t.s_fracture_full <- t.s_fracture_full + 1;
+  full_flush_internal t
+
+let drop_selective t ~pcid ~vpn ~drop_globals =
+  List.iter
+    (fun size ->
+      Hashtbl.remove t.table (pcid, tag_of vpn size, size);
+      if drop_globals then Hashtbl.remove t.globals (tag_of vpn size, size))
+    [ Four_k; Two_m ]
+
+let invlpg t ~current_pcid ~vpn =
+  t.s_invlpg <- t.s_invlpg + 1;
+  if t.fracture then fracture_promote t
+  else begin
+    drop_selective t ~pcid:current_pcid ~vpn ~drop_globals:true;
+    t.pwc <- false
+  end
+
+let drop t ~pcid ~vpn = drop_selective t ~pcid ~vpn ~drop_globals:false
+
+let invpcid_addr t ~pcid ~vpn =
+  t.s_invpcid <- t.s_invpcid + 1;
+  if t.fracture then fracture_promote t
+  else drop_selective t ~pcid ~vpn ~drop_globals:false
+
+let drop_pcid t ~pcid =
+  let doomed =
+    Hashtbl.fold
+      (fun ((p, _, _) as key) _ acc -> if p = pcid then key :: acc else acc)
+      t.table []
+  in
+  List.iter (Hashtbl.remove t.table) doomed
+
+let flush_pcid t ~pcid =
+  t.s_invpcid <- t.s_invpcid + 1;
+  drop_pcid t ~pcid
+
+let cr3_flush t ~pcid = drop_pcid t ~pcid
+
+let pwc_warm t = t.pwc
+let warm_pwc t = t.pwc <- true
+let fracture_flag t = t.fracture
+
+let stats t =
+  {
+    hits = t.s_hits;
+    misses = t.s_misses;
+    insertions = t.s_insertions;
+    evictions = t.s_evictions;
+    invlpg_ops = t.s_invlpg;
+    invpcid_ops = t.s_invpcid;
+    full_flushes = t.s_full;
+    fracture_full_flushes = t.s_fracture_full;
+  }
+
+let reset_stats t =
+  t.s_hits <- 0;
+  t.s_misses <- 0;
+  t.s_insertions <- 0;
+  t.s_evictions <- 0;
+  t.s_invlpg <- 0;
+  t.s_invpcid <- 0;
+  t.s_full <- 0;
+  t.s_fracture_full <- 0
+
+let entries t =
+  let non_global = Hashtbl.fold (fun _ e acc -> e :: acc) t.table [] in
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.globals non_global
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "hits=%d misses=%d ins=%d evict=%d invlpg=%d invpcid=%d full=%d fracture-full=%d"
+    s.hits s.misses s.insertions s.evictions s.invlpg_ops s.invpcid_ops
+    s.full_flushes s.fracture_full_flushes

@@ -1,0 +1,101 @@
+(** Per-core TLB model: PCID-tagged, capacity-bounded, with a page-walk
+    (paging-structure) cache and Intel's page-fracturing full-flush quirk.
+
+    Semantics follow the Intel SDM as described in the paper:
+    - INVLPG invalidates one virtual address in the {e current} PCID,
+      including global entries, and flushes the entire paging-structure
+      cache (§3.4).
+    - INVPCID in individual-address mode invalidates one address in {e any}
+      PCID and leaves unrelated paging-structure-cache entries alone.
+    - A CR3 write flushes the non-global entries of the loaded PCID.
+    - Under virtualization, if any cached translation came from a fractured
+      guest hugepage (guest 2 MiB backed by host 4 KiB), {e any} selective
+      flush degenerates to a full TLB flush (paper §7, Table 4). *)
+
+type page_size = Four_k | Two_m
+
+(** Bytes per page. *)
+val bytes_of_page_size : page_size -> int
+
+type entry = {
+  vpn : int;  (** virtual page number in 4 KiB units (base of the page) *)
+  pfn : int;  (** physical frame number backing [vpn] *)
+  pcid : int;
+  size : page_size;
+  global : bool;  (** G-bit entries survive CR3 writes *)
+  writable : bool;
+  fractured : bool;  (** produced by a guest-2M x host-4K nested walk *)
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  insertions : int;
+  evictions : int;
+  invlpg_ops : int;
+  invpcid_ops : int;
+  full_flushes : int;
+  fracture_full_flushes : int;  (** selective flushes promoted to full *)
+}
+
+type t
+
+(** [create ~capacity ()] with FIFO eviction. Default capacity 1536 (Skylake
+    STLB-sized). *)
+val create : ?capacity:int -> unit -> t
+
+val capacity : t -> int
+val occupancy : t -> int
+
+(** [lookup t ~pcid ~vpn] checks the 4 KiB mapping, a covering 2 MiB
+    mapping, and global entries. Counts a hit or miss. *)
+val lookup : t -> pcid:int -> vpn:int -> entry option
+
+(** Is the translation present (no stats recorded)? *)
+val mem : t -> pcid:int -> vpn:int -> bool
+
+val insert : t -> entry -> unit
+
+(** INVLPG: selective flush of [vpn] in the current PCID [current_pcid];
+    also drops global entries for that address and cools the
+    paging-structure cache. Promoted to a full flush when the fracture flag
+    is set. *)
+val invlpg : t -> current_pcid:int -> vpn:int -> unit
+
+(** INVPCID individual-address mode: selective flush of [vpn] under [pcid];
+    paging-structure cache survives. Promoted to a full flush when the
+    fracture flag is set. *)
+val invpcid_addr : t -> pcid:int -> vpn:int -> unit
+
+(** Drop the translation for [vpn] under [pcid] with no instruction
+    side-effects: models the hardware's invalidation of a faulting PTE and
+    the invalidation a memory access performs after a PTE change (the CoW
+    trick of paper §4.1). Leaves the paging-structure cache warm and never
+    promotes to a full flush. *)
+val drop : t -> pcid:int -> vpn:int -> unit
+
+(** INVPCID single-context mode: drop every entry of [pcid]. *)
+val flush_pcid : t -> pcid:int -> unit
+
+(** CR3 write: drop non-global entries of [pcid]. *)
+val cr3_flush : t -> pcid:int -> unit
+
+(** Drop everything, globals included (INVPCID all-contexts). *)
+val flush_all : t -> unit
+
+(** Paging-structure cache temperature; cold walks cost more. Walks warm it,
+    INVLPG and full flushes cool it. *)
+val pwc_warm : t -> bool
+
+val warm_pwc : t -> unit
+
+(** True once a fractured entry was inserted; cleared by full flushes. *)
+val fracture_flag : t -> bool
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
+(** All current entries (testing/inspection). *)
+val entries : t -> entry list
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,1 @@
+lib/mm/addr.ml: List Tlb

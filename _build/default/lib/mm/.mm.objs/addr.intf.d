@@ -1,0 +1,1 @@
+lib/mm/addr.mli: Tlb

@@ -1,0 +1,1 @@
+lib/mm/ept.ml: Addr Page_table Pte Tlb

@@ -1,0 +1,1 @@
+lib/mm/ept.mli: Page_table Pte Tlb

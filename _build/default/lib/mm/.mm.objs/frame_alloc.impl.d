@@ -1,0 +1,1 @@
+lib/mm/frame_alloc.ml: Addr Array Bytes Printf Queue

@@ -1,0 +1,1 @@
+lib/mm/frame_alloc.mli:

@@ -1,0 +1,1 @@
+lib/mm/nested_mmu.ml: Ept List Page_table Pte Tlb

@@ -1,0 +1,1 @@
+lib/mm/nested_mmu.mli: Ept Page_table Tlb

@@ -1,0 +1,1 @@
+lib/mm/page_table.ml: Addr Hashtbl List Printf Pte Stdlib Tlb

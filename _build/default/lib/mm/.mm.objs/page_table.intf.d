@@ -1,0 +1,1 @@
+lib/mm/page_table.mli: Pte Tlb

@@ -1,0 +1,1 @@
+lib/mm/pte.mli: Format

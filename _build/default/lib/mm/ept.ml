@@ -1,0 +1,63 @@
+type t = { table : Page_table.t }
+
+let create () = { table = Page_table.create () }
+
+let map t ~gfn ~size ~hfn =
+  (match size with
+  | Tlb.Two_m when not (Addr.huge_aligned gfn && Addr.huge_aligned hfn) ->
+      invalid_arg "Ept.map: 2MiB mapping must be aligned on both sides"
+  | Tlb.Two_m | Tlb.Four_k -> ());
+  Page_table.map t.table ~vpn:gfn ~size (Pte.user_data ~pfn:hfn)
+
+let unmap t ~gfn = ignore (Page_table.unmap t.table ~vpn:gfn ())
+
+let translate t ~gfn =
+  match Page_table.walk t.table ~vpn:gfn with
+  | None -> None
+  | Some w ->
+      let base = match w.size with Tlb.Four_k -> gfn | Tlb.Two_m -> gfn land lnot 511 in
+      let offset = gfn - base in
+      Some (w.pte.Pte.pfn + offset, w.size)
+
+let mapped_count t = Page_table.mapped_count t.table
+
+module Nested = struct
+  type result = {
+    hfn : int;
+    guest_size : Tlb.page_size;
+    host_size : Tlb.page_size;
+    effective_size : Tlb.page_size;
+    fractured : bool;
+    levels : int;
+    pte : Pte.t;
+  }
+
+  let translate ~guest ~ept ~vpn =
+    match Page_table.walk guest ~vpn with
+    | None -> None
+    | Some gw ->
+        let gbase = match gw.size with Tlb.Four_k -> vpn | Tlb.Two_m -> vpn land lnot 511 in
+        let gfn = gw.pte.Pte.pfn + (vpn - gbase) in
+        (match translate ept ~gfn with
+        | None -> None
+        | Some (hfn, host_size) ->
+            let effective_size =
+              match (gw.size, host_size) with
+              | Tlb.Two_m, Tlb.Two_m -> Tlb.Two_m
+              | _ -> Tlb.Four_k
+            in
+            let fractured = gw.size = Tlb.Two_m && host_size = Tlb.Four_k in
+            (* Each guest level of the walk re-translates through the EPT;
+               4 guest levels x ~4 host levels bounds the 2D walk depth. *)
+            let host_levels = match host_size with Tlb.Four_k -> 4 | Tlb.Two_m -> 3 in
+            Some
+              {
+                hfn;
+                guest_size = gw.size;
+                host_size;
+                effective_size;
+                fractured;
+                levels = gw.levels * host_levels;
+                pte = gw.pte;
+              })
+end

@@ -1,0 +1,96 @@
+type t = {
+  mmu_tlb : Tlb.t;
+  guest : Page_table.t;
+  ept : Ept.t option;
+  pcid : int;
+  mutable pv_hint : bool;
+}
+
+exception Guest_fault of int
+
+let create ?tlb_capacity ~guest ?ept ~pcid () =
+  { mmu_tlb = Tlb.create ?capacity:tlb_capacity (); guest; ept; pcid; pv_hint = false }
+
+let tlb t = t.mmu_tlb
+
+let fill t ~vpn =
+  match t.ept with
+  | Some ept -> begin
+      match Ept.Nested.translate ~guest:t.guest ~ept ~vpn with
+      | None -> raise (Guest_fault vpn)
+      | Some r ->
+          (* The TLB caches the combined GVA->HPA mapping at the effective
+             (smaller) page size; align the tag accordingly. *)
+          let base =
+            match r.Ept.Nested.effective_size with
+            | Tlb.Four_k -> vpn
+            | Tlb.Two_m -> vpn land lnot 511
+          in
+          let hfn_base = r.Ept.Nested.hfn - (vpn - base) in
+          Tlb.insert t.mmu_tlb
+            {
+              Tlb.vpn = base;
+              pfn = hfn_base;
+              pcid = t.pcid;
+              size = r.Ept.Nested.effective_size;
+              global = false;
+              writable = r.Ept.Nested.pte.Pte.writable;
+              fractured = r.Ept.Nested.fractured;
+            }
+    end
+  | None -> begin
+      match Page_table.walk t.guest ~vpn with
+      | None -> raise (Guest_fault vpn)
+      | Some w ->
+          let base =
+            match w.Page_table.size with
+            | Tlb.Four_k -> vpn
+            | Tlb.Two_m -> vpn land lnot 511
+          in
+          Tlb.insert t.mmu_tlb
+            {
+              Tlb.vpn = base;
+              pfn = w.Page_table.pte.Pte.pfn;
+              pcid = t.pcid;
+              size = w.Page_table.size;
+              global = w.Page_table.pte.Pte.global;
+              writable = w.Page_table.pte.Pte.writable;
+              fractured = false;
+            }
+    end
+
+let access t ~vpn =
+  match Tlb.lookup t.mmu_tlb ~pcid:t.pcid ~vpn with
+  | Some _ -> `Hit
+  | None ->
+      fill t ~vpn;
+      `Miss_filled
+
+let touch_range t ~start_vpn ~pages =
+  let hits = ref 0 and misses = ref 0 in
+  for i = 0 to pages - 1 do
+    match access t ~vpn:(start_vpn + i) with
+    | `Hit -> incr hits
+    | `Miss_filled -> incr misses
+  done;
+  (!hits, !misses)
+
+let invlpg t ~vpn = Tlb.invlpg t.mmu_tlb ~current_pcid:t.pcid ~vpn
+
+let full_flush t = Tlb.flush_all t.mmu_tlb
+
+let set_paravirt_fracture_hint t b = t.pv_hint <- b
+let paravirt_fracture_hint t = t.pv_hint
+
+let flush_pages t ~vpns =
+  if t.pv_hint then begin
+    (* Fracturing may promote any selective flush to a full flush: issuing
+       several INVLPGs would pay their cost for no retained entries. One
+       full flush gets the same TLB state at 1/n of the instructions. *)
+    full_flush t;
+    1
+  end
+  else begin
+    List.iter (fun vpn -> invlpg t ~vpn) vpns;
+    List.length vpns
+  end

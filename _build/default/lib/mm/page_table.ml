@@ -1,0 +1,147 @@
+type node = { level : int; slots : (int, slot) Hashtbl.t }
+
+and slot = Table of node | Leaf of Pte.t * Tlb.page_size
+
+type t = {
+  root : node;  (* level 4 *)
+  mutable n_mapped : int;
+  mutable n_tables : int;
+  mutable n_tables_freed : int;
+  mutable ver : int;
+}
+
+type walk = { pte : Pte.t; size : Tlb.page_size; levels : int }
+
+type range_unmap = {
+  removed : (int * Pte.t * Tlb.page_size) list;
+  freed_tables : bool;
+}
+
+let index_at ~level vpn = (vpn lsr ((level - 1) * 9)) land 511
+
+let create () =
+  { root = { level = 4; slots = Hashtbl.create 16 }; n_mapped = 0; n_tables = 0; ver = 0; n_tables_freed = 0 }
+
+let leaf_level = function Tlb.Four_k -> 1 | Tlb.Two_m -> 2
+
+(* Descend to the node at [target_level], creating intermediate tables. *)
+let rec descend t node vpn ~target_level =
+  if node.level = target_level then node
+  else begin
+    let idx = index_at ~level:node.level vpn in
+    match Hashtbl.find_opt node.slots idx with
+    | Some (Table child) -> descend t child vpn ~target_level
+    | Some (Leaf _) ->
+        invalid_arg
+          (Printf.sprintf "Page_table: vpn %d already covered by a level-%d leaf" vpn node.level)
+    | None ->
+        let child = { level = node.level - 1; slots = Hashtbl.create 16 } in
+        Hashtbl.replace node.slots idx (Table child);
+        t.n_tables <- t.n_tables + 1;
+        descend t child vpn ~target_level
+  end
+
+let map t ~vpn ~size pte =
+  if not pte.Pte.present then invalid_arg "Page_table.map: PTE must be present";
+  if size = Tlb.Two_m && not (Addr.huge_aligned vpn) then
+    invalid_arg "Page_table.map: hugepage VPN must be 2MiB-aligned";
+  let level = leaf_level size in
+  let node = descend t t.root vpn ~target_level:level in
+  let idx = index_at ~level vpn in
+  (match Hashtbl.find_opt node.slots idx with
+  | Some (Table _) -> invalid_arg "Page_table.map: slot holds a page table"
+  | Some (Leaf _) -> invalid_arg (Printf.sprintf "Page_table.map: vpn %d already mapped" vpn)
+  | None -> ());
+  Hashtbl.replace node.slots idx (Leaf (pte, size));
+  t.n_mapped <- t.n_mapped + 1;
+  t.ver <- t.ver + 1
+
+(* Find the leaf covering vpn along with the path of (node, index) taken. *)
+let find_leaf t vpn =
+  let rec go node path =
+    let idx = index_at ~level:node.level vpn in
+    match Hashtbl.find_opt node.slots idx with
+    | None -> None
+    | Some (Leaf (pte, size)) -> Some (node, idx, pte, size, path)
+    | Some (Table child) -> go child ((node, idx) :: path)
+  in
+  go t.root []
+
+let walk t ~vpn =
+  match find_leaf t vpn with
+  | None -> None
+  | Some (_, _, pte, size, path) ->
+      if pte.Pte.present then Some { pte; size; levels = List.length path + 1 }
+      else None
+
+(* Base VPN of the page a leaf at (level, idx along path) covers. *)
+let leaf_base vpn = function Tlb.Four_k -> vpn | Tlb.Two_m -> vpn land lnot 511
+
+let prune t path =
+  (* Remove now-empty tables bottom-up; report whether any were freed. *)
+  let freed = ref false in
+  List.iter
+    (fun (node, idx) ->
+      match Hashtbl.find_opt node.slots idx with
+      | Some (Table child) when Hashtbl.length child.slots = 0 ->
+          Hashtbl.remove node.slots idx;
+          t.n_tables <- t.n_tables - 1;
+          t.n_tables_freed <- t.n_tables_freed + 1;
+          freed := true
+      | Some _ | None -> ())
+    path;
+  !freed
+
+let unmap t ~vpn ?(free_tables = false) () =
+  match find_leaf t vpn with
+  | None -> { removed = []; freed_tables = false }
+  | Some (node, idx, pte, size, path) ->
+      Hashtbl.remove node.slots idx;
+      t.n_mapped <- t.n_mapped - 1;
+      t.ver <- t.ver + 1;
+      let freed = if free_tables then prune t ((node, idx) :: path) else false in
+      { removed = [ (leaf_base vpn size, pte, size) ]; freed_tables = freed }
+
+let unmap_range t ~vpn ~pages ?(free_tables = false) () =
+  let removed = ref [] in
+  let freed = ref false in
+  let cursor = ref vpn in
+  let stop = vpn + pages in
+  while !cursor < stop do
+    let r = unmap t ~vpn:!cursor ~free_tables () in
+    (match r.removed with
+    | [ (base, pte, size) ] ->
+        removed := (base, pte, size) :: !removed;
+        (* Skip past the removed page (a hugepage may extend beyond). *)
+        cursor := Stdlib.max (!cursor + 1) (base + Addr.pages_of_size size)
+    | _ -> incr cursor);
+    if r.freed_tables then freed := true
+  done;
+  { removed = List.rev !removed; freed_tables = !freed }
+
+let update t ~vpn ~f =
+  match find_leaf t vpn with
+  | None -> None
+  | Some (node, idx, pte, size, _) ->
+      let pte' = f pte in
+      Hashtbl.replace node.slots idx (Leaf (pte', size));
+      t.ver <- t.ver + 1;
+      Some (pte, pte')
+
+let mapped_count t = t.n_mapped
+let table_pages t = t.n_tables
+let tables_freed t = t.n_tables_freed
+let version t = t.ver
+
+let iter t ~f =
+  (* Reconstruct each leaf's base VPN from the index path. *)
+  let rec go node base =
+    Hashtbl.iter
+      (fun idx slot ->
+        let base' = base lor (idx lsl ((node.level - 1) * 9)) in
+        match slot with
+        | Leaf (pte, size) -> if pte.Pte.present then f base' pte size
+        | Table child -> go child base')
+      node.slots
+  in
+  go t.root 0

@@ -1,0 +1,1 @@
+lib/sim/waitq.mli: Engine

@@ -1,0 +1,50 @@
+type event = { time : int; seq : int; run : unit -> unit }
+
+type t = {
+  mutable now : int;
+  mutable seq : int;
+  mutable events_run : int;
+  queue : event Heap.t;
+}
+
+let compare_events a b =
+  let c = compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create () = { now = 0; seq = 0; events_run = 0; queue = Heap.create ~compare:compare_events }
+
+let now t = t.now
+let events_run t = t.events_run
+let pending t = Heap.length t.queue
+
+let schedule_at t ~time run =
+  if time < t.now then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %d is before now %d" time t.now);
+  t.seq <- t.seq + 1;
+  Heap.push t.queue { time; seq = t.seq; run }
+
+let schedule t ~delay run =
+  if delay < 0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.now + delay) run
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+      t.now <- ev.time;
+      t.events_run <- t.events_run + 1;
+      ev.run ();
+      true
+
+let run t = while step t do () done
+
+let run_until t ~time =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek t.queue with
+    | None -> continue := false
+    | Some ev when ev.time > time -> continue := false
+    | Some _ -> ignore (step t)
+  done;
+  if t.now < time && Heap.is_empty t.queue then t.now <- time

@@ -1,0 +1,36 @@
+(** Discrete-event simulation engine.
+
+    Time is a monotonically increasing integer cycle counter. Events
+    scheduled for the same instant fire in insertion order, which makes every
+    simulation deterministic. *)
+
+type t
+
+val create : unit -> t
+
+(** Current simulated time in cycles. *)
+val now : t -> int
+
+(** Number of events executed so far. *)
+val events_run : t -> int
+
+(** [schedule t ~delay f] runs [f] at [now t + delay]. [delay] must be
+    non-negative. *)
+val schedule : t -> delay:int -> (unit -> unit) -> unit
+
+(** [schedule_at t ~time f] runs [f] at absolute [time]; raises
+    [Invalid_argument] if [time] is in the past. *)
+val schedule_at : t -> time:int -> (unit -> unit) -> unit
+
+(** Execute the earliest pending event. Returns [false] when none remain. *)
+val step : t -> bool
+
+(** Run until no events remain. *)
+val run : t -> unit
+
+(** Run until the queue is empty or the clock passes [time]. Events at
+    exactly [time] are executed. *)
+val run_until : t -> time:int -> unit
+
+(** Pending event count. *)
+val pending : t -> int

@@ -1,0 +1,27 @@
+(** Polymorphic binary min-heap, ordered by a user-supplied comparison.
+
+    Used by {!Engine} as the pending-event queue; tie-breaking is the
+    caller's responsibility (the engine compares [(time, sequence)] pairs so
+    simultaneous events pop in insertion order). *)
+
+type 'a t
+
+(** [create ~compare] makes an empty heap. [compare a b < 0] means [a] pops
+    before [b]. *)
+val create : compare:('a -> 'a -> int) -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+(** Smallest element, or [None] when empty. *)
+val peek : 'a t -> 'a option
+
+(** Remove and return the smallest element, or [None] when empty. *)
+val pop : 'a t -> 'a option
+
+(** Remove every element. *)
+val clear : 'a t -> unit
+
+(** Elements in arbitrary order (for inspection/testing). *)
+val to_list : 'a t -> 'a list

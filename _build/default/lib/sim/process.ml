@@ -1,0 +1,58 @@
+open Effect
+open Effect.Deep
+
+exception Process_failure of string * exn
+
+let () =
+  Printexc.register_printer (function
+    | Process_failure (name, inner) ->
+        Some (Printf.sprintf "Process %S failed: %s" name (Printexc.to_string inner))
+    | _ -> None)
+
+type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+
+let current_name = ref "main"
+
+let self_name () = !current_name
+
+let suspend register = perform (Suspend register)
+
+let spawn engine ~name f =
+  let body () =
+    match_with f ()
+      {
+        retc = (fun () -> ());
+        exnc = (fun e -> raise (Process_failure (name, e)));
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Suspend register ->
+                Some
+                  (fun (k : (a, _) continuation) ->
+                    let resumed = ref false in
+                    let resume () =
+                      if !resumed then
+                        invalid_arg
+                          (Printf.sprintf "Process %s resumed twice" name);
+                      resumed := true;
+                      let saved = !current_name in
+                      current_name := name;
+                      Fun.protect
+                        ~finally:(fun () -> current_name := saved)
+                        (fun () -> continue k ())
+                    in
+                    register resume)
+            | _ -> None);
+      }
+  in
+  Engine.schedule engine ~delay:0 (fun () ->
+      let saved = !current_name in
+      current_name := name;
+      Fun.protect ~finally:(fun () -> current_name := saved) body)
+
+let delay engine cycles =
+  if cycles < 0 then invalid_arg "Process.delay: negative delay";
+  if cycles = 0 then ()
+  else suspend (fun resume -> Engine.schedule engine ~delay:cycles resume)
+
+let yield engine = suspend (fun resume -> Engine.schedule engine ~delay:0 resume)

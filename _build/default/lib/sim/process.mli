@@ -1,0 +1,30 @@
+(** Direct-style simulated processes on top of OCaml 5 effect handlers.
+
+    A process is ordinary OCaml code that may perform {!delay} and
+    {!suspend}; the handler installed by {!spawn} turns those into engine
+    events, so protocol code reads sequentially ("flush, then wait for the
+    ack") while the engine interleaves many processes deterministically. *)
+
+exception Process_failure of string * exn
+(** A spawned process raised; carries the process name and the exception. *)
+
+(** [spawn engine ~name f] starts [f] as a process at the current time.
+    Exceptions escaping [f] are wrapped in {!Process_failure} and re-raised
+    out of the engine loop. *)
+val spawn : Engine.t -> name:string -> (unit -> unit) -> unit
+
+(** Suspend the current process; [register resume] is called immediately and
+    must arrange for [resume] to be invoked exactly once later (e.g. stash it
+    in a wait queue or schedule it). Must only be called from process
+    context. *)
+val suspend : ((unit -> unit) -> unit) -> unit
+
+(** Advance this process's local time by [cycles] (>= 0). *)
+val delay : Engine.t -> int -> unit
+
+(** Re-enter the event queue at the current instant, letting other events at
+    this time run first. *)
+val yield : Engine.t -> unit
+
+(** Name of the currently running process ("main" outside any process). *)
+val self_name : unit -> string

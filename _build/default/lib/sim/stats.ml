@@ -1,0 +1,101 @@
+type t = {
+  mutable samples : float list;
+  mutable n : int;
+  mutable sum : float;
+  mutable mean_acc : float;
+  mutable m2 : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  mutable sorted_cache : float array option;
+}
+
+let create () =
+  {
+    samples = [];
+    n = 0;
+    sum = 0.0;
+    mean_acc = 0.0;
+    m2 = 0.0;
+    min_v = infinity;
+    max_v = neg_infinity;
+    sorted_cache = None;
+  }
+
+let add t x =
+  t.samples <- x :: t.samples;
+  t.sorted_cache <- None;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  (* Welford's online variance update. *)
+  let delta = x -. t.mean_acc in
+  t.mean_acc <- t.mean_acc +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean_acc));
+  if x < t.min_v then t.min_v <- x;
+  if x > t.max_v then t.max_v <- x
+
+let count t = t.n
+let total t = t.sum
+let mean t = if t.n = 0 then 0.0 else t.mean_acc
+let stddev t = if t.n < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.n - 1))
+let min t = if t.n = 0 then 0.0 else t.min_v
+let max t = if t.n = 0 then 0.0 else t.max_v
+
+let sorted t =
+  match t.sorted_cache with
+  | Some a -> a
+  | None ->
+      let a = Array.of_list t.samples in
+      Array.sort compare a;
+      t.sorted_cache <- Some a;
+      a
+
+let percentile t p =
+  let a = sorted t in
+  let n = Array.length a in
+  if n = 0 then 0.0
+  else if n = 1 then a.(0)
+  else begin
+    let p = Float.max 0.0 (Float.min 100.0 p) in
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = int_of_float (ceil rank) in
+    if lo = hi then a.(lo)
+    else begin
+      let frac = rank -. float_of_int lo in
+      a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+    end
+  end
+
+let median t = percentile t 50.0
+
+let merge_into t other = List.iter (add t) other.samples
+
+let pp fmt t =
+  Format.fprintf fmt "n=%d mean=%.1f sd=%.1f min=%.1f p50=%.1f p99=%.1f max=%.1f"
+    (count t) (mean t) (stddev t) (min t) (median t) (percentile t 99.0) (max t)
+
+module Histogram = struct
+  type h = { lo : float; hi : float; width : float; bins : int array }
+
+  let create ~lo ~hi ~buckets =
+    if buckets <= 0 then invalid_arg "Histogram.create: buckets must be positive";
+    if hi <= lo then invalid_arg "Histogram.create: hi must exceed lo";
+    { lo; hi; width = (hi -. lo) /. float_of_int buckets; bins = Array.make buckets 0 }
+
+  let bucket_of h x =
+    let b = int_of_float ((x -. h.lo) /. h.width) in
+    Stdlib.max 0 (Stdlib.min (Array.length h.bins - 1) b)
+
+  let add h x =
+    let b = bucket_of h x in
+    h.bins.(b) <- h.bins.(b) + 1
+
+  let counts h = Array.copy h.bins
+
+  let pp fmt h =
+    Array.iteri
+      (fun i c ->
+        let left = h.lo +. (float_of_int i *. h.width) in
+        Format.fprintf fmt "[%.0f,%.0f): %d@." left (left +. h.width) c)
+      h.bins
+end

@@ -1,0 +1,45 @@
+(** Streaming statistics and simple fixed-width histograms.
+
+    Experiment drivers accumulate per-iteration cycle counts here and the
+    reporting layer extracts mean / stddev / percentiles, mirroring the
+    paper's "average and standard deviation of 5 executions" methodology. *)
+
+type t
+
+val create : unit -> t
+
+(** Record one sample. *)
+val add : t -> float -> unit
+
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+
+(** Sample standard deviation (Welford); 0 for fewer than two samples. *)
+val stddev : t -> float
+
+val min : t -> float
+val max : t -> float
+
+(** [percentile t p] for [p] in [\[0,100\]]; interpolates between kept
+    samples. All samples are retained, so this is exact. *)
+val percentile : t -> float -> float
+
+val median : t -> float
+
+(** Merge the second accumulator's samples into the first. *)
+val merge_into : t -> t -> unit
+
+val pp : Format.formatter -> t -> unit
+
+(** Fixed-width histogram over [\[lo, hi)] with [buckets] bins; values out of
+    range clamp into the edge bins. *)
+module Histogram : sig
+  type h
+
+  val create : lo:float -> hi:float -> buckets:int -> h
+  val add : h -> float -> unit
+  val counts : h -> int array
+  val bucket_of : h -> float -> int
+  val pp : Format.formatter -> h -> unit
+end

@@ -1,0 +1,33 @@
+type record = { time : int; actor : string; event : string }
+
+type t = {
+  engine : Engine.t;
+  mutable is_enabled : bool;
+  mutable recs : record list; (* newest first *)
+}
+
+let create ?(enabled = false) engine = { engine; is_enabled = enabled; recs = [] }
+
+let enable t = t.is_enabled <- true
+let disable t = t.is_enabled <- false
+let enabled t = t.is_enabled
+
+let emit t ~actor event =
+  if t.is_enabled then
+    t.recs <- { time = Engine.now t.engine; actor; event } :: t.recs
+
+let emitf t ~actor fmt =
+  Format.kasprintf (fun event -> emit t ~actor event) fmt
+
+let records t = List.rev t.recs
+
+let clear t = t.recs <- []
+
+let pp fmt t =
+  let recs = records t in
+  let actor_width =
+    List.fold_left (fun w r -> Stdlib.max w (String.length r.actor)) 5 recs
+  in
+  List.iter
+    (fun r -> Format.fprintf fmt "%8d | %-*s | %s@." r.time actor_width r.actor r.event)
+    recs

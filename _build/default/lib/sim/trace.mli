@@ -1,0 +1,29 @@
+(** Lightweight event tracing.
+
+    When enabled, simulation components append timestamped records that the
+    quickstart example renders as a shootdown timeline. Disabled tracing is a
+    no-op so experiment runs pay nothing. *)
+
+type t
+
+type record = { time : int; actor : string; event : string }
+
+val create : ?enabled:bool -> Engine.t -> t
+val enable : t -> unit
+val disable : t -> unit
+val enabled : t -> bool
+
+(** Append a record (no-op when disabled). [actor] is typically "cpu3" or a
+    process name; [event] is free-form. *)
+val emit : t -> actor:string -> string -> unit
+
+(** Printf-style convenience wrapper over {!emit}. *)
+val emitf : t -> actor:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+(** Records in chronological order. *)
+val records : t -> record list
+
+val clear : t -> unit
+
+(** Render as an aligned "time | actor | event" listing. *)
+val pp : Format.formatter -> t -> unit

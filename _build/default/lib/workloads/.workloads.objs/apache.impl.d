@@ -1,0 +1,1 @@
+lib/workloads/apache.ml: Access Array Checker Cpu File Format Kernel List Machine Opts Printf Rng Syscall Vma

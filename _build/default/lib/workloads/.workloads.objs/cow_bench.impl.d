@@ -1,0 +1,1 @@
+lib/workloads/cow_bench.ml: Access Addr Checker File Format Kernel Machine Opts Stats Syscall Vma

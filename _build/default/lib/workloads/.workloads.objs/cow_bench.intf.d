@@ -1,0 +1,1 @@
+lib/workloads/cow_bench.mli: Opts

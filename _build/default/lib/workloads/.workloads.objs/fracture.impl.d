@@ -1,0 +1,1 @@
+lib/workloads/fracture.ml: Addr Ept List Nested_mmu Page_table Pte Tlb

@@ -1,0 +1,1 @@
+lib/workloads/fracture.mli: Nested_mmu Tlb

@@ -1,0 +1,1 @@
+lib/workloads/microbench.ml: Access Checker Costs Cpu Format Kernel Machine Opts Stats Syscall Topology

@@ -1,0 +1,1 @@
+lib/workloads/sysbench.ml: Access Addr Checker Cpu File Format Kernel List Machine Mm_struct Opts Printf Rng Stdlib Syscall Topology Vma

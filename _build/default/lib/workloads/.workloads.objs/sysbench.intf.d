@@ -1,0 +1,1 @@
+lib/workloads/sysbench.mli: Opts Topology

@@ -1,0 +1,29 @@
+(** Apache mpm_event-style webserver workload (Figure 11).
+
+    Worker threads of one process, pinned to [cores] CPUs, serve requests:
+    each request mmaps the served file (≤ 3 pages, as the paper notes its
+    pages are smaller than 12 KiB), reads it to send it, then munmaps —
+    tearing the mapping down shoots every sibling worker down. The paper
+    drives this with wrk at a fixed rate; we issue a fixed request count
+    per worker and report throughput. *)
+
+type config = {
+  opts : Opts.t;
+  cores : int;  (** taskset width, paper sweeps 1..11 *)
+  requests : int;  (** total requests across all workers *)
+  file_pages : int;  (** pages per served file (3 = ~12 KiB) *)
+  n_files : int;  (** distinct files served round-robin *)
+  request_work : int;  (** non-mm cycles per request (parse, socket, send) *)
+  seed : int64;
+}
+
+val default_config : opts:Opts.t -> cores:int -> config
+
+type result = {
+  requests_done : int;
+  cycles : int;
+  throughput : float;  (** requests per megacycle *)
+  shootdowns : int;
+}
+
+val run : config -> result

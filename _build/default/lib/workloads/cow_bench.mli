@@ -1,0 +1,24 @@
+(** The §4.1 copy-on-write microbenchmark (Figure 9).
+
+    A single thread maps a file privately, read-touches pages (creating
+    write-protected COW translations), then writes each page; the visible
+    cost of the write — page fault, copy, PTE update and the stale-entry
+    eviction (INVLPG vs the dummy-write trick) — is measured. *)
+
+type config = {
+  opts : Opts.t;
+  pages_per_round : int;
+  rounds : int;
+  seed : int64;
+}
+
+val default_config : opts:Opts.t -> config
+
+type result = {
+  write_mean : float;  (** cycles per CoW write, fault included *)
+  write_sd : float;
+  cow_breaks : int;
+  flushes_avoided : int;
+}
+
+val run : config -> result

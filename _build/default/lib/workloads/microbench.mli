@@ -1,0 +1,40 @@
+(** The paper's §5.1 microbenchmark (Figures 5-8, Table 3).
+
+    An initiator thread mmaps an anonymous region, touches [pte_count]
+    pages, and calls madvise(MADV_DONTNEED) on them, which removes the PTEs
+    and triggers a TLB flush/shootdown; a responder thread busy-waits on
+    another CPU sharing the address space. We report the madvise latency on
+    the initiator and the per-shootdown interruption on the responder, for
+    each placement of the two threads. *)
+
+type placement = Same_core | Same_socket | Cross_socket
+
+type config = {
+  opts : Opts.t;
+  costs : Costs.t;  (** cycle model; swap for sensitivity studies *)
+  placement : placement;
+  pte_count : int;  (** pages flushed per madvise: the paper uses 1 and 10 *)
+  iterations : int;
+  warmup : int;
+  seed : int64;
+}
+
+val default_config : opts:Opts.t -> placement:placement -> pte_count:int -> config
+
+type result = {
+  initiator_mean : float;  (** madvise cycles, mean over iterations *)
+  initiator_sd : float;
+  responder_mean : float;  (** responder interruption cycles per shootdown *)
+  responder_sd : float;  (** 0 (aggregate accounting); kept for symmetry *)
+  shootdowns : int;
+}
+
+val run : config -> result
+
+val placement_label : placement -> string
+val all_placements : placement list
+
+(** Responder CPU for a placement, with the initiator on CPU 0 of the
+    paper's 2x14x2 machine: the SMT sibling, a same-socket core, or a
+    cross-socket core. *)
+val responder_cpu : Topology.t -> placement -> int

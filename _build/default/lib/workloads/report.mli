@@ -1,0 +1,23 @@
+(** Plain-text table rendering for the benchmark harness. *)
+
+(** [table ~title ~header rows] prints an aligned table to stdout. *)
+val table : title:string -> header:string list -> string list list -> unit
+
+(** Format a cycle count compactly ("12.3k", "1.20M"). *)
+val cycles : float -> string
+
+(** Format a ratio as a speedup ("1.18x"). *)
+val speedup : float -> string
+
+(** Format a percentage reduction between a baseline and a value. *)
+val reduction : baseline:float -> float -> string
+
+(** Large counts with thousands grouping ("102,400"). *)
+val count : int -> string
+
+(** [bars ~title rows] renders labelled horizontal bars scaled to the
+    largest value — the textual rendition of the paper's bar figures. *)
+val bars : title:string -> (string * float) list -> unit
+
+(** Render one bar of [width] characters for [value] against [max]. *)
+val bar_of : width:int -> max:float -> float -> string

@@ -1,0 +1,35 @@
+(** Sysbench-style random writes to a memory-mapped file with periodic
+    fdatasync (Figure 10).
+
+    N threads of one process, pinned to one NUMA node, write random pages
+    of a shared file mapping; every [sync_every] writes a thread calls
+    fdatasync, whose writeback write-protects and cleans the dirty PTEs —
+    one TLB flush each, shot down to every sibling thread. At high thread
+    counts these flush storms make the generation-tracking full-flush
+    shortcut dominate, which is why some optimizations fade (§5.2). *)
+
+type config = {
+  opts : Opts.t;
+  threads : int;
+  ops_per_thread : int;
+  sync_every : int;
+  file_pages : int;
+  seed : int64;
+}
+
+val default_config : opts:Opts.t -> threads:int -> config
+
+type result = {
+  ops : int;  (** total writes completed *)
+  cycles : int;  (** simulated makespan *)
+  throughput : float;  (** ops per kilocycle *)
+  shootdowns : int;
+  full_flush_fallbacks : int;
+  batched_deferrals : int;
+}
+
+val run : config -> result
+
+(** CPUs of one NUMA node for [threads] threads: physical cores of socket 0
+    first, then their SMT siblings (the paper pins to one node). *)
+val node_cpus : Topology.t -> int -> int list

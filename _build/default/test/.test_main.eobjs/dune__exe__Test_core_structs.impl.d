@@ -1,0 +1,1 @@
+test/test_core_structs.ml: Alcotest Cache Checker Costs Cpu Engine File Flush_info Frame_alloc List Mm_struct Opts Page_table Percpu Printf Process Pte Rwsem Stdlib Tlb Topology Vma

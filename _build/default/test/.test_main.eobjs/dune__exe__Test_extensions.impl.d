@@ -1,0 +1,1 @@
+test/test_extensions.ml: Access Addr Alcotest Apic Cpu Engine Ept Frame_alloc Kernel Machine Mm_struct Nested_mmu Opts Page_table Pte Shootdown Tlb Vma

@@ -1,0 +1,1 @@
+test/test_fault_syscall.ml: Access Addr Alcotest Checker Cpu Fault File Frame_alloc Kernel List Machine Mm_struct Opts Page_table Percpu Pte Syscall Tlb Vma

@@ -1,0 +1,1 @@
+test/test_fork_mremap.ml: Access Addr Alcotest Checker Cpu Fault File Fork Frame_alloc Kernel List Machine Mm_struct Option Opts Page_table Pte Syscall Vma Waitq

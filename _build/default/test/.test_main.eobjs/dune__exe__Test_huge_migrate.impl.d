@@ -1,0 +1,1 @@
+test/test_huge_migrate.ml: Access Addr Alcotest Checker Cpu Engine Fault File Frame_alloc Kernel List Machine Migrate Mm_struct Opts Page_table Printf Pte Syscall Tlb Vma Waitq

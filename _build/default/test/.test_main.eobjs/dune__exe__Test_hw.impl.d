@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Apic Array Cache Costs Cpu Engine Fun List Process Tlb Topology

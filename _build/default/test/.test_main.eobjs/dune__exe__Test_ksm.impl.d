@@ -1,0 +1,1 @@
+test/test_ksm.ml: Access Addr Alcotest Checker Cpu File Frame_alloc Kernel Ksm Machine Mm_struct Option Opts Page_table Pte Rng Syscall Vma Waitq

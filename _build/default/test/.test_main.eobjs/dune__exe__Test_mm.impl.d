@@ -1,0 +1,1 @@
+test/test_mm.ml: Addr Alcotest Ept Format Frame_alloc Fun List Nested_mmu Page_table Printf Pte Tlb

@@ -1,0 +1,1 @@
+test/test_props.ml: Access Addr Checker Cpu Fault Float Flush_info Frame_alloc Gen Hashtbl Heap Kernel List Machine Opts Page_table Pte QCheck QCheck_alcotest Rng Stats Stdlib Syscall Tlb Vma Waitq

@@ -1,0 +1,1 @@
+test/test_safety.ml: Access Addr Alcotest Checker Cpu Fault File Kernel List Machine Opts Syscall Vma Waitq

@@ -1,0 +1,1 @@
+test/test_sched.ml: Access Addr Alcotest Cpu Fault Frame_alloc Kernel List Machine Mm_struct Opts Page_table Percpu Process Pte Sched Shootdown Syscall Tlb Vma Waitq

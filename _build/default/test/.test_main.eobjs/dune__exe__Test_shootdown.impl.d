@@ -1,0 +1,1 @@
+test/test_shootdown.ml: Access Addr Alcotest Apic Cache Cpu Flush_info Frame_alloc Kernel List Machine Mm_struct Opts Page_table Percpu Printf Pte Sched Shootdown Tlb Vma Waitq

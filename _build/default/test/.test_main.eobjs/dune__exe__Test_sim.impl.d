@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Engine Fun Heap List Printf Process Rng Stats Trace Waitq

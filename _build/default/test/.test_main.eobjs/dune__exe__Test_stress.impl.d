@@ -1,0 +1,1 @@
+test/test_stress.ml: Access Addr Alcotest Checker Cpu Fault Fork Frame_alloc Kernel Ksm List Machine Migrate Mm_struct Opts Page_table Printf Pte Shootdown Syscall Tlb Vma Waitq

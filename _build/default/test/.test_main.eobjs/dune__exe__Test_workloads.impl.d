@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Apache Cow_bench Fracture List Microbench Opts Printf Report String Sysbench Tlb Topology

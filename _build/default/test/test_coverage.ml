@@ -1,0 +1,222 @@
+(* Focused coverage for behaviours not exercised elsewhere: stats/counter
+   resets, trace content of a real shootdown, Smp mechanism details,
+   hugepage/batching interplay, and API misuse errors. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let make ?(opts = Opts.baseline ~safe:true) () = Machine.create ~opts ~seed:91L ()
+
+let test_machine_stats_reset () =
+  let m = make () in
+  m.Machine.stats.Machine.shootdowns <- 5;
+  m.Machine.stats.Machine.faults <- 7;
+  Machine.reset_stats m;
+  check int_t "shootdowns" 0 m.Machine.stats.Machine.shootdowns;
+  check int_t "faults" 0 m.Machine.stats.Machine.faults
+
+let test_cpu_accounting_reset () =
+  let m = make () in
+  let cpu = Machine.cpu m 0 in
+  Process.spawn m.Machine.engine ~name:"t" (fun () -> Cpu.compute cpu 500);
+  Kernel.run m;
+  check int_t "recorded" 500 (Cpu.compute_cycles cpu);
+  Cpu.reset_accounting cpu;
+  check int_t "reset" 0 (Cpu.compute_cycles cpu);
+  check int_t "irqs too" 0 (Cpu.irqs_handled cpu)
+
+let test_apic_and_tlb_stat_resets () =
+  let m = make () in
+  Process.spawn m.Machine.engine ~name:"t" (fun () ->
+      ignore
+        (Apic.send_ipi m.Machine.apic ~from:0 ~targets:[ 1 ] ~make_irq:(fun _ ->
+             { Cpu.vector = 1; maskable = true; handler = (fun _ -> ()) })));
+  Kernel.run m;
+  check int_t "sent" 1 (Apic.ipis_sent m.Machine.apic);
+  Apic.reset_stats m.Machine.apic;
+  check int_t "reset" 0 (Apic.ipis_sent m.Machine.apic);
+  let tlb = Cpu.tlb (Machine.cpu m 0) in
+  ignore (Tlb.lookup tlb ~pcid:1 ~vpn:1);
+  Tlb.reset_stats tlb;
+  check int_t "tlb reset" 0 (Tlb.stats tlb).Tlb.misses
+
+let test_checker_clear () =
+  let c = Checker.create () in
+  Checker.check_hit c ~now:0 ~cpu:0 ~mm_id:1 ~vpn:1 ~write:false
+    ~entry:
+      { Tlb.vpn = 1; pfn = 1; pcid = 1; size = Tlb.Four_k; global = false;
+        writable = true; fractured = false }
+    ~walk:None;
+  check int_t "one violation" 1 (Checker.violation_count c);
+  Checker.clear c;
+  check int_t "cleared" 0 (Checker.violation_count c);
+  check int_t "checks cleared" 0 (Checker.checks c)
+
+let test_opts_pp_lists_enabled () =
+  let o = Opts.all ~safe:true in
+  let s = Format.asprintf "%a" Opts.pp o in
+  check bool_t "mentions mode" true (String.length s > 0 && String.sub s 0 4 = "safe");
+  List.iter
+    (fun needle ->
+      let contains =
+        let n = String.length needle and h = String.length s in
+        let rec go i = i + n <= h && (String.sub s i n = needle || go (i + 1)) in
+        go 0
+      in
+      check bool_t (needle ^ " listed") true contains)
+    [ "concurrent"; "early-ack"; "cacheline"; "in-context"; "cow"; "batching" ]
+
+let test_engine_events_run_counter () =
+  let e = Engine.create () in
+  for _ = 1 to 5 do
+    Engine.schedule e ~delay:1 (fun () -> ())
+  done;
+  Engine.run e;
+  check int_t "five events" 5 (Engine.events_run e)
+
+let test_trace_of_real_shootdown_mentions_protocol () =
+  let m = make ~opts:(Opts.all_general ~safe:true) () in
+  Trace.enable m.Machine.trace;
+  let mm = Machine.new_mm m in
+  let stop = ref false in
+  Kernel.spawn_user m ~cpu:1 ~mm ~name:"resp" (fun () ->
+      let cpu_t = Machine.cpu m 1 in
+      while not !stop do
+        Cpu.compute cpu_t ~quantum:100 100
+      done);
+  Kernel.spawn_user m ~cpu:0 ~mm ~name:"init" (fun () ->
+      Machine.delay m 1_000;
+      let addr = Syscall.mmap m ~cpu:0 ~pages:2 () in
+      Access.touch_range m ~cpu:0 ~addr ~pages:2 ~write:true;
+      Syscall.madvise_dontneed m ~cpu:0 ~addr ~pages:2;
+      Machine.delay m 10_000;
+      stop := true);
+  Kernel.run m;
+  let events = List.map (fun r -> r.Trace.event) (Trace.records m.Machine.trace) in
+  let has prefix =
+    List.exists
+      (fun e ->
+        String.length e >= String.length prefix
+        && String.sub e 0 (String.length prefix) = prefix)
+      events
+  in
+  check bool_t "IPI traced" true (has "IPI ->");
+  check bool_t "early ack traced" true (has "early ack");
+  check bool_t "completion traced" true (has "shootdown complete")
+
+let test_smp_ack_idempotent () =
+  let m = make () in
+  let mm = Machine.new_mm m in
+  Process.spawn m.Machine.engine ~name:"t" (fun () ->
+      Sched.switch_mm m ~cpu:0 mm;
+      Sched.switch_mm m ~cpu:1 mm;
+      let info =
+        Flush_info.ranged ~mm_id:(Mm_struct.id mm) ~start_vpn:0 ~pages:1 ~new_tlb_gen:2 ()
+      in
+      match Smp.enqueue_work m ~from:0 ~targets:[ 1 ] ~info ~early_ack:false with
+      | [ cfd ] ->
+          Smp.ack m ~me:1 cfd;
+          Smp.ack m ~me:1 cfd;
+          (* idempotent *)
+          check bool_t "acked" true cfd.Percpu.cfd_acked;
+          (* Drain the queued work so the machine quiesces cleanly. *)
+          Smp.drain_queue m ~me:1 ~run:(fun _ -> ())
+      | _ -> Alcotest.fail "expected one cfd");
+  Kernel.run m
+
+let test_microbench_responder_cpus () =
+  let topo = Topology.paper_machine in
+  check int_t "same core = SMT sibling" 28
+    (Microbench.responder_cpu topo Microbench.Same_core);
+  check int_t "same socket" 1 (Microbench.responder_cpu topo Microbench.Same_socket);
+  check int_t "cross socket" 14 (Microbench.responder_cpu topo Microbench.Cross_socket)
+
+let test_hugepage_with_batching_safe () =
+  (* Hugepage madvise inside batched mode: the 2M-stride info defers and
+     flushes at the barrier without losing coverage. *)
+  let m = make ~opts:(Opts.all ~safe:true) () in
+  let mm = Machine.new_mm m in
+  Kernel.spawn_user m ~cpu:0 ~mm ~name:"t" (fun () ->
+      let addr = Syscall.mmap m ~cpu:0 ~pages:512 ~page_size:Tlb.Two_m () in
+      Access.write m ~cpu:0 ~vaddr:addr;
+      Syscall.madvise_dontneed m ~cpu:0 ~addr ~pages:512;
+      (* Refault proves the old translation cannot linger. *)
+      Access.write m ~cpu:0 ~vaddr:(addr + (17 * Addr.page_size)));
+  Kernel.run m;
+  check int_t "no violations" 0 (Checker.violation_count m.Machine.checker)
+
+let test_fork_requires_loaded_mm () =
+  let m = make () in
+  Process.spawn m.Machine.engine ~name:"t" (fun () ->
+      Alcotest.check_raises "no mm" (Invalid_argument "Fork.fork: no address space loaded")
+        (fun () -> ignore (Fork.fork m ~cpu:0)));
+  Kernel.run m
+
+let test_ksm_merge_same_frame_skipped () =
+  let m = make () in
+  let mm = Machine.new_mm m in
+  Kernel.spawn_user m ~cpu:0 ~mm ~name:"t" (fun () ->
+      let addr = Syscall.mmap m ~cpu:0 ~pages:2 () in
+      Access.touch_range m ~cpu:0 ~addr ~pages:2 ~write:true;
+      let keep = Addr.vpn_of_addr addr and dup = Addr.vpn_of_addr addr + 1 in
+      ignore (Ksm.merge_pages m ~cpu:0 ~mm ~keep ~dup);
+      (* Merging again: already sharing one frame. *)
+      check bool_t "second merge skipped" true
+        (Ksm.merge_pages m ~cpu:0 ~mm ~keep ~dup = `Skipped));
+  Kernel.run m
+
+let test_vma_file_page_mapping () =
+  let frames = Frame_alloc.create ~frames:1024 in
+  let f = File.create frames ~name:"x" ~size_pages:10 in
+  let vma =
+    Vma.make ~start_vpn:100 ~pages:4 ~backing:(Vma.File_shared { file = f; offset = 3 }) ()
+  in
+  (match Vma.file_page vma ~vpn:102 with
+  | Some (_, idx) -> check int_t "offset applied" 5 idx
+  | None -> Alcotest.fail "expected file page");
+  check bool_t "outside" true (Vma.file_page vma ~vpn:104 = None)
+
+let test_mremap_empty_range () =
+  (* mremap of a never-touched mapping: no PTEs move, VMA still moves. *)
+  let m = make () in
+  let mm = Machine.new_mm m in
+  Kernel.spawn_user m ~cpu:0 ~mm ~name:"t" (fun () ->
+      let addr = Syscall.mmap m ~cpu:0 ~pages:4 () in
+      let addr' = Syscall.mremap m ~cpu:0 ~addr ~pages:4 in
+      check bool_t "moved" true (addr' <> addr);
+      Access.touch_range m ~cpu:0 ~addr:addr' ~pages:4 ~write:true);
+  Kernel.run m
+
+let test_migrate_from_kernel_context () =
+  (* Kernel-thread migration daemon (no user mode to return to). *)
+  let m = make () in
+  let mm = Machine.new_mm m in
+  Kernel.spawn_user m ~cpu:0 ~mm ~name:"app" (fun () ->
+      let addr = Syscall.mmap m ~cpu:0 ~pages:2 () in
+      Access.touch_range m ~cpu:0 ~addr ~pages:2 ~write:true;
+      (* A kernel service migrates on our CPU's behalf from cpu 1; it needs
+         the mm loaded there to flush correctly, so load it. *)
+      ignore (Migrate.migrate_range m ~cpu:0 ~mm ~vpn:(Addr.vpn_of_addr addr) ~pages:2);
+      Access.touch_range m ~cpu:0 ~addr ~pages:2 ~write:true);
+  Kernel.run m;
+  check int_t "no violations" 0 (Checker.violation_count m.Machine.checker)
+
+let suite =
+  [
+    Alcotest.test_case "machine stats reset" `Quick test_machine_stats_reset;
+    Alcotest.test_case "cpu accounting reset" `Quick test_cpu_accounting_reset;
+    Alcotest.test_case "apic/tlb stat resets" `Quick test_apic_and_tlb_stat_resets;
+    Alcotest.test_case "checker clear" `Quick test_checker_clear;
+    Alcotest.test_case "opts pp lists flags" `Quick test_opts_pp_lists_enabled;
+    Alcotest.test_case "engine events_run" `Quick test_engine_events_run_counter;
+    Alcotest.test_case "trace shows protocol" `Quick test_trace_of_real_shootdown_mentions_protocol;
+    Alcotest.test_case "smp ack idempotent" `Quick test_smp_ack_idempotent;
+    Alcotest.test_case "microbench responder cpus" `Quick test_microbench_responder_cpus;
+    Alcotest.test_case "hugepage + batching" `Quick test_hugepage_with_batching_safe;
+    Alcotest.test_case "fork requires loaded mm" `Quick test_fork_requires_loaded_mm;
+    Alcotest.test_case "ksm same-frame skip" `Quick test_ksm_merge_same_frame_skipped;
+    Alcotest.test_case "vma file_page offsets" `Quick test_vma_file_page_mapping;
+    Alcotest.test_case "mremap empty range" `Quick test_mremap_empty_range;
+    Alcotest.test_case "migrate from kernel path" `Quick test_migrate_from_kernel_context;
+  ]

@@ -1,0 +1,433 @@
+(* Unit tests for the hardware model: Topology, Costs, Cache, Tlb, Cpu,
+   Apic. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let dist_t =
+  Alcotest.testable Topology.pp_distance (fun a b -> a = b)
+
+(* --- Topology --- *)
+
+let test_topology_sizes () =
+  let t = Topology.paper_machine in
+  check int_t "56 logical CPUs" 56 (Topology.n_cpus t);
+  check int_t "sockets" 2 (Topology.sockets t);
+  let flat = Topology.flat 4 in
+  check int_t "flat n_cpus" 4 (Topology.n_cpus flat)
+
+let test_topology_socket_mapping () =
+  let t = Topology.paper_machine in
+  check int_t "cpu0 on socket 0" 0 (Topology.socket_of t 0);
+  check int_t "cpu13 on socket 0" 0 (Topology.socket_of t 13);
+  check int_t "cpu14 on socket 1" 1 (Topology.socket_of t 14);
+  check int_t "cpu27 on socket 1" 1 (Topology.socket_of t 27);
+  (* SMT siblings (28..55) mirror the first 28. *)
+  check int_t "cpu28 on socket 0" 0 (Topology.socket_of t 28);
+  check int_t "cpu42 on socket 1" 1 (Topology.socket_of t 42)
+
+let test_topology_smt_sibling () =
+  let t = Topology.paper_machine in
+  check (Alcotest.option int_t) "sibling of 0" (Some 28) (Topology.smt_sibling_of t 0);
+  check (Alcotest.option int_t) "sibling of 28" (Some 0) (Topology.smt_sibling_of t 28);
+  check (Alcotest.option int_t) "sibling of 14" (Some 42) (Topology.smt_sibling_of t 14);
+  let flat = Topology.flat 4 in
+  check (Alcotest.option int_t) "no SMT" None (Topology.smt_sibling_of flat 2)
+
+let test_topology_distance () =
+  let t = Topology.paper_machine in
+  check dist_t "self" Topology.Self (Topology.distance t 3 3);
+  check dist_t "smt" Topology.Smt_sibling (Topology.distance t 0 28);
+  check dist_t "same socket" Topology.Same_socket (Topology.distance t 0 1);
+  check dist_t "same socket across threads" Topology.Same_socket (Topology.distance t 0 29);
+  check dist_t "cross socket" Topology.Cross_socket (Topology.distance t 0 14)
+
+let test_topology_clusters () =
+  let t = Topology.paper_machine in
+  (* APIC ids pack SMT in bit 0: cpu0 -> 0, cpu28 -> 1 (same cluster). *)
+  check int_t "cpu0 cluster" (Topology.cluster_of t 0) (Topology.cluster_of t 28);
+  (* 14 cores x 2 threads = 28 APIC ids per socket: crosses the 16 boundary. *)
+  check bool_t "socket 0 spans clusters" true
+    (Topology.cluster_of t 0 <> Topology.cluster_of t 13);
+  let groups = Topology.clusters_of_targets t [ 0; 1; 13; 14 ] in
+  let total = List.fold_left (fun acc (_, l) -> acc + List.length l) 0 groups in
+  check int_t "all targets grouped" 4 total
+
+let test_topology_cpus_of_socket () =
+  let t = Topology.paper_machine in
+  check (Alcotest.list int_t) "socket 0 primaries"
+    (List.init 14 Fun.id)
+    (Topology.cpus_of_socket t 0);
+  check (Alcotest.list int_t) "socket 1 primaries"
+    (List.init 14 (fun i -> 14 + i))
+    (Topology.cpus_of_socket t 1)
+
+let test_topology_bounds () =
+  let t = Topology.flat 2 in
+  Alcotest.check_raises "out of range" (Invalid_argument "Topology: cpu 2 out of range [0,2)")
+    (fun () -> ignore (Topology.socket_of t 2))
+
+(* --- Costs --- *)
+
+let test_costs_monotone_distance () =
+  let c = Costs.default in
+  check bool_t "ipi grows with distance" true
+    (Costs.ipi_latency c Topology.Smt_sibling < Costs.ipi_latency c Topology.Same_socket
+    && Costs.ipi_latency c Topology.Same_socket < Costs.ipi_latency c Topology.Cross_socket);
+  check bool_t "lines grow with distance" true
+    (Costs.line_transfer c Topology.Self < Costs.line_transfer c Topology.Same_socket
+    && Costs.line_transfer c Topology.Same_socket < Costs.line_transfer c Topology.Cross_socket)
+
+let test_costs_mode_asymmetry () =
+  let c = Costs.default in
+  check bool_t "safe entry dearer" true
+    (Costs.syscall_entry c ~safe:true > Costs.syscall_entry c ~safe:false);
+  check bool_t "user irq entry dearer in safe mode" true
+    (Costs.irq_entry c ~safe:true ~from_user:true > Costs.irq_entry c ~safe:true ~from_user:false);
+  check bool_t "invpcid slower than invlpg" true (c.Costs.invpcid_single > c.Costs.invlpg)
+
+(* --- Cache --- *)
+
+let make_cache () =
+  Cache.create_registry Topology.paper_machine Costs.default
+
+let test_cache_first_touch_local () =
+  let reg = make_cache () in
+  let l = Cache.create_line reg ~name:"x" in
+  check int_t "first read local" Costs.default.Costs.line_local (Cache.read l ~by:0);
+  check int_t "second read local" Costs.default.Costs.line_local (Cache.read l ~by:0)
+
+let test_cache_remote_read_costs_transfer () =
+  let reg = make_cache () in
+  let l = Cache.create_line reg ~name:"x" in
+  ignore (Cache.write l ~by:0);
+  check int_t "cross-socket read" Costs.default.Costs.line_cross_socket (Cache.read l ~by:14);
+  (* Now shared: reading again is local. *)
+  check int_t "now cached" Costs.default.Costs.line_local (Cache.read l ~by:14)
+
+let test_cache_write_invalidates_sharers () =
+  let reg = make_cache () in
+  let l = Cache.create_line reg ~name:"x" in
+  ignore (Cache.write l ~by:0);
+  ignore (Cache.read l ~by:14);
+  (* A plain store retires through the store buffer: local cost for the
+     writer, but the cross-socket sharer is invalidated. *)
+  check int_t "write is local for the writer" Costs.default.Costs.line_local
+    (Cache.write l ~by:1);
+  (* A stalling write (or atomic) pays the farthest holder. *)
+  ignore (Cache.read l ~by:14);
+  check int_t "stalling write pays farthest" Costs.default.Costs.line_cross_socket
+    (Cache.stalling_write l ~by:1);
+  (* 14 lost the line either way. *)
+  check int_t "14 re-reads remotely" Costs.default.Costs.line_cross_socket
+    (Cache.read l ~by:14)
+
+let test_cache_exclusive_write_is_local () =
+  let reg = make_cache () in
+  let l = Cache.create_line reg ~name:"x" in
+  ignore (Cache.write l ~by:5);
+  check int_t "exclusive rewrite local" Costs.default.Costs.line_local (Cache.write l ~by:5)
+
+let test_cache_atomic_cost () =
+  let reg = make_cache () in
+  let l = Cache.create_line reg ~name:"x" in
+  ignore (Cache.write l ~by:0);
+  let expected = Costs.default.Costs.line_cross_socket + Costs.default.Costs.atomic_op in
+  check int_t "atomic = write + lock" expected (Cache.atomic l ~by:14)
+
+let test_cache_totals () =
+  let reg = make_cache () in
+  let l = Cache.create_line reg ~name:"x" in
+  ignore (Cache.write l ~by:0);
+  ignore (Cache.read l ~by:14);
+  ignore (Cache.read l ~by:1);
+  let t = Cache.totals reg in
+  check int_t "writes" 1 t.Cache.writes;
+  check int_t "reads" 2 t.Cache.reads;
+  check int_t "cross transfers" 1 t.Cache.cross_socket_transfers;
+  check int_t "same-socket transfers" 1 t.Cache.same_socket_transfers;
+  Cache.reset_stats reg;
+  check int_t "reset" 0 (Cache.totals reg).Cache.reads
+
+(* --- Tlb --- *)
+
+let entry ?(pcid = 1) ?(global = false) ?(size = Tlb.Four_k) ?(fractured = false)
+    ?(writable = true) ~vpn ~pfn () =
+  { Tlb.vpn; pfn; pcid; size; global; writable; fractured }
+
+let test_tlb_hit_miss () =
+  let t = Tlb.create () in
+  check bool_t "miss" true (Tlb.lookup t ~pcid:1 ~vpn:100 = None);
+  Tlb.insert t (entry ~vpn:100 ~pfn:5 ());
+  (match Tlb.lookup t ~pcid:1 ~vpn:100 with
+  | Some e -> check int_t "pfn" 5 e.Tlb.pfn
+  | None -> Alcotest.fail "expected hit");
+  let s = Tlb.stats t in
+  check int_t "one hit" 1 s.Tlb.hits;
+  check int_t "one miss" 1 s.Tlb.misses
+
+let test_tlb_pcid_isolation () =
+  let t = Tlb.create () in
+  Tlb.insert t (entry ~pcid:1 ~vpn:100 ~pfn:5 ());
+  check bool_t "other pcid misses" true (Tlb.lookup t ~pcid:2 ~vpn:100 = None)
+
+let test_tlb_global_matches_any_pcid () =
+  let t = Tlb.create () in
+  Tlb.insert t (entry ~pcid:1 ~global:true ~vpn:200 ~pfn:9 ());
+  check bool_t "hit under pcid 7" true (Tlb.lookup t ~pcid:7 ~vpn:200 <> None)
+
+let test_tlb_huge_covers_4k_lookups () =
+  let t = Tlb.create () in
+  Tlb.insert t (entry ~size:Tlb.Two_m ~vpn:1024 ~pfn:4096 ());
+  check bool_t "base hit" true (Tlb.lookup t ~pcid:1 ~vpn:1024 <> None);
+  check bool_t "offset hit" true (Tlb.lookup t ~pcid:1 ~vpn:(1024 + 511) <> None);
+  check bool_t "outside misses" true (Tlb.lookup t ~pcid:1 ~vpn:(1024 + 512) = None)
+
+let test_tlb_invlpg_selective () =
+  let t = Tlb.create () in
+  Tlb.insert t (entry ~vpn:1 ~pfn:11 ());
+  Tlb.insert t (entry ~vpn:2 ~pfn:12 ());
+  Tlb.invlpg t ~current_pcid:1 ~vpn:1;
+  check bool_t "vpn1 gone" false (Tlb.mem t ~pcid:1 ~vpn:1);
+  check bool_t "vpn2 stays" true (Tlb.mem t ~pcid:1 ~vpn:2)
+
+let test_tlb_invlpg_drops_globals_and_pwc () =
+  let t = Tlb.create () in
+  Tlb.insert t (entry ~global:true ~vpn:3 ~pfn:13 ());
+  Tlb.warm_pwc t;
+  Tlb.invlpg t ~current_pcid:1 ~vpn:3;
+  check bool_t "global gone" false (Tlb.mem t ~pcid:1 ~vpn:3);
+  check bool_t "pwc cooled" false (Tlb.pwc_warm t)
+
+let test_tlb_invpcid_keeps_pwc () =
+  let t = Tlb.create () in
+  Tlb.insert t (entry ~pcid:4 ~vpn:3 ~pfn:13 ());
+  Tlb.warm_pwc t;
+  Tlb.invpcid_addr t ~pcid:4 ~vpn:3;
+  check bool_t "entry gone" false (Tlb.mem t ~pcid:4 ~vpn:3);
+  check bool_t "pwc still warm" true (Tlb.pwc_warm t)
+
+let test_tlb_cr3_flush_spares_globals () =
+  let t = Tlb.create () in
+  Tlb.insert t (entry ~pcid:1 ~vpn:1 ~pfn:1 ());
+  Tlb.insert t (entry ~pcid:1 ~global:true ~vpn:2 ~pfn:2 ());
+  Tlb.insert t (entry ~pcid:2 ~vpn:3 ~pfn:3 ());
+  Tlb.cr3_flush t ~pcid:1;
+  check bool_t "pcid1 non-global gone" false (Tlb.mem t ~pcid:1 ~vpn:1);
+  check bool_t "global survives" true (Tlb.mem t ~pcid:1 ~vpn:2);
+  check bool_t "pcid2 untouched" true (Tlb.mem t ~pcid:2 ~vpn:3)
+
+let test_tlb_capacity_eviction () =
+  let t = Tlb.create ~capacity:4 () in
+  for i = 0 to 9 do
+    Tlb.insert t (entry ~vpn:i ~pfn:i ())
+  done;
+  check bool_t "bounded" true (Tlb.occupancy t <= 4);
+  check bool_t "newest present" true (Tlb.mem t ~pcid:1 ~vpn:9);
+  check bool_t "oldest evicted" false (Tlb.mem t ~pcid:1 ~vpn:0);
+  check bool_t "evictions counted" true ((Tlb.stats t).Tlb.evictions >= 6)
+
+let test_tlb_fracture_promotion () =
+  let t = Tlb.create () in
+  Tlb.insert t (entry ~vpn:1 ~pfn:1 ());
+  Tlb.insert t (entry ~fractured:true ~vpn:2 ~pfn:2 ());
+  check bool_t "flag set" true (Tlb.fracture_flag t);
+  (* Selective flush of an unrelated address nukes everything. *)
+  Tlb.invlpg t ~current_pcid:1 ~vpn:999;
+  check bool_t "vpn1 gone too" false (Tlb.mem t ~pcid:1 ~vpn:1);
+  check bool_t "vpn2 gone" false (Tlb.mem t ~pcid:1 ~vpn:2);
+  check bool_t "flag cleared" false (Tlb.fracture_flag t);
+  check int_t "promotion counted" 1 (Tlb.stats t).Tlb.fracture_full_flushes
+
+let test_tlb_drop_no_side_effects () =
+  let t = Tlb.create () in
+  Tlb.insert t (entry ~fractured:true ~vpn:2 ~pfn:2 ());
+  Tlb.insert t (entry ~vpn:3 ~pfn:3 ());
+  Tlb.warm_pwc t;
+  Tlb.drop t ~pcid:1 ~vpn:2;
+  check bool_t "dropped" false (Tlb.mem t ~pcid:1 ~vpn:2);
+  check bool_t "other survives" true (Tlb.mem t ~pcid:1 ~vpn:3);
+  check bool_t "pwc warm" true (Tlb.pwc_warm t);
+  check int_t "no promotion" 0 (Tlb.stats t).Tlb.fracture_full_flushes
+
+let test_tlb_flush_all () =
+  let t = Tlb.create () in
+  Tlb.insert t (entry ~vpn:1 ~pfn:1 ());
+  Tlb.insert t (entry ~global:true ~vpn:2 ~pfn:2 ());
+  Tlb.flush_all t;
+  check int_t "empty" 0 (Tlb.occupancy t);
+  check int_t "counted" 1 (Tlb.stats t).Tlb.full_flushes
+
+(* --- Cpu + Apic --- *)
+
+let make_machine_parts () =
+  let e = Engine.create () in
+  let topo = Topology.paper_machine in
+  let c = Costs.default in
+  let cpus =
+    Array.init (Topology.n_cpus topo) (fun id ->
+        Cpu.create e topo c ~id ~safe:false ())
+  in
+  let apic = Apic.create e topo c ~cpus in
+  (e, topo, c, cpus, apic)
+
+let test_cpu_compute_accounting () =
+  let e, _, _, cpus, _ = make_machine_parts () in
+  Process.spawn e ~name:"worker" (fun () -> Cpu.compute cpus.(0) 1000);
+  Engine.run e;
+  check int_t "time advanced" 1000 (Engine.now e);
+  check int_t "compute recorded" 1000 (Cpu.compute_cycles cpus.(0))
+
+let test_ipi_delivery_and_interruption () =
+  let e, _, c, cpus, apic = make_machine_parts () in
+  let handled = ref false in
+  Process.spawn e ~name:"sender" (fun () ->
+      let cost =
+        Apic.send_ipi apic ~from:0 ~targets:[ 14 ]
+          ~make_irq:(fun _ ->
+            {
+              Cpu.vector = 1;
+              maskable = true;
+              handler =
+                (fun cpu ->
+                  handled := true;
+                  Process.delay e 500;
+                  ignore cpu);
+            })
+      in
+      Process.delay e cost);
+  Process.spawn e ~name:"responder" (fun () -> Cpu.compute cpus.(14) 20_000);
+  Engine.run e;
+  check bool_t "handled" true !handled;
+  check int_t "one irq" 1 (Cpu.irqs_handled cpus.(14));
+  let expected_min = 500 + Costs.irq_entry c ~safe:false ~from_user:true + c.Costs.irq_exit in
+  check bool_t "interruption includes entry+handler+exit" true
+    (Cpu.interrupted_cycles cpus.(14) >= expected_min)
+
+let test_irq_masking_defers () =
+  let e, _, _, cpus, apic = make_machine_parts () in
+  let handled_at = ref (-1) in
+  let target = cpus.(1) in
+  Process.spawn e ~name:"receiver" (fun () ->
+      Cpu.irq_disable target;
+      Cpu.compute target 5_000;
+      (* IRQ arrives during this window but must wait. *)
+      Cpu.irq_enable target);
+  Process.spawn e ~name:"sender" (fun () ->
+      Process.delay e 100;
+      ignore
+        (Apic.send_ipi apic ~from:0 ~targets:[ 1 ]
+           ~make_irq:(fun _ ->
+             {
+               Cpu.vector = 2;
+               maskable = true;
+               handler = (fun _ -> handled_at := Engine.now e);
+             })));
+  Engine.run e;
+  check bool_t "deferred past mask window" true (!handled_at >= 5_000)
+
+let test_nmi_bypasses_mask () =
+  let e, _, _, cpus, _ = make_machine_parts () in
+  let handled = ref false in
+  let target = cpus.(2) in
+  Process.spawn e ~name:"receiver" (fun () ->
+      Cpu.irq_disable target;
+      Cpu.post_irq target
+        { Cpu.vector = 2; maskable = false; handler = (fun _ -> handled := true) };
+      Cpu.compute target 1_000;
+      check bool_t "NMI ran while masked" true !handled;
+      Cpu.irq_enable target);
+  Engine.run e
+
+let test_spin_until_services_irqs () =
+  let e, _, _, cpus, apic = make_machine_parts () in
+  let flag = ref false in
+  Process.spawn e ~name:"spinner" (fun () ->
+      Cpu.spin_until cpus.(3) (fun () -> !flag));
+  Process.spawn e ~name:"sender" (fun () ->
+      Process.delay e 1_000;
+      ignore
+        (Apic.send_ipi apic ~from:0 ~targets:[ 3 ]
+           ~make_irq:(fun _ ->
+             { Cpu.vector = 3; maskable = true; handler = (fun _ -> flag := true) })));
+  Engine.run e;
+  check bool_t "spinner released by irq" true !flag
+
+let test_apic_multicast_cluster_cost () =
+  let e, topo, c, _, apic = make_machine_parts () in
+  (* Targets in different clusters need several ICR writes. *)
+  let targets = [ 1; 13; 14; 27 ] in
+  let clusters = List.length (Topology.clusters_of_targets topo targets) in
+  Process.spawn e ~name:"sender" (fun () ->
+      let cost =
+        Apic.send_ipi apic ~from:0 ~targets ~make_irq:(fun _ ->
+            { Cpu.vector = 9; maskable = true; handler = (fun _ -> ()) })
+      in
+      check int_t "one ICR write per cluster" (clusters * c.Costs.icr_write) cost);
+  Engine.run e;
+  check int_t "icr writes counted" clusters (Apic.icr_writes apic);
+  check int_t "ipis counted" (List.length targets) (Apic.ipis_sent apic)
+
+let test_apic_rejects_self_ipi () =
+  let e, _, _, _, apic = make_machine_parts () in
+  Process.spawn e ~name:"sender" (fun () ->
+      Alcotest.check_raises "self ipi"
+        (Invalid_argument "Apic.send_ipi: self-IPI not supported") (fun () ->
+          ignore
+            (Apic.send_ipi apic ~from:0 ~targets:[ 0 ] ~make_irq:(fun _ ->
+                 { Cpu.vector = 1; maskable = true; handler = (fun _ -> ()) }))));
+  Engine.run e
+
+let test_idle_wait_wakes_on_irq () =
+  let e, _, _, cpus, apic = make_machine_parts () in
+  let woke_at = ref (-1) in
+  Process.spawn e ~name:"idler" (fun () ->
+      Cpu.idle_wait cpus.(4);
+      woke_at := Engine.now e);
+  Process.spawn e ~name:"sender" (fun () ->
+      Process.delay e 2_000;
+      ignore
+        (Apic.send_ipi apic ~from:0 ~targets:[ 4 ] ~make_irq:(fun _ ->
+             { Cpu.vector = 1; maskable = true; handler = (fun _ -> ()) })));
+  Engine.run e;
+  check bool_t "woken after delivery" true (!woke_at > 2_000)
+
+let suite =
+  [
+    Alcotest.test_case "topology: sizes" `Quick test_topology_sizes;
+    Alcotest.test_case "topology: socket mapping" `Quick test_topology_socket_mapping;
+    Alcotest.test_case "topology: smt siblings" `Quick test_topology_smt_sibling;
+    Alcotest.test_case "topology: distance" `Quick test_topology_distance;
+    Alcotest.test_case "topology: x2apic clusters" `Quick test_topology_clusters;
+    Alcotest.test_case "topology: cpus_of_socket" `Quick test_topology_cpus_of_socket;
+    Alcotest.test_case "topology: bounds checking" `Quick test_topology_bounds;
+    Alcotest.test_case "costs: monotone in distance" `Quick test_costs_monotone_distance;
+    Alcotest.test_case "costs: mode asymmetries" `Quick test_costs_mode_asymmetry;
+    Alcotest.test_case "cache: first touch local" `Quick test_cache_first_touch_local;
+    Alcotest.test_case "cache: remote read transfer" `Quick test_cache_remote_read_costs_transfer;
+    Alcotest.test_case "cache: write invalidates sharers" `Quick test_cache_write_invalidates_sharers;
+    Alcotest.test_case "cache: exclusive write local" `Quick test_cache_exclusive_write_is_local;
+    Alcotest.test_case "cache: atomic cost" `Quick test_cache_atomic_cost;
+    Alcotest.test_case "cache: totals and reset" `Quick test_cache_totals;
+    Alcotest.test_case "tlb: hit/miss" `Quick test_tlb_hit_miss;
+    Alcotest.test_case "tlb: pcid isolation" `Quick test_tlb_pcid_isolation;
+    Alcotest.test_case "tlb: global matches any pcid" `Quick test_tlb_global_matches_any_pcid;
+    Alcotest.test_case "tlb: hugepage covers 4K lookups" `Quick test_tlb_huge_covers_4k_lookups;
+    Alcotest.test_case "tlb: invlpg selective" `Quick test_tlb_invlpg_selective;
+    Alcotest.test_case "tlb: invlpg drops globals+pwc" `Quick test_tlb_invlpg_drops_globals_and_pwc;
+    Alcotest.test_case "tlb: invpcid keeps pwc" `Quick test_tlb_invpcid_keeps_pwc;
+    Alcotest.test_case "tlb: cr3 flush spares globals" `Quick test_tlb_cr3_flush_spares_globals;
+    Alcotest.test_case "tlb: capacity eviction" `Quick test_tlb_capacity_eviction;
+    Alcotest.test_case "tlb: fracture promotion" `Quick test_tlb_fracture_promotion;
+    Alcotest.test_case "tlb: drop has no side effects" `Quick test_tlb_drop_no_side_effects;
+    Alcotest.test_case "tlb: flush_all" `Quick test_tlb_flush_all;
+    Alcotest.test_case "cpu: compute accounting" `Quick test_cpu_compute_accounting;
+    Alcotest.test_case "cpu+apic: delivery and interruption" `Quick test_ipi_delivery_and_interruption;
+    Alcotest.test_case "cpu: masking defers irqs" `Quick test_irq_masking_defers;
+    Alcotest.test_case "cpu: nmi bypasses mask" `Quick test_nmi_bypasses_mask;
+    Alcotest.test_case "cpu: spin_until services irqs" `Quick test_spin_until_services_irqs;
+    Alcotest.test_case "apic: multicast cluster cost" `Quick test_apic_multicast_cluster_cost;
+    Alcotest.test_case "apic: rejects self-IPI" `Quick test_apic_rejects_self_ipi;
+    Alcotest.test_case "cpu: idle_wait wakes on irq" `Quick test_idle_wait_wakes_on_irq;
+  ]

@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "shootdown"
+    [
+      ("sim", Test_sim.suite);
+      ("hw", Test_hw.suite);
+      ("mm", Test_mm.suite);
+      ("core-structs", Test_core_structs.suite);
+      ("shootdown", Test_shootdown.suite);
+      ("fault-syscall", Test_fault_syscall.suite);
+      ("sched", Test_sched.suite);
+      ("safety", Test_safety.suite);
+      ("workloads", Test_workloads.suite);
+      ("extensions", Test_extensions.suite);
+      ("huge-migrate", Test_huge_migrate.suite);
+      ("fork-mremap", Test_fork_mremap.suite);
+      ("ksm", Test_ksm.suite);
+      ("stress", Test_stress.suite);
+      ("coverage", Test_coverage.suite);
+      ("properties", Test_props.suite);
+    ]

@@ -1,0 +1,309 @@
+(* Unit tests for the memory substrate: Addr, Pte, Frame_alloc, Page_table,
+   Ept, Nested_mmu. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+(* --- Addr --- *)
+
+let test_addr_conversions () =
+  check int_t "vpn" 3 (Addr.vpn_of_addr (3 * 4096));
+  check int_t "vpn rounds down" 3 (Addr.vpn_of_addr ((3 * 4096) + 4095));
+  check int_t "addr" (5 * 4096) (Addr.addr_of_vpn 5);
+  check int_t "align down" 8192 (Addr.page_align_down 8193);
+  check int_t "align up" 12288 (Addr.page_align_up 8193);
+  check int_t "align up exact" 8192 (Addr.page_align_up 8192)
+
+let test_addr_ranges () =
+  check int_t "pages spanning single" 1 (Addr.pages_spanning ~addr:100 ~len:1);
+  check int_t "pages spanning boundary" 2 (Addr.pages_spanning ~addr:4000 ~len:200);
+  check int_t "pages spanning zero" 0 (Addr.pages_spanning ~addr:0 ~len:0);
+  check (Alcotest.list int_t) "vpns" [ 0; 1 ] (Addr.vpns_of_range ~addr:4000 ~len:200)
+
+let test_addr_huge () =
+  check bool_t "0 aligned" true (Addr.huge_aligned 0);
+  check bool_t "512 aligned" true (Addr.huge_aligned 512);
+  check bool_t "513 not" false (Addr.huge_aligned 513);
+  check int_t "stride 4k" 12 (Addr.stride_shift Tlb.Four_k);
+  check int_t "stride 2m" 21 (Addr.stride_shift Tlb.Two_m);
+  check int_t "pages of 2m" 512 (Addr.pages_of_size Tlb.Two_m)
+
+(* --- Pte --- *)
+
+let test_pte_transitions () =
+  let p = Pte.user_data ~pfn:42 in
+  check bool_t "present" true p.Pte.present;
+  check bool_t "writable" true p.Pte.writable;
+  let cow = Pte.make_cow p in
+  check bool_t "cow write-protected" false cow.Pte.writable;
+  check bool_t "cow marked" true cow.Pte.cow;
+  let broken = Pte.break_cow cow ~new_pfn:77 in
+  check int_t "new frame" 77 broken.Pte.pfn;
+  check bool_t "writable again" true broken.Pte.writable;
+  check bool_t "not cow" false broken.Pte.cow;
+  check bool_t "dirty" true broken.Pte.dirty
+
+let test_pte_clean_protect () =
+  let p = Pte.mark_dirty (Pte.user_data ~pfn:1) in
+  let wb = Pte.clean (Pte.write_protect p) in
+  check bool_t "clean" false wb.Pte.dirty;
+  check bool_t "write-protected" false wb.Pte.writable
+
+let test_pte_kernel_global () =
+  let k = Pte.kernel_data ~pfn:3 in
+  check bool_t "global" true k.Pte.global;
+  check bool_t "not user" false k.Pte.user
+
+(* --- Frame_alloc --- *)
+
+let test_frames_alloc_free () =
+  let f = Frame_alloc.create ~frames:4096 in
+  let a = Frame_alloc.alloc f in
+  let b = Frame_alloc.alloc f in
+  check bool_t "distinct" true (a <> b);
+  check int_t "allocated" 2 (Frame_alloc.allocated f);
+  Frame_alloc.free f a;
+  check int_t "after free" 1 (Frame_alloc.allocated f);
+  check bool_t "a free" false (Frame_alloc.is_allocated f a);
+  check bool_t "b allocated" true (Frame_alloc.is_allocated f b)
+
+let test_frames_recycling_and_generation () =
+  let f = Frame_alloc.create ~frames:4096 in
+  let a = Frame_alloc.alloc f in
+  let g0 = Frame_alloc.generation f a in
+  Frame_alloc.free f a;
+  let a' = Frame_alloc.alloc f in
+  check int_t "recycled same frame" a a';
+  check int_t "generation bumped" (g0 + 1) (Frame_alloc.generation f a)
+
+let test_frames_double_free_rejected () =
+  let f = Frame_alloc.create ~frames:64 in
+  let a = Frame_alloc.alloc f in
+  Frame_alloc.free f a;
+  Alcotest.check_raises "double free"
+    (Invalid_argument (Printf.sprintf "Frame_alloc.free: frame %d not allocated" a))
+    (fun () -> Frame_alloc.free f a)
+
+let test_frames_huge_alignment () =
+  let f = Frame_alloc.create ~frames:4096 in
+  let h = Frame_alloc.alloc_huge f in
+  check int_t "aligned" 0 (h land 511);
+  check int_t "512 frames taken" 512 (Frame_alloc.allocated f);
+  Frame_alloc.free_huge f h;
+  check int_t "released" 0 (Frame_alloc.allocated f)
+
+let test_frames_exhaustion () =
+  let f = Frame_alloc.create ~frames:8 in
+  for _ = 1 to 8 do
+    ignore (Frame_alloc.alloc f)
+  done;
+  Alcotest.check_raises "oom" Frame_alloc.Out_of_memory (fun () ->
+      ignore (Frame_alloc.alloc f))
+
+(* --- Page_table --- *)
+
+let test_pt_map_walk () =
+  let pt = Page_table.create () in
+  Page_table.map pt ~vpn:1000 ~size:Tlb.Four_k (Pte.user_data ~pfn:50);
+  (match Page_table.walk pt ~vpn:1000 with
+  | Some w ->
+      check int_t "pfn" 50 w.Page_table.pte.Pte.pfn;
+      check int_t "4 levels" 4 w.Page_table.levels
+  | None -> Alcotest.fail "expected mapping");
+  check bool_t "unmapped misses" true (Page_table.walk pt ~vpn:1001 = None);
+  check int_t "mapped count" 1 (Page_table.mapped_count pt)
+
+let test_pt_hugepage () =
+  let pt = Page_table.create () in
+  Page_table.map pt ~vpn:1024 ~size:Tlb.Two_m (Pte.user_data ~pfn:8192);
+  (match Page_table.walk pt ~vpn:(1024 + 100) with
+  | Some w ->
+      check int_t "3 levels" 3 w.Page_table.levels;
+      check bool_t "2m size" true (w.Page_table.size = Tlb.Two_m)
+  | None -> Alcotest.fail "hugepage covers inner vpn");
+  Alcotest.check_raises "unaligned huge"
+    (Invalid_argument "Page_table.map: hugepage VPN must be 2MiB-aligned") (fun () ->
+      Page_table.map pt ~vpn:7 ~size:Tlb.Two_m (Pte.user_data ~pfn:0))
+
+let test_pt_double_map_rejected () =
+  let pt = Page_table.create () in
+  Page_table.map pt ~vpn:10 ~size:Tlb.Four_k (Pte.user_data ~pfn:1);
+  Alcotest.check_raises "double map"
+    (Invalid_argument "Page_table.map: vpn 10 already mapped") (fun () ->
+      Page_table.map pt ~vpn:10 ~size:Tlb.Four_k (Pte.user_data ~pfn:2))
+
+let test_pt_unmap () =
+  let pt = Page_table.create () in
+  Page_table.map pt ~vpn:10 ~size:Tlb.Four_k (Pte.user_data ~pfn:1);
+  let r = Page_table.unmap pt ~vpn:10 () in
+  (match r.Page_table.removed with
+  | [ (vpn, pte, size) ] ->
+      check int_t "vpn" 10 vpn;
+      check int_t "pfn" 1 pte.Pte.pfn;
+      check bool_t "4k" true (size = Tlb.Four_k)
+  | _ -> Alcotest.fail "expected one removal");
+  check bool_t "no tables freed without flag" false r.Page_table.freed_tables;
+  check int_t "empty" 0 (Page_table.mapped_count pt);
+  let r2 = Page_table.unmap pt ~vpn:10 () in
+  check bool_t "second unmap empty" true (r2.Page_table.removed = [])
+
+let test_pt_unmap_frees_tables () =
+  let pt = Page_table.create () in
+  Page_table.map pt ~vpn:10 ~size:Tlb.Four_k (Pte.user_data ~pfn:1);
+  let tables_before = Page_table.table_pages pt in
+  check int_t "three intermediate tables" 3 tables_before;
+  let r = Page_table.unmap pt ~vpn:10 ~free_tables:true () in
+  check bool_t "tables freed" true r.Page_table.freed_tables;
+  check int_t "no tables left" 0 (Page_table.table_pages pt);
+  check int_t "freed counter" 3 (Page_table.tables_freed pt)
+
+let test_pt_unmap_range_spans_hugepage () =
+  let pt = Page_table.create () in
+  Page_table.map pt ~vpn:0 ~size:Tlb.Four_k (Pte.user_data ~pfn:1);
+  Page_table.map pt ~vpn:512 ~size:Tlb.Two_m (Pte.user_data ~pfn:512);
+  Page_table.map pt ~vpn:1024 ~size:Tlb.Four_k (Pte.user_data ~pfn:2);
+  let r = Page_table.unmap_range pt ~vpn:0 ~pages:1025 () in
+  check int_t "three removed" 3 (List.length r.Page_table.removed);
+  check int_t "nothing left" 0 (Page_table.mapped_count pt)
+
+let test_pt_update () =
+  let pt = Page_table.create () in
+  Page_table.map pt ~vpn:10 ~size:Tlb.Four_k (Pte.user_data ~pfn:1);
+  (match Page_table.update pt ~vpn:10 ~f:Pte.write_protect with
+  | Some (old_pte, new_pte) ->
+      check bool_t "was writable" true old_pte.Pte.writable;
+      check bool_t "now protected" false new_pte.Pte.writable
+  | None -> Alcotest.fail "expected update");
+  check bool_t "unmapped update" true (Page_table.update pt ~vpn:11 ~f:Fun.id = None)
+
+let test_pt_version_bumps () =
+  let pt = Page_table.create () in
+  let v0 = Page_table.version pt in
+  Page_table.map pt ~vpn:10 ~size:Tlb.Four_k (Pte.user_data ~pfn:1);
+  let v1 = Page_table.version pt in
+  check bool_t "map bumps" true (v1 > v0);
+  ignore (Page_table.update pt ~vpn:10 ~f:Pte.write_protect);
+  check bool_t "update bumps" true (Page_table.version pt > v1)
+
+let test_pt_iter () =
+  let pt = Page_table.create () in
+  Page_table.map pt ~vpn:10 ~size:Tlb.Four_k (Pte.user_data ~pfn:1);
+  Page_table.map pt ~vpn:1024 ~size:Tlb.Two_m (Pte.user_data ~pfn:2048);
+  Page_table.map pt ~vpn:((1 lsl 27) + 5) ~size:Tlb.Four_k (Pte.user_data ~pfn:3);
+  let seen = ref [] in
+  Page_table.iter pt ~f:(fun vpn _ _ -> seen := vpn :: !seen);
+  check (Alcotest.list int_t) "all leaves with correct vpns"
+    [ 10; 1024; (1 lsl 27) + 5 ]
+    (List.sort compare !seen)
+
+(* --- Ept / Nested --- *)
+
+let test_ept_translate () =
+  let ept = Ept.create () in
+  Ept.map ept ~gfn:100 ~size:Tlb.Four_k ~hfn:900;
+  check
+    (Alcotest.option (Alcotest.pair int_t (Alcotest.testable (fun fmt s ->
+         Format.pp_print_string fmt (match s with Tlb.Four_k -> "4k" | Tlb.Two_m -> "2m"))
+         ( = ))))
+    "mapped" (Some (900, Tlb.Four_k)) (Ept.translate ept ~gfn:100);
+  check bool_t "unmapped" true (Ept.translate ept ~gfn:101 = None)
+
+let test_ept_huge_offset () =
+  let ept = Ept.create () in
+  Ept.map ept ~gfn:1024 ~size:Tlb.Two_m ~hfn:4096;
+  (match Ept.translate ept ~gfn:(1024 + 37) with
+  | Some (hfn, size) ->
+      check int_t "offset preserved" (4096 + 37) hfn;
+      check bool_t "2m" true (size = Tlb.Two_m)
+  | None -> Alcotest.fail "expected translation")
+
+let test_nested_fracture_detection () =
+  let guest = Page_table.create () in
+  Page_table.map guest ~vpn:1024 ~size:Tlb.Two_m (Pte.user_data ~pfn:2048);
+  let ept = Ept.create () in
+  for i = 0 to 511 do
+    Ept.map ept ~gfn:(2048 + i) ~size:Tlb.Four_k ~hfn:(9000 + i)
+  done;
+  match Ept.Nested.translate ~guest ~ept ~vpn:(1024 + 5) with
+  | Some r ->
+      check bool_t "fractured" true r.Ept.Nested.fractured;
+      check bool_t "effective 4k" true (r.Ept.Nested.effective_size = Tlb.Four_k);
+      check int_t "hfn" 9005 r.Ept.Nested.hfn
+  | None -> Alcotest.fail "expected nested translation"
+
+let test_nested_2m_on_2m_not_fractured () =
+  let guest = Page_table.create () in
+  Page_table.map guest ~vpn:1024 ~size:Tlb.Two_m (Pte.user_data ~pfn:2048);
+  let ept = Ept.create () in
+  Ept.map ept ~gfn:2048 ~size:Tlb.Two_m ~hfn:8192;
+  match Ept.Nested.translate ~guest ~ept ~vpn:1024 with
+  | Some r ->
+      check bool_t "not fractured" false r.Ept.Nested.fractured;
+      check bool_t "effective 2m" true (r.Ept.Nested.effective_size = Tlb.Two_m)
+  | None -> Alcotest.fail "expected nested translation"
+
+let test_nested_mmu_access_counts () =
+  let guest = Page_table.create () in
+  for i = 0 to 9 do
+    Page_table.map guest ~vpn:(512 + i) ~size:Tlb.Four_k (Pte.user_data ~pfn:(100 + i))
+  done;
+  let mmu = Nested_mmu.create ~guest ~pcid:1 () in
+  let hits, misses = Nested_mmu.touch_range mmu ~start_vpn:512 ~pages:10 in
+  check int_t "cold misses" 10 misses;
+  check int_t "no hits yet" 0 hits;
+  let hits2, misses2 = Nested_mmu.touch_range mmu ~start_vpn:512 ~pages:10 in
+  check int_t "warm hits" 10 hits2;
+  check int_t "no new misses" 0 misses2
+
+let test_nested_mmu_guest_fault () =
+  let guest = Page_table.create () in
+  let mmu = Nested_mmu.create ~guest ~pcid:1 () in
+  Alcotest.check_raises "unmapped" (Nested_mmu.Guest_fault 7) (fun () ->
+      ignore (Nested_mmu.access mmu ~vpn:7))
+
+let test_nested_mmu_fracture_flag_set () =
+  let guest = Page_table.create () in
+  Page_table.map guest ~vpn:1024 ~size:Tlb.Two_m (Pte.user_data ~pfn:2048);
+  let ept = Ept.create () in
+  for i = 0 to 511 do
+    Ept.map ept ~gfn:(2048 + i) ~size:Tlb.Four_k ~hfn:(9000 + i)
+  done;
+  let mmu = Nested_mmu.create ~guest ~ept ~pcid:1 () in
+  ignore (Nested_mmu.access mmu ~vpn:1024);
+  check bool_t "flag armed" true (Tlb.fracture_flag (Nested_mmu.tlb mmu));
+  (* A selective flush of anything now wipes the TLB. *)
+  ignore (Nested_mmu.access mmu ~vpn:1025);
+  Nested_mmu.invlpg mmu ~vpn:999_999;
+  check int_t "everything flushed" 0 (Tlb.occupancy (Nested_mmu.tlb mmu))
+
+let suite =
+  [
+    Alcotest.test_case "addr: conversions" `Quick test_addr_conversions;
+    Alcotest.test_case "addr: ranges" `Quick test_addr_ranges;
+    Alcotest.test_case "addr: hugepages" `Quick test_addr_huge;
+    Alcotest.test_case "pte: cow transitions" `Quick test_pte_transitions;
+    Alcotest.test_case "pte: writeback transitions" `Quick test_pte_clean_protect;
+    Alcotest.test_case "pte: kernel global" `Quick test_pte_kernel_global;
+    Alcotest.test_case "frames: alloc/free" `Quick test_frames_alloc_free;
+    Alcotest.test_case "frames: recycling bumps generation" `Quick test_frames_recycling_and_generation;
+    Alcotest.test_case "frames: double free rejected" `Quick test_frames_double_free_rejected;
+    Alcotest.test_case "frames: hugepage alignment" `Quick test_frames_huge_alignment;
+    Alcotest.test_case "frames: exhaustion" `Quick test_frames_exhaustion;
+    Alcotest.test_case "pt: map and walk" `Quick test_pt_map_walk;
+    Alcotest.test_case "pt: hugepages" `Quick test_pt_hugepage;
+    Alcotest.test_case "pt: double map rejected" `Quick test_pt_double_map_rejected;
+    Alcotest.test_case "pt: unmap" `Quick test_pt_unmap;
+    Alcotest.test_case "pt: unmap frees tables" `Quick test_pt_unmap_frees_tables;
+    Alcotest.test_case "pt: range unmap spans hugepage" `Quick test_pt_unmap_range_spans_hugepage;
+    Alcotest.test_case "pt: update" `Quick test_pt_update;
+    Alcotest.test_case "pt: version bumps" `Quick test_pt_version_bumps;
+    Alcotest.test_case "pt: iter reconstructs vpns" `Quick test_pt_iter;
+    Alcotest.test_case "ept: translate" `Quick test_ept_translate;
+    Alcotest.test_case "ept: hugepage offsets" `Quick test_ept_huge_offset;
+    Alcotest.test_case "nested: fracture detection" `Quick test_nested_fracture_detection;
+    Alcotest.test_case "nested: 2m-on-2m not fractured" `Quick test_nested_2m_on_2m_not_fractured;
+    Alcotest.test_case "nested mmu: hit/miss counting" `Quick test_nested_mmu_access_counts;
+    Alcotest.test_case "nested mmu: guest fault" `Quick test_nested_mmu_guest_fault;
+    Alcotest.test_case "nested mmu: fracture flag" `Quick test_nested_mmu_fracture_flag_set;
+  ]

@@ -1,0 +1,392 @@
+(* Unit tests for the simulation substrate: Rng, Stats, Heap, Engine,
+   Process, Waitq, Trace. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:99L and b = Rng.create ~seed:99L in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_seed_matters () =
+  let a = Rng.create ~seed:1L and b = Rng.create ~seed:2L in
+  check bool_t "different streams" true (Rng.next a <> Rng.next b)
+
+let test_rng_int_bounds () =
+  let r = Rng.create ~seed:5L in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    check bool_t "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_rejects_nonpositive () =
+  let r = Rng.create ~seed:5L in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_float_range () =
+  let r = Rng.create ~seed:6L in
+  for _ = 1 to 1000 do
+    let f = Rng.float r in
+    check bool_t "in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_rng_bool_probability () =
+  let r = Rng.create ~seed:7L in
+  let hits = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    if Rng.bool r ~p:0.25 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  check bool_t "close to 0.25" true (rate > 0.22 && rate < 0.28)
+
+let test_rng_split_independent () =
+  let parent = Rng.create ~seed:1L in
+  let child = Rng.split parent in
+  (* Drawing from the child must not change the parent's future values. *)
+  let parent2 = Rng.create ~seed:1L in
+  let _ = Rng.split parent2 in
+  ignore (Rng.next child);
+  check Alcotest.int64 "parent unaffected by child draws" (Rng.next parent) (Rng.next parent2)
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create ~seed:9L in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check (Alcotest.array int_t) "still a permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_exponential_mean () =
+  let r = Rng.create ~seed:10L in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential r ~mean:100.0
+  done;
+  let mean = !sum /. float_of_int n in
+  check bool_t "mean near 100" true (mean > 90.0 && mean < 110.0)
+
+let test_rng_gaussian_moments () =
+  let r = Rng.create ~seed:11L in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.gaussian r ~mean:5.0 ~stddev:2.0
+  done;
+  let mean = !sum /. float_of_int n in
+  check bool_t "mean near 5" true (mean > 4.8 && mean < 5.2)
+
+(* --- Stats --- *)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  check int_t "count" 0 (Stats.count s);
+  check (Alcotest.float 0.0) "mean" 0.0 (Stats.mean s);
+  check (Alcotest.float 0.0) "stddev" 0.0 (Stats.stddev s)
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  check int_t "count" 8 (Stats.count s);
+  check (Alcotest.float 1e-9) "mean" 5.0 (Stats.mean s);
+  check (Alcotest.float 1e-9) "min" 2.0 (Stats.min s);
+  check (Alcotest.float 1e-9) "max" 9.0 (Stats.max s);
+  (* Sample stddev of this classic dataset: sqrt(32/7). *)
+  check (Alcotest.float 1e-6) "stddev" (sqrt (32.0 /. 7.0)) (Stats.stddev s)
+
+let test_stats_percentile () =
+  let s = Stats.create () in
+  for i = 1 to 100 do
+    Stats.add s (float_of_int i)
+  done;
+  check (Alcotest.float 1e-9) "p0" 1.0 (Stats.percentile s 0.0);
+  check (Alcotest.float 1e-9) "p100" 100.0 (Stats.percentile s 100.0);
+  check (Alcotest.float 1e-9) "median" 50.5 (Stats.median s)
+
+let test_stats_percentile_interpolates () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 10.0; 20.0 ];
+  check (Alcotest.float 1e-9) "p50 between" 15.0 (Stats.percentile s 50.0)
+
+let test_stats_merge () =
+  let a = Stats.create () and b = Stats.create () in
+  List.iter (Stats.add a) [ 1.0; 2.0 ];
+  List.iter (Stats.add b) [ 3.0; 4.0 ];
+  Stats.merge_into a b;
+  check int_t "count" 4 (Stats.count a);
+  check (Alcotest.float 1e-9) "mean" 2.5 (Stats.mean a)
+
+let test_histogram () =
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:100.0 ~buckets:10 in
+  Stats.Histogram.add h 5.0;
+  Stats.Histogram.add h 15.0;
+  Stats.Histogram.add h 15.5;
+  Stats.Histogram.add h 999.0;
+  (* clamps into last bucket *)
+  Stats.Histogram.add h (-5.0);
+  (* clamps into first bucket *)
+  let counts = Stats.Histogram.counts h in
+  check int_t "bucket 0" 2 counts.(0);
+  check int_t "bucket 1" 2 counts.(1);
+  check int_t "bucket 9" 1 counts.(9)
+
+(* --- Heap --- *)
+
+let test_heap_ordering () =
+  let h = Heap.create ~compare in
+  List.iter (Heap.push h) [ 5; 3; 8; 1; 9; 2; 7 ];
+  let out = ref [] in
+  let rec drain () =
+    match Heap.pop h with
+    | Some x ->
+        out := x :: !out;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  check (Alcotest.list int_t) "sorted output" [ 1; 2; 3; 5; 7; 8; 9 ] (List.rev !out)
+
+let test_heap_peek () =
+  let h = Heap.create ~compare in
+  check (Alcotest.option int_t) "empty peek" None (Heap.peek h);
+  Heap.push h 4;
+  Heap.push h 2;
+  check (Alcotest.option int_t) "peek min" (Some 2) (Heap.peek h);
+  check int_t "length unchanged" 2 (Heap.length h)
+
+let test_heap_random_against_sort () =
+  let r = Rng.create ~seed:13L in
+  let h = Heap.create ~compare in
+  let values = List.init 500 (fun _ -> Rng.int r 10_000) in
+  List.iter (Heap.push h) values;
+  let expected = List.sort compare values in
+  let rec drain acc =
+    match Heap.pop h with Some x -> drain (x :: acc) | None -> List.rev acc
+  in
+  check (Alcotest.list int_t) "matches sort" expected (drain [])
+
+let test_heap_clear () =
+  let h = Heap.create ~compare in
+  List.iter (Heap.push h) [ 1; 2; 3 ];
+  Heap.clear h;
+  check bool_t "empty after clear" true (Heap.is_empty h)
+
+(* --- Engine --- *)
+
+let test_engine_time_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:30 (fun () -> log := 30 :: !log);
+  Engine.schedule e ~delay:10 (fun () -> log := 10 :: !log);
+  Engine.schedule e ~delay:20 (fun () -> log := 20 :: !log);
+  Engine.run e;
+  check (Alcotest.list int_t) "fired in time order" [ 10; 20; 30 ] (List.rev !log);
+  check int_t "clock at last event" 30 (Engine.now e)
+
+let test_engine_fifo_at_same_time () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Engine.schedule e ~delay:7 (fun () -> log := i :: !log)
+  done;
+  Engine.run e;
+  check (Alcotest.list int_t) "insertion order at ties" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_nested_scheduling () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:5 (fun () ->
+      log := "a" :: !log;
+      Engine.schedule e ~delay:5 (fun () -> log := "b" :: !log));
+  Engine.run e;
+  check (Alcotest.list Alcotest.string) "nested fires" [ "a"; "b" ] (List.rev !log);
+  check int_t "time advanced" 10 (Engine.now e)
+
+let test_engine_rejects_past () =
+  let e = Engine.create () in
+  Engine.schedule e ~delay:10 (fun () -> ());
+  Engine.run e;
+  Alcotest.check_raises "past time"
+    (Invalid_argument "Engine.schedule_at: time 5 is before now 10") (fun () ->
+      Engine.schedule_at e ~time:5 (fun () -> ()))
+
+let test_engine_run_until () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  List.iter
+    (fun d -> Engine.schedule e ~delay:d (fun () -> fired := d :: !fired))
+    [ 10; 20; 30 ];
+  Engine.run_until e ~time:20;
+  check (Alcotest.list int_t) "only up to 20" [ 10; 20 ] (List.rev !fired);
+  check int_t "one pending" 1 (Engine.pending e)
+
+(* --- Process / Waitq --- *)
+
+let test_process_delay_advances_time () =
+  let e = Engine.create () in
+  let finished = ref (-1) in
+  Process.spawn e ~name:"p" (fun () ->
+      Process.delay e 100;
+      Process.delay e 50;
+      finished := Engine.now e);
+  Engine.run e;
+  check int_t "150 cycles" 150 !finished
+
+let test_process_interleaving () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Process.spawn e ~name:"a" (fun () ->
+      Process.delay e 10;
+      log := ("a", Engine.now e) :: !log;
+      Process.delay e 20;
+      log := ("a2", Engine.now e) :: !log);
+  Process.spawn e ~name:"b" (fun () ->
+      Process.delay e 15;
+      log := ("b", Engine.now e) :: !log);
+  Engine.run e;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string int_t))
+    "interleaved order"
+    [ ("a", 10); ("b", 15); ("a2", 30) ]
+    (List.rev !log)
+
+let test_process_failure_propagates () =
+  let e = Engine.create () in
+  Process.spawn e ~name:"boom" (fun () ->
+      Process.delay e 5;
+      failwith "bang");
+  (match Engine.run e with
+  | () -> Alcotest.fail "expected Process_failure"
+  | exception Process.Process_failure (name, Failure msg) ->
+      check Alcotest.string "process name" "boom" name;
+      check Alcotest.string "message" "bang" msg
+  | exception e -> raise e);
+  ()
+
+let test_process_self_name () =
+  let e = Engine.create () in
+  let seen = ref "" in
+  Process.spawn e ~name:"worker-7" (fun () ->
+      Process.delay e 1;
+      seen := Process.self_name ());
+  Engine.run e;
+  check Alcotest.string "name visible after resume" "worker-7" !seen
+
+let test_waitq_signal_all () =
+  let e = Engine.create () in
+  let q = Waitq.create e in
+  let woken = ref [] in
+  for i = 1 to 3 do
+    Process.spawn e ~name:(Printf.sprintf "w%d" i) (fun () ->
+        Waitq.wait q;
+        woken := i :: !woken)
+  done;
+  Process.spawn e ~name:"signaller" (fun () ->
+      Process.delay e 100;
+      Waitq.signal_all q);
+  Engine.run e;
+  check int_t "all woken" 3 (List.length !woken);
+  check int_t "no waiters left" 0 (Waitq.waiters q)
+
+let test_waitq_signal_one_fifo () =
+  let e = Engine.create () in
+  let q = Waitq.create e in
+  let woken = ref [] in
+  for i = 1 to 3 do
+    Process.spawn e ~name:(Printf.sprintf "w%d" i) (fun () ->
+        Waitq.wait q;
+        woken := i :: !woken)
+  done;
+  Process.spawn e ~name:"signaller" (fun () ->
+      Process.delay e 10;
+      Waitq.signal_one q;
+      Process.delay e 10;
+      Waitq.signal_one q);
+  Engine.run e;
+  check (Alcotest.list int_t) "FIFO wakeups" [ 1; 2 ] (List.rev !woken);
+  check int_t "one still waiting" 1 (Waitq.waiters q)
+
+let test_completion () =
+  let e = Engine.create () in
+  let c = Waitq.Completion.create e in
+  let order = ref [] in
+  Process.spawn e ~name:"waiter" (fun () ->
+      Waitq.Completion.wait c;
+      order := "woken" :: !order;
+      (* A second wait after firing returns immediately. *)
+      Waitq.Completion.wait c;
+      order := "again" :: !order);
+  Process.spawn e ~name:"firer" (fun () ->
+      Process.delay e 42;
+      Waitq.Completion.fire c);
+  Engine.run e;
+  check bool_t "fired" true (Waitq.Completion.is_fired c);
+  check (Alcotest.list Alcotest.string) "ordering" [ "woken"; "again" ] (List.rev !order)
+
+(* --- Trace --- *)
+
+let test_trace_disabled_by_default () =
+  let e = Engine.create () in
+  let t = Trace.create e in
+  Trace.emit t ~actor:"x" "hello";
+  check int_t "no records" 0 (List.length (Trace.records t))
+
+let test_trace_records_in_order () =
+  let e = Engine.create () in
+  let t = Trace.create ~enabled:true e in
+  Process.spawn e ~name:"p" (fun () ->
+      Trace.emit t ~actor:"p" "first";
+      Process.delay e 10;
+      Trace.emitf t ~actor:"p" "second at %d" (Engine.now e));
+  Engine.run e;
+  match Trace.records t with
+  | [ r1; r2 ] ->
+      check int_t "t0" 0 r1.Trace.time;
+      check int_t "t10" 10 r2.Trace.time;
+      check Alcotest.string "fmt" "second at 10" r2.Trace.event
+  | records -> Alcotest.failf "expected 2 records, got %d" (List.length records)
+
+let suite =
+  [
+    Alcotest.test_case "rng: deterministic streams" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng: seed matters" `Quick test_rng_seed_matters;
+    Alcotest.test_case "rng: int bounds" `Quick test_rng_int_bounds;
+    Alcotest.test_case "rng: int rejects non-positive" `Quick test_rng_int_rejects_nonpositive;
+    Alcotest.test_case "rng: float in [0,1)" `Quick test_rng_float_range;
+    Alcotest.test_case "rng: bernoulli rate" `Quick test_rng_bool_probability;
+    Alcotest.test_case "rng: split independence" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng: shuffle is a permutation" `Quick test_rng_shuffle_permutation;
+    Alcotest.test_case "rng: exponential mean" `Quick test_rng_exponential_mean;
+    Alcotest.test_case "rng: gaussian mean" `Quick test_rng_gaussian_moments;
+    Alcotest.test_case "stats: empty" `Quick test_stats_empty;
+    Alcotest.test_case "stats: mean/min/max/stddev" `Quick test_stats_basic;
+    Alcotest.test_case "stats: percentiles" `Quick test_stats_percentile;
+    Alcotest.test_case "stats: percentile interpolation" `Quick test_stats_percentile_interpolates;
+    Alcotest.test_case "stats: merge" `Quick test_stats_merge;
+    Alcotest.test_case "stats: histogram" `Quick test_histogram;
+    Alcotest.test_case "heap: pops in order" `Quick test_heap_ordering;
+    Alcotest.test_case "heap: peek" `Quick test_heap_peek;
+    Alcotest.test_case "heap: random vs sort" `Quick test_heap_random_against_sort;
+    Alcotest.test_case "heap: clear" `Quick test_heap_clear;
+    Alcotest.test_case "engine: time ordering" `Quick test_engine_time_ordering;
+    Alcotest.test_case "engine: FIFO at ties" `Quick test_engine_fifo_at_same_time;
+    Alcotest.test_case "engine: nested scheduling" `Quick test_engine_nested_scheduling;
+    Alcotest.test_case "engine: rejects the past" `Quick test_engine_rejects_past;
+    Alcotest.test_case "engine: run_until" `Quick test_engine_run_until;
+    Alcotest.test_case "process: delay advances time" `Quick test_process_delay_advances_time;
+    Alcotest.test_case "process: interleaving" `Quick test_process_interleaving;
+    Alcotest.test_case "process: failures propagate" `Quick test_process_failure_propagates;
+    Alcotest.test_case "process: self name" `Quick test_process_self_name;
+    Alcotest.test_case "waitq: signal_all" `Quick test_waitq_signal_all;
+    Alcotest.test_case "waitq: signal_one FIFO" `Quick test_waitq_signal_one_fifo;
+    Alcotest.test_case "waitq: completion" `Quick test_completion;
+    Alcotest.test_case "trace: disabled is no-op" `Quick test_trace_disabled_by_default;
+    Alcotest.test_case "trace: records in order" `Quick test_trace_records_in_order;
+  ]

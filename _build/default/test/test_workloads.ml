@@ -1,0 +1,221 @@
+(* Integration tests: every experiment driver runs, is deterministic, and
+   shows the paper's qualitative behaviour in miniature. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+(* Small iteration counts: these are correctness/shape tests, not the
+   bench harness. *)
+
+let micro ~opts ~placement ~pte_count =
+  let cfg = Microbench.default_config ~opts ~placement ~pte_count in
+  Microbench.run { cfg with Microbench.iterations = 60; warmup = 10 }
+
+let test_microbench_runs_and_counts () =
+  let r = micro ~opts:(Opts.baseline ~safe:true) ~placement:Microbench.Cross_socket ~pte_count:1 in
+  check int_t "one shootdown per madvise" 60 r.Microbench.shootdowns;
+  check bool_t "nonzero initiator latency" true (r.Microbench.initiator_mean > 0.0);
+  check bool_t "nonzero responder interruption" true (r.Microbench.responder_mean > 0.0)
+
+let test_microbench_deterministic () =
+  let r1 = micro ~opts:(Opts.baseline ~safe:true) ~placement:Microbench.Same_socket ~pte_count:1 in
+  let r2 = micro ~opts:(Opts.baseline ~safe:true) ~placement:Microbench.Same_socket ~pte_count:1 in
+  check (Alcotest.float 0.0) "identical means" r1.Microbench.initiator_mean
+    r2.Microbench.initiator_mean
+
+let test_microbench_all4_beats_baseline_everywhere () =
+  List.iter
+    (fun placement ->
+      List.iter
+        (fun pte_count ->
+          List.iter
+            (fun safe ->
+              let base = micro ~opts:(Opts.baseline ~safe) ~placement ~pte_count in
+              let all = micro ~opts:(Opts.all_general ~safe) ~placement ~pte_count in
+              check bool_t
+                (Printf.sprintf "all4 < baseline (%s, %d pte, safe=%b)"
+                   (Microbench.placement_label placement)
+                   pte_count safe)
+                true
+                (all.Microbench.initiator_mean < base.Microbench.initiator_mean))
+            [ true; false ])
+        [ 1; 10 ])
+    Microbench.all_placements
+
+let test_microbench_crosssocket_slower_than_smt () =
+  let smt = micro ~opts:(Opts.baseline ~safe:true) ~placement:Microbench.Same_core ~pte_count:1 in
+  let far = micro ~opts:(Opts.baseline ~safe:true) ~placement:Microbench.Cross_socket ~pte_count:1 in
+  check bool_t "distance costs" true
+    (far.Microbench.initiator_mean > smt.Microbench.initiator_mean)
+
+let test_microbench_safe_mode_slower () =
+  let safe = micro ~opts:(Opts.baseline ~safe:true) ~placement:Microbench.Same_socket ~pte_count:10 in
+  let unsafe = micro ~opts:(Opts.baseline ~safe:false) ~placement:Microbench.Same_socket ~pte_count:10 in
+  check bool_t "PTI tax" true
+    (safe.Microbench.initiator_mean > unsafe.Microbench.initiator_mean)
+
+let test_cow_bench_runs () =
+  let cfg = Cow_bench.default_config ~opts:(Opts.all_general ~safe:true) in
+  let cfg = { cfg with Cow_bench.rounds = 3; pages_per_round = 32 } in
+  let r = Cow_bench.run cfg in
+  check int_t "every write breaks cow once" 96 r.Cow_bench.cow_breaks;
+  check int_t "no flushes avoided without the opt" 0 r.Cow_bench.flushes_avoided;
+  check bool_t "positive cost" true (r.Cow_bench.write_mean > 0.0)
+
+let test_cow_bench_opt_faster () =
+  let run opts =
+    let cfg = Cow_bench.default_config ~opts in
+    Cow_bench.run { cfg with Cow_bench.rounds = 3; pages_per_round = 32 }
+  in
+  let base = run (Opts.all_general ~safe:true) in
+  let with_cow =
+    let o = Opts.all_general ~safe:true in
+    o.Opts.cow_avoid_flush <- true;
+    run o
+  in
+  check bool_t "cow avoidance reduces write latency" true
+    (with_cow.Cow_bench.write_mean < base.Cow_bench.write_mean);
+  check int_t "all flushes avoided" 96 with_cow.Cow_bench.flushes_avoided
+
+let sysbench ~opts ~threads =
+  let cfg = Sysbench.default_config ~opts ~threads in
+  Sysbench.run { cfg with Sysbench.ops_per_thread = 80; file_pages = 256; sync_every = 20 }
+
+let test_sysbench_runs () =
+  let r = sysbench ~opts:(Opts.baseline ~safe:true) ~threads:4 in
+  check int_t "all ops done" 320 r.Sysbench.ops;
+  check bool_t "shootdowns happened" true (r.Sysbench.shootdowns > 0);
+  check bool_t "throughput positive" true (r.Sysbench.throughput > 0.0)
+
+let test_sysbench_single_thread_no_shootdowns () =
+  let r = sysbench ~opts:(Opts.baseline ~safe:true) ~threads:1 in
+  check int_t "no remote CPUs, no shootdowns" 0 r.Sysbench.shootdowns
+
+let test_sysbench_optimized_not_slower () =
+  let base = sysbench ~opts:(Opts.baseline ~safe:true) ~threads:6 in
+  let opt = sysbench ~opts:(Opts.all ~safe:true) ~threads:6 in
+  check bool_t
+    (Printf.sprintf "optimized (%.3f) >= baseline (%.3f) throughput"
+       opt.Sysbench.throughput base.Sysbench.throughput)
+    true
+    (opt.Sysbench.throughput >= base.Sysbench.throughput)
+
+let test_sysbench_batching_defers () =
+  let opts = Opts.all ~safe:true in
+  let r = sysbench ~opts ~threads:4 in
+  check bool_t "batched deferrals happened" true (r.Sysbench.batched_deferrals > 0)
+
+let test_sysbench_node_cpus () =
+  let topo = Topology.paper_machine in
+  check (Alcotest.list int_t) "first four on socket 0" [ 0; 1; 2; 3 ]
+    (Sysbench.node_cpus topo 4);
+  let sixteen = Sysbench.node_cpus topo 16 in
+  check int_t "16 cpus" 16 (List.length sixteen);
+  List.iter
+    (fun cpu -> check int_t "all on socket 0" 0 (Topology.socket_of topo cpu))
+    sixteen;
+  Alcotest.check_raises "29 exceeds node"
+    (Invalid_argument "Sysbench: 29 threads exceed the 28 CPUs of one node") (fun () ->
+      ignore (Sysbench.node_cpus topo 29))
+
+let apache ~opts ~cores =
+  let cfg = Apache.default_config ~opts ~cores in
+  Apache.run { cfg with Apache.requests = 120 }
+
+let test_apache_runs () =
+  let r = apache ~opts:(Opts.baseline ~safe:true) ~cores:4 in
+  check int_t "requests served" 120 r.Apache.requests_done;
+  check bool_t "munmaps shoot down" true (r.Apache.shootdowns > 0)
+
+let test_apache_optimized_not_slower () =
+  let base = apache ~opts:(Opts.baseline ~safe:true) ~cores:6 in
+  let opt = apache ~opts:(Opts.all ~safe:true) ~cores:6 in
+  check bool_t "optimized >= baseline" true
+    (opt.Apache.throughput >= base.Apache.throughput)
+
+let test_apache_single_core_no_shootdowns () =
+  let r = apache ~opts:(Opts.baseline ~safe:true) ~cores:1 in
+  check int_t "solo core" 0 r.Apache.shootdowns
+
+let test_fracture_table_shape () =
+  let cfg = { Fracture.working_set_pages = 256; rounds = 20; tlb_capacity = 1536 } in
+  let results = Fracture.run_all cfg in
+  check int_t "six rows" 6 (List.length results);
+  List.iter
+    (fun (r : Fracture.result) ->
+      let fractured =
+        r.Fracture.shape.Fracture.host = Some Tlb.Four_k
+        && r.Fracture.shape.Fracture.guest = Tlb.Two_m
+      in
+      if fractured then begin
+        (* The paper's anomaly: selective ~= full. *)
+        check bool_t "selective as bad as full" true
+          (float_of_int r.Fracture.selective_misses
+          >= 0.9 *. float_of_int r.Fracture.full_misses);
+        check bool_t "promotions happened" true (r.Fracture.fracture_promotions > 0)
+      end
+      else begin
+        (* Selective flushes preserve the working set. *)
+        check bool_t
+          (Printf.sprintf "%s: selective << full" r.Fracture.shape.Fracture.label)
+          true
+          (float_of_int r.Fracture.selective_misses
+          < 0.1 *. float_of_int r.Fracture.full_misses);
+        check int_t "no promotions" 0 r.Fracture.fracture_promotions
+      end)
+    results
+
+let test_fracture_2m_on_2m_fewer_misses () =
+  let cfg = { Fracture.working_set_pages = 1024; rounds = 20; tlb_capacity = 1536 } in
+  let find label = List.find (fun r -> r.Fracture.shape.Fracture.label = label) in
+  let results = Fracture.run_all cfg in
+  let small = find "VM   host=4K guest=4K" results in
+  let big = find "VM   host=2M guest=2M" results in
+  (* 2 MiB effective entries: ~512x fewer full-flush misses (Table 4's
+     103M vs 4M contrast in our scale). *)
+  check bool_t "hugepages cut full-flush misses" true
+    (big.Fracture.full_misses * 20 < small.Fracture.full_misses)
+
+let test_report_formatting () =
+  check Alcotest.string "cycles small" "950" (Report.cycles 950.0);
+  check Alcotest.string "cycles k" "15.2k" (Report.cycles 15_200.0);
+  check Alcotest.string "cycles M" "2.50M" (Report.cycles 2_500_000.0);
+  check Alcotest.string "speedup" "1.180x" (Report.speedup 1.18);
+  check Alcotest.string "reduction" "58%" (Report.reduction ~baseline:100.0 42.0);
+  check Alcotest.string "count" "102,400" (Report.count 102400);
+  check Alcotest.string "count small" "37" (Report.count 37)
+
+let test_report_bars () =
+  (* Each block glyph is 3 bytes of UTF-8. *)
+  let cells s = String.length s / 3 in
+  check int_t "full bar" 40 (cells (Report.bar_of ~width:40 ~max:100.0 100.0));
+  check int_t "half bar" 20 (cells (Report.bar_of ~width:40 ~max:100.0 50.0));
+  check int_t "zero" 0 (cells (Report.bar_of ~width:40 ~max:100.0 0.0));
+  check Alcotest.string "degenerate max" "" (Report.bar_of ~width:40 ~max:0.0 5.0);
+  (* Rounds but never overflows the width. *)
+  check int_t "clamped" 40 (cells (Report.bar_of ~width:40 ~max:100.0 120.0))
+
+let suite =
+  [
+    Alcotest.test_case "microbench: runs and counts" `Quick test_microbench_runs_and_counts;
+    Alcotest.test_case "microbench: deterministic" `Quick test_microbench_deterministic;
+    Alcotest.test_case "microbench: all4 beats baseline everywhere" `Slow
+      test_microbench_all4_beats_baseline_everywhere;
+    Alcotest.test_case "microbench: distance hurts" `Quick test_microbench_crosssocket_slower_than_smt;
+    Alcotest.test_case "microbench: PTI tax" `Quick test_microbench_safe_mode_slower;
+    Alcotest.test_case "cow bench: runs" `Quick test_cow_bench_runs;
+    Alcotest.test_case "cow bench: optimization wins" `Quick test_cow_bench_opt_faster;
+    Alcotest.test_case "sysbench: runs" `Quick test_sysbench_runs;
+    Alcotest.test_case "sysbench: 1 thread, no shootdowns" `Quick test_sysbench_single_thread_no_shootdowns;
+    Alcotest.test_case "sysbench: optimized not slower" `Quick test_sysbench_optimized_not_slower;
+    Alcotest.test_case "sysbench: batching defers" `Quick test_sysbench_batching_defers;
+    Alcotest.test_case "sysbench: node pinning" `Quick test_sysbench_node_cpus;
+    Alcotest.test_case "apache: runs" `Quick test_apache_runs;
+    Alcotest.test_case "apache: optimized not slower" `Quick test_apache_optimized_not_slower;
+    Alcotest.test_case "apache: solo core quiet" `Quick test_apache_single_core_no_shootdowns;
+    Alcotest.test_case "fracture: table shape" `Quick test_fracture_table_shape;
+    Alcotest.test_case "fracture: hugepages cut misses" `Quick test_fracture_2m_on_2m_fewer_misses;
+    Alcotest.test_case "report: formatting" `Quick test_report_formatting;
+    Alcotest.test_case "report: bars" `Quick test_report_bars;
+  ]
