@@ -6,6 +6,8 @@
      tlbsim cow --opts all
      tlbsim fracture
      tlbsim trace --ptes 4          (print a protocol timeline)
+     tlbsim analyze --inject-bug    (happens-before race analysis)
+     tlbsim analyze --explore       (systematic interleaving exploration)
 *)
 
 open Cmdliner
@@ -226,6 +228,79 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Print the timeline of one shootdown.")
     Term.(const run $ safe_t $ opts_t $ ptes_t)
 
+(* --- analyze --- *)
+
+let analyze_cmd =
+  let inject_bug_t =
+    let doc =
+      "Inject the protocol bug (drop deferred user-PCID flushes) and let the \
+       happens-before analysis catch it."
+    in
+    Arg.(value & flag & info [ "inject-bug" ] ~doc)
+  in
+  let explore_t =
+    let doc =
+      "Instead of one run, systematically explore interleavings of a 2-CPU shootdown \
+       under every combination of the paper's general optimizations."
+    in
+    Arg.(value & flag & info [ "explore" ] ~doc)
+  in
+  let rounds_t =
+    Arg.(value & opt int 40 & info [ "rounds" ] ~doc:"madvise rounds in the traced scenario.")
+  in
+  let general_flags =
+    [
+      ("concurrent", fun o v -> o.Opts.concurrent_flush <- v);
+      ("early-ack", fun o v -> o.Opts.early_ack <- v);
+      ("cacheline", fun o v -> o.Opts.cacheline_consolidation <- v);
+      ("in-context", fun o v -> o.Opts.in_context_flush <- v);
+    ]
+  in
+  let run safe spec inject_bug explore rounds seed =
+    let opts = make_opts ~safe spec in
+    let opts = if spec = `None && not explore then Opts.all_general ~safe else opts in
+    if inject_bug then opts.Opts.bug_skip_deferred_flush <- true;
+    if explore then begin
+      (* Sweep every subset of the four general optimizations on the
+         exhaustively-explorable 2-CPU scenario. *)
+      let nflags = List.length general_flags in
+      let worst = ref 0 in
+      for mask = 0 to (1 lsl nflags) - 1 do
+        let o = Opts.copy opts in
+        List.iteri (fun i (_, set) -> set o (mask land (1 lsl i) <> 0)) general_flags;
+        let label =
+          if mask = 0 then "baseline"
+          else
+            String.concat ","
+              (List.filteri (fun i _ -> mask land (1 lsl i) <> 0) (List.map fst general_flags))
+        in
+        let r =
+          Explorer.explore (fun () ->
+              Scenarios.shootdown_2cpu ~opts:o ~seed:(Int64.of_int seed) ())
+        in
+        Format.printf "[%-42s] %a" label Explorer.pp_result r;
+        worst := Stdlib.max !worst (List.length r.Explorer.failures)
+      done;
+      if !worst > 0 then exit 1
+    end
+    else begin
+      let m = Scenarios.early_ack_demo ~opts ~rounds ~seed:(Int64.of_int seed) () in
+      Trace.enable m.Machine.trace;
+      Kernel.run m;
+      let report = Hb.analyze (Trace.records m.Machine.trace) in
+      Format.printf "scenario: cross-socket reader vs %d madvise rounds, %a@."
+        rounds Opts.pp opts;
+      Hb.pp_report Format.std_formatter report;
+      if report.Hb.genuine > 0 then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Happens-before race analysis of a shootdown trace; with $(b,--explore), \
+          systematic interleaving exploration.")
+    Term.(const run $ safe_t $ opts_t $ inject_bug_t $ explore_t $ rounds_t $ seed_t)
+
 let () =
   let info =
     Cmd.info "tlbsim" ~version:"1.0.0"
@@ -237,4 +312,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ micro_cmd; sysbench_cmd; apache_cmd; cow_cmd; fracture_cmd; trace_cmd ]))
+          [
+            micro_cmd;
+            sysbench_cmd;
+            apache_cmd;
+            cow_cmd;
+            fracture_cmd;
+            trace_cmd;
+            analyze_cmd;
+          ]))

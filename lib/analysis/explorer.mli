@@ -1,0 +1,48 @@
+(** Systematic interleaving exploration of shootdown scenarios.
+
+    The simulation engine's chooser hook turns near-simultaneous pending
+    events into scheduling decision points. A run is identified by its
+    decision prefix (candidate index taken at each decision; past the
+    prefix, the deterministic default order). {!explore} runs the empty
+    prefix and then depth-first re-runs every untried alternative at every
+    decision encountered — stateless-model-checking style, replaying
+    instead of checkpointing because runs are deterministic given their
+    prefix.
+
+    Every run checks protocol invariants at each decision point (no
+    deferred user flush while user code runs; [nmi_uaccess_okay] implies no
+    stale uncovered translation in the kernel-PCID view an NMI would use)
+    and at quiescence (checker clean, no
+    open windows, queues drained, no surviving deferrals), and feeds the
+    trace through {!Hb.analyze}; failures carry the prefix reproducing
+    them. *)
+
+type config = {
+  max_choice_points : int;  (** decisions beyond this depth are not branched *)
+  max_branch : int;  (** alternatives tried per decision (>= candidate count
+                         for exhaustive exploration) *)
+  max_runs : int;
+  horizon : int;  (** engine concurrency horizon in cycles *)
+  trace_cap : int;  (** per-run [Trace.set_max_records] cap *)
+}
+
+(** 12 choice points, 2-way branching, 64 runs, 30-cycle horizon. *)
+val default_config : config
+
+type failure = { fail_prefix : int list; fail_what : string }
+
+type result = {
+  runs : int;
+  max_depth : int;
+  failures : failure list;  (** deduplicated by message *)
+  stale_hits : int;  (** summed over all runs *)
+  proved_in_flight : int;
+  unordered_latent : int;
+  genuine : int;
+}
+
+(** [explore ?config build] explores the scenario returned by [build]
+    (fresh machine per run, processes spawned, engine not yet run). *)
+val explore : ?config:config -> (unit -> Machine.t) -> result
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,67 @@
+(* Canonical machines for the race detector: small, deterministic scenarios
+   that exercise the shootdown protocol's concurrency. Each builder spawns
+   its processes but does not run the engine — the caller (CLI or explorer)
+   enables tracing, installs a chooser if it wants one, and runs. *)
+
+let stop_after m ~delay stop =
+  Machine.delay m delay;
+  stop := true
+
+(* Two CPUs, one page, one shootdown: a reader on cpu1 races a single
+   madvise(DONTNEED) from cpu0. Small enough for exhaustive interleaving
+   exploration. *)
+let shootdown_2cpu ?(opts = Opts.all_general ~safe:true) ?(seed = 11L) () =
+  let m = Machine.create ~topo:(Topology.flat 2) ~opts ~seed () in
+  let mm = Machine.new_mm m in
+  let stop = ref false in
+  let addr_box = ref 0 in
+  let ready = Waitq.Completion.create m.Machine.engine in
+  Kernel.spawn_user m ~cpu:1 ~mm ~name:"reader" (fun () ->
+      Waitq.Completion.wait ready;
+      let cpu_t = Machine.cpu m 1 in
+      while not !stop do
+        (try Access.touch_range m ~cpu:1 ~addr:!addr_box ~pages:1 ~write:false
+         with Fault.Segfault _ -> ());
+        Cpu.compute cpu_t ~quantum:50 100
+      done);
+  Kernel.spawn_user m ~cpu:0 ~mm ~name:"initiator" (fun () ->
+      let addr = Syscall.mmap m ~cpu:0 ~pages:1 () in
+      Access.touch_range m ~cpu:0 ~addr ~pages:1 ~write:true;
+      addr_box := addr;
+      Waitq.Completion.fire ready;
+      Machine.delay m 500;
+      Syscall.madvise_dontneed m ~cpu:0 ~addr ~pages:1;
+      stop_after m ~delay:3_000 stop);
+  m
+
+(* The paper machine with a cross-socket reader: the IPI latency between
+   cpu0 (socket 0) and cpu14 (socket 1) guarantees a wide in-flight window,
+   so the reader reliably hits stale entries while the shootdown is still
+   pending — the benign race the analyzer should prove in-flight. *)
+let early_ack_demo ?(opts = Opts.all_general ~safe:true) ?(rounds = 40) ?(seed = 5L) () =
+  let m = Machine.create ~opts ~seed () in
+  let mm = Machine.new_mm m in
+  let stop = ref false in
+  let reader_cpu = 14 in
+  let pages = 4 in
+  let addr_box = ref 0 in
+  let ready = Waitq.Completion.create m.Machine.engine in
+  Kernel.spawn_user m ~cpu:reader_cpu ~mm ~name:"reader" (fun () ->
+      Waitq.Completion.wait ready;
+      let cpu_t = Machine.cpu m reader_cpu in
+      while not !stop do
+        (try Access.touch_range m ~cpu:reader_cpu ~addr:!addr_box ~pages ~write:false
+         with Fault.Segfault _ -> ());
+        Cpu.compute cpu_t ~quantum:100 300
+      done);
+  Kernel.spawn_user m ~cpu:0 ~mm ~name:"initiator" (fun () ->
+      let addr = Syscall.mmap m ~cpu:0 ~pages () in
+      addr_box := addr;
+      Access.touch_range m ~cpu:0 ~addr ~pages ~write:true;
+      Waitq.Completion.fire ready;
+      for _ = 1 to rounds do
+        Syscall.madvise_dontneed m ~cpu:0 ~addr ~pages;
+        Access.touch_range m ~cpu:0 ~addr ~pages ~write:true
+      done;
+      stop_after m ~delay:20_000 stop);
+  m

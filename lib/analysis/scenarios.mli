@@ -1,0 +1,17 @@
+(** Canonical scenarios for the race detector.
+
+    Each builder returns a machine with its processes spawned but the
+    engine not yet run: enable tracing and/or install a scheduling chooser,
+    then [Kernel.run] it. *)
+
+(** Two CPUs ({!Hw.Topology.flat} 2), one page, one
+    [madvise(MADV_DONTNEED)] shootdown racing a reader — small enough for
+    exhaustive interleaving exploration. Defaults: the four general paper
+    optimizations in safe mode, seed 11. *)
+val shootdown_2cpu : ?opts:Opts.t -> ?seed:int64 -> unit -> Machine.t
+
+(** The paper's 2-socket machine with a cross-socket reader (cpu14) racing
+    [rounds] madvise shootdowns from cpu0: the IPI latency guarantees stale
+    hits inside the in-flight window, which the analyzer should prove
+    benign. Defaults: all-general safe opts, 40 rounds, seed 5. *)
+val early_ack_demo : ?opts:Opts.t -> ?rounds:int -> ?seed:int64 -> unit -> Machine.t

@@ -24,8 +24,17 @@ let rec access m ~cpu ~vaddr ~write ~attempt =
   match Tlb.lookup tlb ~pcid ~vpn with
   | Some entry ->
       let pt = Mm_struct.page_table mm in
-      Checker.check_hit m.Machine.checker ~now:(Machine.now m) ~cpu
-        ~mm_id:(Mm_struct.id mm) ~vpn ~write ~entry ~walk:(Page_table.walk pt ~vpn);
+      (match
+         Checker.check_hit m.Machine.checker ~now:(Machine.now m) ~cpu
+           ~mm_id:(Mm_struct.id mm) ~vpn ~write ~entry ~walk:(Page_table.walk pt ~vpn)
+       with
+      | `Clean -> ()
+      | `Benign detail ->
+          Machine.trace_event m ~cpu
+            (Trace.Stale_hit { mm_id = Mm_struct.id mm; vpn; benign = true; detail })
+      | `Violation detail ->
+          Machine.trace_event m ~cpu
+            (Trace.Stale_hit { mm_id = Mm_struct.id mm; vpn; benign = false; detail }));
       if write && not entry.Tlb.writable then begin
         (* Permission fault; the hardware invalidates the faulting entry. *)
         Tlb.drop tlb ~pcid ~vpn;
@@ -57,7 +66,9 @@ let rec access m ~cpu ~vaddr ~write ~attempt =
               global = w.Page_table.pte.Pte.global;
               writable = w.Page_table.pte.Pte.writable;
               fractured = false;
-            }
+            };
+          Machine.trace_event m ~cpu
+            (Trace.Tlb_fill { mm_id = Mm_struct.id mm; vpn; pcid })
       | Some _ | None ->
           Fault.handle m ~cpu ~mm ~vaddr ~write;
           access m ~cpu ~vaddr ~write ~attempt:(attempt + 1)

@@ -8,51 +8,89 @@ type violation = {
 
 type token = int
 
+type result = [ `Clean | `Benign of string | `Violation of string ]
+
 type t = {
   mutable on : bool;
-  in_flight : (int, Flush_info.t) Hashtbl.t;
+  windows : (int, Flush_info.t) Hashtbl.t; (* token -> info *)
+  by_mm : (int, (int, Flush_info.t) Hashtbl.t) Hashtbl.t; (* mm_id -> token -> info *)
   mutable next_token : int;
   mutable viols : violation list;
   mutable n_viols : int;
   mutable benign : int;
   mutable n_checks : int;
+  max_recorded : int;
 }
 
-let max_recorded_violations = 1000
+let default_max_recorded_violations = 1000
 
-let create ?(enabled = true) () =
+let create ?(enabled = true) ?(max_recorded = default_max_recorded_violations) () =
   {
     on = enabled;
-    in_flight = Hashtbl.create 16;
+    windows = Hashtbl.create 16;
+    by_mm = Hashtbl.create 16;
     next_token = 0;
     viols = [];
     n_viols = 0;
     benign = 0;
     n_checks = 0;
+    max_recorded;
   }
 
 let enabled t = t.on
 let set_enabled t b = t.on <- b
+let token_id token = token
 
-let begin_invalidation t info =
+let begin_invalidation t (info : Flush_info.t) =
   t.next_token <- t.next_token + 1;
-  if t.on then Hashtbl.replace t.in_flight t.next_token info;
+  if t.on then begin
+    Hashtbl.replace t.windows t.next_token info;
+    let per_mm =
+      match Hashtbl.find_opt t.by_mm info.Flush_info.mm_id with
+      | Some tbl -> tbl
+      | None ->
+          let tbl = Hashtbl.create 4 in
+          Hashtbl.replace t.by_mm info.Flush_info.mm_id tbl;
+          tbl
+    in
+    Hashtbl.replace per_mm t.next_token info
+  end;
   t.next_token
 
-let end_invalidation t token = Hashtbl.remove t.in_flight token
+let end_invalidation t token =
+  match Hashtbl.find_opt t.windows token with
+  | None -> ()
+  | Some info ->
+      Hashtbl.remove t.windows token;
+      (match Hashtbl.find_opt t.by_mm info.Flush_info.mm_id with
+      | None -> ()
+      | Some per_mm ->
+          Hashtbl.remove per_mm token;
+          if Hashtbl.length per_mm = 0 then Hashtbl.remove t.by_mm info.Flush_info.mm_id)
 
+exception Covering_window
+
+(* The hot check_hit path calls this on every stale hit: look only at the
+   mm's own windows and stop at the first match instead of folding over
+   everything in flight. *)
 let covered t ~mm_id ~vpn =
-  Hashtbl.fold
-    (fun _ (info : Flush_info.t) acc ->
-      acc || (info.mm_id = mm_id && Flush_info.covers info ~vpn))
-    t.in_flight false
+  match Hashtbl.find_opt t.by_mm mm_id with
+  | None -> false
+  | Some per_mm -> (
+      try
+        Hashtbl.iter
+          (fun _ info -> if Flush_info.covers info ~vpn then raise_notrace Covering_window)
+          per_mm;
+        false
+      with Covering_window -> true)
 
 let record t v =
   t.n_viols <- t.n_viols + 1;
-  if t.n_viols <= max_recorded_violations then t.viols <- v :: t.viols
+  if t.n_viols <= t.max_recorded then t.viols <- v :: t.viols
 
 let check_hit t ~now ~cpu ~mm_id ~vpn ~write ~entry ~walk =
-  if t.on then begin
+  if not t.on then `Clean
+  else begin
     t.n_checks <- t.n_checks + 1;
     let stale_reason =
       match walk with
@@ -69,21 +107,27 @@ let check_hit t ~now ~cpu ~mm_id ~vpn ~write ~entry ~walk =
           else None
     in
     match stale_reason with
-    | None -> ()
+    | None -> `Clean
     | Some reason ->
-        if covered t ~mm_id ~vpn then t.benign <- t.benign + 1
-        else
-          record t { v_time = now; v_cpu = cpu; v_mm = mm_id; v_vpn = vpn; v_detail = reason }
+        if covered t ~mm_id ~vpn then begin
+          t.benign <- t.benign + 1;
+          `Benign reason
+        end
+        else begin
+          record t { v_time = now; v_cpu = cpu; v_mm = mm_id; v_vpn = vpn; v_detail = reason };
+          `Violation reason
+        end
   end
 
 let violations t = List.rev t.viols
 let violation_count t = t.n_viols
 let benign_races t = t.benign
 let checks t = t.n_checks
-let open_windows t = Hashtbl.length t.in_flight
+let open_windows t = Hashtbl.length t.windows
 
 let clear t =
-  Hashtbl.reset t.in_flight;
+  Hashtbl.reset t.windows;
+  Hashtbl.reset t.by_mm;
   t.viols <- [];
   t.n_viols <- 0;
   t.benign <- 0;

@@ -31,7 +31,15 @@ type violation = {
 
 type token
 
-val create : ?enabled:bool -> unit -> t
+type result = [ `Clean | `Benign of string | `Violation of string ]
+(** Classification of one checked hit: [`Clean] means the entry matches the
+    live page table; the payload of the other two is the staleness reason. *)
+
+(** [max_recorded] bounds the list kept by {!violations}; the total count
+    ({!violation_count}) keeps growing past it. *)
+val create : ?enabled:bool -> ?max_recorded:int -> unit -> t
+
+val default_max_recorded_violations : int
 
 val enabled : t -> bool
 val set_enabled : t -> bool -> unit
@@ -43,8 +51,17 @@ val begin_invalidation : t -> Flush_info.t -> token
     is a violation. Idempotent. *)
 val end_invalidation : t -> token -> unit
 
+(** Stable integer id of a window token — what {!Sim.Trace.Flush_start}
+    records carry so the analysis layer can pair open/close events. *)
+val token_id : token -> int
+
+(** Is some open window covering [vpn] of [mm_id]? Short-circuits on the
+    first covering window; windows are indexed per-mm. *)
+val covered : t -> mm_id:int -> vpn:int -> bool
+
 (** Verify a user-mode TLB hit on [cpu] against the current page-table walk
-    result. Records a violation or a benign race if the entry is stale. *)
+    result. Records a violation (or counts a benign race) if the entry is
+    stale, and returns the classification so the caller can trace it. *)
 val check_hit :
   t ->
   now:int ->
@@ -54,7 +71,7 @@ val check_hit :
   write:bool ->
   entry:Tlb.entry ->
   walk:Page_table.walk option ->
-  unit
+  result
 
 val violations : t -> violation list
 val violation_count : t -> int

@@ -100,12 +100,12 @@ let cow_break m ~cpu ~mm ~vma ~vpn (old : Pte.t) =
   (* The PTE changes before the flush API runs: keep the checker's
      invalidation window open across the whole break. *)
   let window =
-    Checker.begin_invalidation m.Machine.checker
+    Machine.begin_window m ~cpu
       (Flush_info.ranged ~mm_id:(Mm_struct.id mm) ~start_vpn:vpn ~pages:1
          ~new_tlb_gen:(Mm_struct.tlb_gen mm) ())
   in
   Fun.protect
-    ~finally:(fun () -> Checker.end_invalidation m.Machine.checker window)
+    ~finally:(fun () -> Machine.end_window m ~cpu ~mm_id:(Mm_struct.id mm) window)
   @@ fun () ->
   let new_pfn = Frame_alloc.alloc (Mm_struct.frames mm) in
   Machine.delay m costs.Costs.page_copy;
@@ -144,6 +144,8 @@ let cow_break m ~cpu ~mm ~vma ~vpn (old : Pte.t) =
   if !raced then Frame_alloc.free (Mm_struct.frames mm) new_pfn
   else begin
     (* This mapping's reference moves to the private copy. *)
+    Machine.trace_event m ~cpu
+      (Trace.Pte_write { mm_id = Mm_struct.id mm; vpn; pages = 1 });
     Frame_alloc.free (Mm_struct.frames mm) old.Pte.pfn;
     Shootdown.flush_tlb_page_cow m ~from:cpu ~mm ~vpn ~executable:old.Pte.executable
   end

@@ -23,6 +23,9 @@ val full : mm_id:int -> ?freed_tables:bool -> new_tlb_gen:int -> unit -> t
 (** Number of TLB entries a ranged flush touches ([max_int] when full). *)
 val nr_entries : t -> int
 
+(** Width of a ranged flush in 4 KiB pages (0 when full). *)
+val span_4k : t -> int
+
 (** 4 KiB VPNs covered by a ranged flush, in order. *)
 val vpns : t -> int list
 

@@ -26,6 +26,7 @@ type t = {
   percpu : Percpu.t array;
   mms : (int, Mm_struct.t) Hashtbl.t;
   mutable next_mm_id : int;
+  mutable next_ipi_seq : int;
   checker : Checker.t;
   ipi_mutex : Rwsem.t;
   stats : stats;
@@ -69,6 +70,7 @@ let create ?(topo = Topology.paper_machine) ?(costs = Costs.default)
     percpu;
     mms = Hashtbl.create 16;
     next_mm_id = 1;
+    next_ipi_seq = 0;
     checker = Checker.create ~enabled:checker ();
     ipi_mutex = Rwsem.create engine;
     stats = fresh_stats ();
@@ -94,6 +96,31 @@ let charge_read t line ~by = delay t (Cache.read line ~by)
 let charge_write t line ~by = delay t (Cache.write line ~by)
 let charge_atomic t line ~by = delay t (Cache.atomic line ~by)
 let run t = Engine.run t.engine
+
+let next_ipi_seq t =
+  t.next_ipi_seq <- t.next_ipi_seq + 1;
+  t.next_ipi_seq
+
+let trace_event t ~cpu ev = if Trace.enabled t.trace then Trace.event t.trace ~cpu ev
+
+(* Checker window plus its trace event, emitted together so the analysis
+   layer sees exactly the windows the checker reasons with. *)
+let begin_window t ~cpu (info : Flush_info.t) =
+  let token = Checker.begin_invalidation t.checker info in
+  trace_event t ~cpu
+    (Trace.Flush_start
+       {
+         window = Checker.token_id token;
+         mm_id = info.Flush_info.mm_id;
+         start_vpn = info.Flush_info.start_vpn;
+         span = Flush_info.span_4k info;
+         full = info.Flush_info.full;
+       });
+  token
+
+let end_window t ~cpu ~mm_id token =
+  Checker.end_invalidation t.checker token;
+  trace_event t ~cpu (Trace.Flush_done { window = Checker.token_id token; mm_id })
 
 let reset_stats t =
   let s = t.stats in

@@ -29,6 +29,7 @@ type t = {
   percpu : Percpu.t array;
   mms : (int, Mm_struct.t) Hashtbl.t;
   mutable next_mm_id : int;
+  mutable next_ipi_seq : int;
   checker : Checker.t;
   ipi_mutex : Rwsem.t;
       (** FreeBSD's smp_ipi_mtx: taken (write) around each shootdown when
@@ -67,6 +68,21 @@ val charge_atomic : t -> Cache.line -> by:int -> unit
 
 (** Run the engine until idle. *)
 val run : t -> unit
+
+(** Fresh machine-wide IPI sequence number (stamped on each CFD so trace
+    events can pair sends with acks). *)
+val next_ipi_seq : t -> int
+
+(** Append a typed protocol event when tracing is enabled. *)
+val trace_event : t -> cpu:int -> Trace.event -> unit
+
+(** Open a checker invalidation window and emit the matching
+    {!Sim.Trace.Flush_start} event, so the analyzer sees exactly the
+    windows the checker reasons with. *)
+val begin_window : t -> cpu:int -> Flush_info.t -> Checker.token
+
+(** Close the window and emit {!Sim.Trace.Flush_done}. *)
+val end_window : t -> cpu:int -> mm_id:int -> Checker.token -> unit
 
 val reset_stats : t -> unit
 val pp_stats : Format.formatter -> stats -> unit

@@ -8,6 +8,7 @@ type t = {
   mutable userspace_batching : bool;
   mutable unsafe_lazy_batching : bool;
   mutable freebsd_protocol : bool;
+  mutable bug_skip_deferred_flush : bool;
   mutable spec_pte_recache_p : float;
   mutable full_flush_threshold : int;
   mutable batch_slots : int;
@@ -24,6 +25,7 @@ let baseline ~safe =
     userspace_batching = false;
     unsafe_lazy_batching = false;
     freebsd_protocol = false;
+    bug_skip_deferred_flush = false;
     spec_pte_recache_p = 0.05;
     full_flush_threshold = 33;
     batch_slots = 4;
@@ -62,6 +64,7 @@ let copy t =
     userspace_batching = t.userspace_batching;
     unsafe_lazy_batching = t.unsafe_lazy_batching;
     freebsd_protocol = t.freebsd_protocol;
+    bug_skip_deferred_flush = t.bug_skip_deferred_flush;
     spec_pte_recache_p = t.spec_pte_recache_p;
     full_flush_threshold = t.full_flush_threshold;
     batch_slots = t.batch_slots;
@@ -116,6 +119,7 @@ let pp fmt t =
         flag "batching" t.userspace_batching;
         flag "UNSAFE-LAZY" t.unsafe_lazy_batching;
         flag "freebsd" t.freebsd_protocol;
+        flag "BUG-SKIP-DEFERRED" t.bug_skip_deferred_flush;
       ]
   in
   Format.fprintf fmt "%s mode [%s]"

@@ -23,6 +23,11 @@ type t = {
           the global smp_ipi_mtx, so only one shootdown is in flight
           machine-wide; pair with a 4096-entry full-flush threshold via
           {!freebsd}. Safe but serializing. *)
+  mutable bug_skip_deferred_flush : bool;
+      (** Injected protocol bug for the race detector: drop deferred user
+          flushes (§3.4) at kernel exit instead of executing them. The
+          happens-before analyzer must flag the resulting stale user-PCID
+          hits as genuine races. *)
   mutable spec_pte_recache_p : float;
       (** probability that, between a CoW fault and its PTE update, a
           speculative page walk re-caches the stale PTE (paper §4.1's

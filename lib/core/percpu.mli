@@ -22,6 +22,7 @@ type asid_slot = {
 
 (** Call-function data: one outbound shootdown request to one CPU. *)
 type cfd = {
+  cfd_seq : int;  (** machine-wide IPI sequence number, for trace pairing *)
   cfd_initiator : int;
   cfd_info : Flush_info.t;
   cfd_early_ack : bool;  (** responder may ack on handler entry *)

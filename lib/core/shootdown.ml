@@ -34,6 +34,8 @@ let flush_tlb_func_impl m ~cpu ~user (info : Flush_info.t) =
         (* Read the mm's current generation (one contended line). *)
         Machine.charge_read m (Mm_struct.line mm) ~by:cpu;
         let latest_gen = Mm_struct.tlb_gen mm in
+        Machine.trace_event m ~cpu
+          (Trace.Gen_read { mm_id = info.Flush_info.mm_id; gen = latest_gen });
         let behind = info.Flush_info.new_tlb_gen > slot.Percpu.gen_seen + 1 in
         if info.Flush_info.full
            || Flush_info.nr_entries info > opts.Opts.full_flush_threshold
@@ -45,7 +47,14 @@ let flush_tlb_func_impl m ~cpu ~user (info : Flush_info.t) =
             stats.Machine.full_flush_fallbacks <- stats.Machine.full_flush_fallbacks + 1;
           local_full_flush m ~cpu pcpu;
           slot.Percpu.gen_seen <- Stdlib.max latest_gen info.Flush_info.new_tlb_gen;
-          tracef m ~cpu "full flush (gen -> %d)" slot.Percpu.gen_seen;
+          Machine.trace_event m ~cpu
+            (Trace.Tlb_flush
+               {
+                 mm_id = info.Flush_info.mm_id;
+                 full = true;
+                 entries = 0;
+                 gen = slot.Percpu.gen_seen;
+               });
           `Full
         end
         else begin
@@ -71,8 +80,14 @@ let flush_tlb_func_impl m ~cpu ~user (info : Flush_info.t) =
             | Skip -> ()
           end;
           slot.Percpu.gen_seen <- info.Flush_info.new_tlb_gen;
-          tracef m ~cpu "ranged flush of %d PTE(s) (gen -> %d)" (List.length vpns)
-            slot.Percpu.gen_seen;
+          Machine.trace_event m ~cpu
+            (Trace.Tlb_flush
+               {
+                 mm_id = info.Flush_info.mm_id;
+                 full = false;
+                 entries = List.length vpns;
+                 gen = slot.Percpu.gen_seen;
+               });
           `Ranged
         end
       end
@@ -100,16 +115,21 @@ let flush_pending_user m ~cpu ~has_stack =
     let user_pcid = Percpu.user_pcid pcpu.Percpu.curr_asid in
     match Percpu.take_pending_user pcpu with
     | Percpu.No_flush -> ()
+    | (Percpu.Full_flush | Percpu.Ranged _) when opts.Opts.bug_skip_deferred_flush ->
+        (* Injected protocol bug for the race detector: the deferred user
+           flush is silently dropped, leaving stale user-PCID entries live
+           past return-to-user. *)
+        tracef m ~cpu "BUG: deferred user flush dropped"
     | Percpu.Full_flush ->
         (* The return-to-user CR3 load simply skips the NOFLUSH bit: the
            whole user PCID is invalidated for free. *)
         Tlb.cr3_flush tlb ~pcid:user_pcid;
-        tracef m ~cpu "deferred user flush: full (free CR3 reload)"
+        Machine.trace_event m ~cpu (Trace.Deferred_flush_exec { full = true; entries = 0 })
     | Percpu.Ranged info ->
         if not has_stack then begin
           (* No stack to run the INVLPG loop on (e.g. IRET return path). *)
           Tlb.cr3_flush tlb ~pcid:user_pcid;
-          tracef m ~cpu "deferred user flush: full (no stack)"
+          Machine.trace_event m ~cpu (Trace.Deferred_flush_exec { full = true; entries = 0 })
         end
         else begin
           let vpns = Flush_info.vpns info in
@@ -121,7 +141,8 @@ let flush_pending_user m ~cpu ~has_stack =
           (* Spectre-v1: the flush loop's bound must not be speculated
              past while stale user PTEs linger. *)
           Machine.delay m costs.Costs.lfence;
-          tracef m ~cpu "deferred user flush: %d INVLPG + LFENCE" (List.length vpns)
+          Machine.trace_event m ~cpu
+            (Trace.Deferred_flush_exec { full = false; entries = List.length vpns })
         end
   end
 
@@ -129,6 +150,7 @@ let return_to_user m ~cpu ~has_stack =
   let cpu_t = Machine.cpu m cpu in
   Cpu.quiesce_and_mask cpu_t;
   flush_pending_user m ~cpu ~has_stack;
+  Machine.trace_event m ~cpu Trace.User_resume;
   Cpu.set_in_user cpu_t true;
   Cpu.irq_enable cpu_t
 
@@ -137,6 +159,13 @@ let ipi_handler m ~me (_ : Cpu.t) =
   let pcpu = Machine.percpu m me in
   Smp.drain_queue m ~me ~run:(fun cfd ->
       let info = cfd.Percpu.cfd_info in
+      Machine.trace_event m ~cpu:me
+        (Trace.Ipi_begin
+           {
+             seq = cfd.Percpu.cfd_seq;
+             initiator = cfd.Percpu.cfd_initiator;
+             early_ack = cfd.Percpu.cfd_early_ack;
+           });
       if cfd.Percpu.cfd_early_ack then begin
         (* §3.2: no user mapping can be used from inside this handler, so
            acknowledge before flushing — unless page tables are freed,
@@ -144,16 +173,12 @@ let ipi_handler m ~me (_ : Cpu.t) =
            could still preempt us between the ack and the flush: flag the
            window so nmi_uaccess_okay refuses user accesses. *)
         pcpu.Percpu.inflight_flush <- true;
-        Smp.ack m ~me cfd;
-        tracef m ~cpu:me "early ack to cpu%d" cfd.Percpu.cfd_initiator
+        Smp.ack m ~me ~early:true cfd
       end;
       ignore (flush_tlb_func_impl m ~cpu:me ~user:(default_user_policy m info) info);
       cfd.Percpu.cfd_executed <- true;
       pcpu.Percpu.inflight_flush <- false;
-      if not cfd.Percpu.cfd_early_ack then begin
-        Smp.ack m ~me cfd;
-        tracef m ~cpu:me "ack to cpu%d" cfd.Percpu.cfd_initiator
-      end);
+      if not cfd.Percpu.cfd_early_ack then Smp.ack m ~me cfd);
   (* If we interrupted user mode we are about to return to it: any flush
      deferred by §3.4 must complete first. *)
   if Cpu.irq_from_user (Machine.cpu m me) then flush_pending_user m ~cpu:me ~has_stack:true
@@ -207,14 +232,14 @@ let perform m ~from ~mm (info : Flush_info.t) token =
        accesses this permits. *)
     ignore (flush_tlb_func_impl m ~cpu:from ~user:(default_user_policy m info) info);
     stats.Machine.local_only_flushes <- stats.Machine.local_only_flushes + 1;
-    Checker.end_invalidation m.Machine.checker token
+    Machine.end_window m ~cpu:from ~mm_id:info.Flush_info.mm_id token
   end
   else begin
     let targets = select_targets m ~from ~mm info in
     if targets = [] then begin
       stats.Machine.local_only_flushes <- stats.Machine.local_only_flushes + 1;
       ignore (initiator_local_flush m ~from ~has_remote_targets:false info);
-      Checker.end_invalidation m.Machine.checker token
+      Machine.end_window m ~cpu:from ~mm_id:info.Flush_info.mm_id token
     end
     else begin
       stats.Machine.shootdowns <- stats.Machine.shootdowns + 1;
@@ -226,9 +251,6 @@ let perform m ~from ~mm (info : Flush_info.t) token =
       let early_ack = opts.Opts.early_ack && not info.Flush_info.freed_tables in
       let run_remote () =
         let cfds = Smp.enqueue_work m ~from ~targets ~info ~early_ack in
-        List.iter
-          (fun t -> tracef m ~cpu:from "IPI -> cpu%d (%a)" t Flush_info.pp info)
-          targets;
         Smp.send_ipis m ~from ~targets ~handler:(fun cpu ->
             ipi_handler m ~me:(Cpu.id cpu) cpu);
         cfds
@@ -272,7 +294,7 @@ let perform m ~from ~mm (info : Flush_info.t) token =
         Smp.wait_for_acks m ~from cfds ()
       end;
       if opts.Opts.freebsd_protocol then Rwsem.up_write m.Machine.ipi_mutex;
-      Checker.end_invalidation m.Machine.checker token;
+      Machine.end_window m ~cpu:from ~mm_id:info.Flush_info.mm_id token;
       tracef m ~cpu:from "shootdown complete"
     end
   end
@@ -291,8 +313,10 @@ let flush_tlb_mm_range m ~from ~mm ~start_vpn ~pages ?(stride = Tlb.Four_k)
   (* Bump the generation: one atomic RMW on the mm's shared line. *)
   Machine.charge_atomic m (Mm_struct.line mm) ~by:from;
   let new_tlb_gen = Mm_struct.bump_tlb_gen mm in
+  Machine.trace_event m ~cpu:from
+    (Trace.Gen_bump { mm_id = Mm_struct.id mm; gen = new_tlb_gen });
   let info = make_info m ~mm ~start_vpn ~pages ~stride ~freed_tables ~new_tlb_gen in
-  let token = Checker.begin_invalidation m.Machine.checker info in
+  let token = Machine.begin_window m ~cpu:from info in
   if opts.Opts.userspace_batching && pcpu.Percpu.batched_mode && not freed_tables then begin
     (* §4.2: defer the flush to the mmap_sem-release barrier. Flushes that
        free page tables are never deferred: the tables must be gone from
@@ -323,10 +347,12 @@ let flush_tlb_page_cow m ~from ~mm ~vpn ~executable =
   else begin
     Machine.charge_atomic m (Mm_struct.line mm) ~by:from;
     let new_tlb_gen = Mm_struct.bump_tlb_gen mm in
+    Machine.trace_event m ~cpu:from
+      (Trace.Gen_bump { mm_id = Mm_struct.id mm; gen = new_tlb_gen });
     let info =
       Flush_info.ranged ~mm_id:(Mm_struct.id mm) ~start_vpn:vpn ~pages:1 ~new_tlb_gen ()
     in
-    let token = Checker.begin_invalidation m.Machine.checker info in
+    let token = Machine.begin_window m ~cpu:from info in
     (* Local "flush": one atomic write to the page. The write-protected old
        PTE cannot be used for a store, so the access walks the tables,
        evicting the stale translation and caching the fresh one — without
@@ -343,7 +369,7 @@ let flush_tlb_page_cow m ~from ~mm ~vpn ~executable =
     tracef m ~cpu:from "CoW: avoided local flush for vpn %d" vpn;
     (* Remote CPUs sharing the mapping still need the shootdown. *)
     let targets = select_targets m ~from ~mm info in
-    if targets = [] then Checker.end_invalidation m.Machine.checker token
+    if targets = [] then Machine.end_window m ~cpu:from ~mm_id:(Mm_struct.id mm) token
     else begin
       stats.Machine.shootdowns <- stats.Machine.shootdowns + 1;
       let early_ack = opts.Opts.early_ack in
@@ -351,7 +377,7 @@ let flush_tlb_page_cow m ~from ~mm ~vpn ~executable =
       Smp.send_ipis m ~from ~targets ~handler:(fun cpu ->
           ipi_handler m ~me:(Cpu.id cpu) cpu);
       Smp.wait_for_acks m ~from cfds ();
-      Checker.end_invalidation m.Machine.checker token
+      Machine.end_window m ~cpu:from ~mm_id:(Mm_struct.id mm) token
     end
   end
 
@@ -360,8 +386,10 @@ let flush_tlb_mm m ~from ~mm =
     (Machine.charge_atomic m (Mm_struct.line mm) ~by:from;
      Mm_struct.bump_tlb_gen mm)
   in
+  Machine.trace_event m ~cpu:from
+    (Trace.Gen_bump { mm_id = Mm_struct.id mm; gen = new_tlb_gen });
   let info = Flush_info.full ~mm_id:(Mm_struct.id mm) ~new_tlb_gen () in
-  let token = Checker.begin_invalidation m.Machine.checker info in
+  let token = Machine.begin_window m ~cpu:from info in
   perform m ~from ~mm info token
 
 let flush_batched m ~from ~mm =
@@ -376,6 +404,12 @@ let flush_batched m ~from ~mm =
 let nmi_uaccess_okay m ~cpu =
   let pcpu = Machine.percpu m cpu in
   Option.is_some pcpu.Percpu.loaded_mm
+  && (not pcpu.Percpu.lazy_mode)
+  (* Lazy mode means current->mm is a borrowed kernel view and shootdowns
+     are being skipped for us; batched mode (§4.2) likewise leaves this
+     CPU's flushes to the mmap_sem-release barrier. An NMI profiler must
+     treat both as off-limits — the interleaving explorer probes this. *)
+  && (not pcpu.Percpu.batched_mode)
   && (not pcpu.Percpu.inflight_flush)
   && Queue.is_empty pcpu.Percpu.csq
   && pcpu.Percpu.pending_user = Percpu.No_flush
@@ -386,11 +420,21 @@ let check_and_sync_tlb m ~cpu =
   | None -> ()
   | Some mm ->
       Machine.charge_read m (Mm_struct.line mm) ~by:cpu;
+      Machine.trace_event m ~cpu
+        (Trace.Gen_read { mm_id = Mm_struct.id mm; gen = Mm_struct.tlb_gen mm });
       let slot = pcpu.Percpu.asids.(pcpu.Percpu.curr_asid) in
       if slot.Percpu.slot_mm = Mm_struct.id mm
          && slot.Percpu.gen_seen < Mm_struct.tlb_gen mm
       then begin
         local_full_flush m ~cpu pcpu;
         slot.Percpu.gen_seen <- Mm_struct.tlb_gen mm;
+        Machine.trace_event m ~cpu
+          (Trace.Tlb_flush
+             {
+               mm_id = Mm_struct.id mm;
+               full = true;
+               entries = 0;
+               gen = slot.Percpu.gen_seen;
+             });
         tracef m ~cpu "sync: full flush to gen %d" slot.Percpu.gen_seen
       end

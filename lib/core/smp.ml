@@ -24,7 +24,8 @@ let enqueue_work m ~from ~targets ~info ~early_ack =
       let pcpu = Machine.percpu m target in
       let cfd =
         {
-          Percpu.cfd_initiator = from;
+          Percpu.cfd_seq = Machine.next_ipi_seq m;
+          cfd_initiator = from;
           cfd_info = info;
           cfd_early_ack = early_ack;
           cfd_acked = false;
@@ -36,6 +37,8 @@ let enqueue_work m ~from ~targets ~info ~early_ack =
       Machine.charge_write m cfd.Percpu.cfd_line ~by:from;
       Machine.charge_write m pcpu.Percpu.line_csq ~by:from;
       Queue.push cfd pcpu.Percpu.csq;
+      Machine.trace_event m ~cpu:from
+        (Trace.Ipi_send { seq = cfd.Percpu.cfd_seq; target });
       cfd)
     targets
 
@@ -64,10 +67,12 @@ let drain_queue m ~me ~run =
     run cfd
   done
 
-let ack m ~me cfd =
+let ack m ~me ?(early = false) cfd =
   if not cfd.Percpu.cfd_acked then begin
     cfd.Percpu.cfd_acked <- true;
-    Machine.charge_write m cfd.Percpu.cfd_line ~by:me
+    Machine.charge_write m cfd.Percpu.cfd_line ~by:me;
+    Machine.trace_event m ~cpu:me
+      (Trace.Ipi_ack { seq = cfd.Percpu.cfd_seq; initiator = cfd.Percpu.cfd_initiator; early })
   end
 
 let wait_for_acks m ~from cfds ?(while_waiting = fun () -> ()) () =
@@ -86,4 +91,7 @@ let wait_for_acks m ~from cfds ?(while_waiting = fun () -> ()) () =
   in
   loop ();
   (* Observing each ack pulls the responder-written CSD line back. *)
-  List.iter (fun c -> Machine.charge_read m c.Percpu.cfd_line ~by:from) cfds
+  List.iter (fun c -> Machine.charge_read m c.Percpu.cfd_line ~by:from) cfds;
+  if cfds <> [] then
+    Machine.trace_event m ~cpu:from
+      (Trace.Acks_seen { seqs = List.map (fun c -> c.Percpu.cfd_seq) cfds })

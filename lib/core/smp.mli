@@ -33,8 +33,9 @@ val send_ipis :
     line reads, invoking [run] on each CFD in FIFO order. *)
 val drain_queue : Machine.t -> me:int -> run:(Percpu.cfd -> unit) -> unit
 
-(** Responder: flip the CFD's ack flag (one line write). Idempotent. *)
-val ack : Machine.t -> me:int -> Percpu.cfd -> unit
+(** Responder: flip the CFD's ack flag (one line write). Idempotent.
+    [early] only annotates the trace event (§3.2 early ack). *)
+val ack : Machine.t -> me:int -> ?early:bool -> Percpu.cfd -> unit
 
 (** Initiator: spin until every CFD is acked, servicing our own IRQs while
     spinning. [while_waiting] is called between polls while at least one ack

@@ -2,13 +2,18 @@
    hits in that window are legal ("in flight"). Wrap every modify-then-
    flush sequence so the checker knows. The inner windows opened by the
    flush itself (and kept open by batching deferral) take over from here. *)
-let with_invalidation_window m ~mm ~start_vpn ~pages f =
+let with_invalidation_window m ~cpu ~mm ~start_vpn ~pages f =
   let info =
     Flush_info.ranged ~mm_id:(Mm_struct.id mm) ~start_vpn ~pages
       ~new_tlb_gen:(Mm_struct.tlb_gen mm) ()
   in
-  let token = Checker.begin_invalidation m.Machine.checker info in
-  Fun.protect ~finally:(fun () -> Checker.end_invalidation m.Machine.checker token) f
+  let token = Machine.begin_window m ~cpu info in
+  Fun.protect
+    ~finally:(fun () -> Machine.end_window m ~cpu ~mm_id:(Mm_struct.id mm) token)
+    f
+
+let trace_pte_write m ~cpu ~mm ~vpn ~pages =
+  Machine.trace_event m ~cpu (Trace.Pte_write { mm_id = Mm_struct.id mm; vpn; pages })
 
 let current_mm m ~cpu =
   match (Machine.percpu m cpu).Percpu.loaded_mm with
@@ -113,7 +118,7 @@ let munmap m ~cpu ~addr ~pages =
       let mm = current_mm m ~cpu in
       let vpn = Addr.vpn_of_addr addr in
       in_batched_section m ~cpu ~mm ~write_sem:true (fun () ->
-          with_invalidation_window m ~mm ~start_vpn:vpn ~pages (fun () ->
+          with_invalidation_window m ~cpu ~mm ~start_vpn:vpn ~pages (fun () ->
               let stride = stride_of mm ~vpn in
               Machine.delay m m.Machine.costs.Costs.vma_op;
               let removed_vmas = Mm_struct.remove_vma_range mm ~vpn ~pages in
@@ -121,6 +126,7 @@ let munmap m ~cpu ~addr ~pages =
                 Page_table.unmap_range (Mm_struct.page_table mm) ~vpn ~pages
                   ~free_tables:true ()
               in
+              if r.Page_table.removed <> [] then trace_pte_write m ~cpu ~mm ~vpn ~pages;
               Machine.delay m
                 (m.Machine.costs.Costs.zap_pte * List.length r.Page_table.removed);
               let vma_of v =
@@ -140,12 +146,13 @@ let madvise_dontneed m ~cpu ~addr ~pages =
       let mm = current_mm m ~cpu in
       let vpn = Addr.vpn_of_addr addr in
       in_batched_section m ~cpu ~mm ~write_sem:false (fun () ->
-          with_invalidation_window m ~mm ~start_vpn:vpn ~pages (fun () ->
+          with_invalidation_window m ~cpu ~mm ~start_vpn:vpn ~pages (fun () ->
               let stride = stride_of mm ~vpn in
               let r =
                 Page_table.unmap_range (Mm_struct.page_table mm) ~vpn ~pages
                   ~free_tables:false ()
               in
+              if r.Page_table.removed <> [] then trace_pte_write m ~cpu ~mm ~vpn ~pages;
               Machine.delay m
                 (m.Machine.costs.Costs.zap_pte * Stdlib.max 1 (List.length r.Page_table.removed));
               let vma_of v = Mm_struct.find_vma mm ~vpn:v in
@@ -161,7 +168,7 @@ let mprotect m ~cpu ~addr ~pages ~writable =
       let mm = current_mm m ~cpu in
       let vpn = Addr.vpn_of_addr addr in
       Rwsem.with_write (Mm_struct.mmap_sem mm) (fun () ->
-          with_invalidation_window m ~mm ~start_vpn:vpn ~pages (fun () ->
+          with_invalidation_window m ~cpu ~mm ~start_vpn:vpn ~pages (fun () ->
               Machine.delay m m.Machine.costs.Costs.vma_op;
               (* Split and re-add the covered VMA pieces with the new mode. *)
               let removed = Mm_struct.remove_vma_range mm ~vpn ~pages in
@@ -180,15 +187,17 @@ let mprotect m ~cpu ~addr ~pages ~writable =
                 | Some _ -> incr changed
                 | None -> ()
               done;
-              if !changed > 0 then
-                Shootdown.flush_tlb_mm_range m ~from:cpu ~mm ~start_vpn:vpn ~pages ())))
+              if !changed > 0 then begin
+                trace_pte_write m ~cpu ~mm ~vpn ~pages;
+                Shootdown.flush_tlb_mm_range m ~from:cpu ~mm ~start_vpn:vpn ~pages ()
+              end)))
 
 let mremap m ~cpu ~addr ~pages =
   in_syscall m ~cpu (fun () ->
       let mm = current_mm m ~cpu in
       let vpn = Addr.vpn_of_addr addr in
       Rwsem.with_write (Mm_struct.mmap_sem mm) (fun () ->
-          with_invalidation_window m ~mm ~start_vpn:vpn ~pages (fun () ->
+          with_invalidation_window m ~cpu ~mm ~start_vpn:vpn ~pages (fun () ->
               let stride = stride_of mm ~vpn in
               Machine.delay m (2 * m.Machine.costs.Costs.vma_op);
               let removed_vmas = Mm_struct.remove_vma_range mm ~vpn ~pages in
@@ -203,6 +212,7 @@ let mremap m ~cpu ~addr ~pages =
               (* Move live PTEs: the frame references move with them. *)
               let pt = Mm_struct.page_table mm in
               let r = Page_table.unmap_range pt ~vpn ~pages ~free_tables:true () in
+              if r.Page_table.removed <> [] then trace_pte_write m ~cpu ~mm ~vpn ~pages;
               Machine.delay m
                 (m.Machine.costs.Costs.zap_pte * List.length r.Page_table.removed);
               List.iter
@@ -226,11 +236,12 @@ let writeback_page m ~cpu ~mm ~file ~index ~vpn =
   if File.is_dirty file ~index then begin
     let pt = Mm_struct.page_table mm in
     let owned = ref true in
-    with_invalidation_window m ~mm ~start_vpn:vpn ~pages:1 (fun () ->
+    with_invalidation_window m ~cpu ~mm ~start_vpn:vpn ~pages:1 (fun () ->
         match
           Page_table.update pt ~vpn ~f:(fun pte -> Pte.clean (Pte.write_protect pte))
         with
         | Some (old, _) when old.Pte.writable || old.Pte.dirty ->
+            trace_pte_write m ~cpu ~mm ~vpn ~pages:1;
             Shootdown.flush_tlb_page m ~from:cpu ~mm ~vpn
         | Some _ ->
             (* Clean and protected already: a concurrent writeback owns this

@@ -5,13 +5,32 @@ type t = {
   mutable seq : int;
   mutable events_run : int;
   queue : event Heap.t;
+  mutable chooser : (int -> int) option;
+  mutable horizon : int;
 }
 
 let compare_events a b =
   let c = compare a.time b.time in
   if c <> 0 then c else compare a.seq b.seq
 
-let create () = { now = 0; seq = 0; events_run = 0; queue = Heap.create ~compare:compare_events }
+let create () =
+  {
+    now = 0;
+    seq = 0;
+    events_run = 0;
+    queue = Heap.create ~compare:compare_events;
+    chooser = None;
+    horizon = 0;
+  }
+
+let set_chooser t ?(horizon = 0) choose =
+  if horizon < 0 then invalid_arg "Engine.set_chooser: negative horizon";
+  t.chooser <- Some choose;
+  t.horizon <- horizon
+
+let clear_chooser t =
+  t.chooser <- None;
+  t.horizon <- 0
 
 let now t = t.now
 let events_run t = t.events_run
@@ -28,11 +47,44 @@ let schedule t ~delay run =
   if delay < 0 then invalid_arg "Engine.schedule: negative delay";
   schedule_at t ~time:(t.now + delay) run
 
-let step t =
+(* With a chooser installed, every set of events falling inside the
+   concurrency horizon is a scheduling decision point: the chooser picks
+   which fires next. Events run in seq order within the chosen one's
+   timestamp; the clock is clamped monotone (an event overtaken by a later
+   one from the window runs "late" at the current time). Without a chooser
+   this is the plain deterministic (time, seq) order. *)
+let pop_chosen t choose =
   match Heap.pop t.queue with
+  | None -> None
+  | Some first ->
+      let cutoff = first.time + t.horizon in
+      let rec collect acc =
+        match Heap.peek t.queue with
+        | Some ev when ev.time <= cutoff ->
+            ignore (Heap.pop t.queue);
+            collect (ev :: acc)
+        | _ -> List.rev acc
+      in
+      let rest = collect [] in
+      if rest = [] then Some first
+      else begin
+        let all = first :: rest in
+        let n = List.length all in
+        let i = choose n in
+        let i = if i < 0 || i >= n then 0 else i in
+        let chosen = List.nth all i in
+        List.iteri (fun j ev -> if j <> i then Heap.push t.queue ev) all;
+        Some chosen
+      end
+
+let step t =
+  let next =
+    match t.chooser with None -> Heap.pop t.queue | Some choose -> pop_chosen t choose
+  in
+  match next with
   | None -> false
   | Some ev ->
-      t.now <- ev.time;
+      t.now <- Stdlib.max t.now ev.time;
       t.events_run <- t.events_run + 1;
       ev.run ();
       true

@@ -34,3 +34,15 @@ val run_until : t -> time:int -> unit
 
 (** Pending event count. *)
 val pending : t -> int
+
+(** Install a scheduling chooser: whenever more than one pending event falls
+    within [horizon] cycles of the earliest one, [choose n] is called with
+    the candidate count and returns the index (in (time, seq) order) of the
+    event to fire next; out-of-range answers fall back to 0. The clock is
+    clamped monotone, so choosing a later candidate makes overtaken events
+    run "late" at the current time — the interleaving explorer's model of
+    timing variance. No chooser (the default) is the strict deterministic
+    (time, seq) order with zero overhead. *)
+val set_chooser : t -> ?horizon:int -> (int -> int) -> unit
+
+val clear_chooser : t -> unit

@@ -1,0 +1,154 @@
+(* Unit tests for the Checker's classification results, the windows index
+   and the violation-recording cap. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let entry ~vpn ~pfn =
+  { Tlb.vpn; pfn; pcid = 1; size = Tlb.Four_k; global = false; writable = true;
+    fractured = false }
+
+let stale_hit ?(now = 0) ?(cpu = 0) ?(mm_id = 1) ?(vpn = 10) c =
+  Checker.check_hit c ~now ~cpu ~mm_id ~vpn ~write:false
+    ~entry:(entry ~vpn ~pfn:5) ~walk:None
+
+(* --- classification results --- *)
+
+let test_clean_result () =
+  let c = Checker.create () in
+  let pte = Pte.user_data ~pfn:5 in
+  let r =
+    Checker.check_hit c ~now:0 ~cpu:0 ~mm_id:1 ~vpn:10 ~write:true
+      ~entry:(entry ~vpn:10 ~pfn:5)
+      ~walk:(Some { Page_table.pte; size = Tlb.Four_k; levels = 4 })
+  in
+  check bool_t "clean" true (r = `Clean);
+  check int_t "no benign races" 0 (Checker.benign_races c)
+
+let test_violation_result_carries_reason () =
+  let c = Checker.create () in
+  (match stale_hit c with
+  | `Violation reason ->
+      check Alcotest.string "reason" "translation removed from page table" reason
+  | `Clean | `Benign _ -> Alcotest.fail "expected a violation");
+  let pte = Pte.user_data ~pfn:99 in
+  match
+    Checker.check_hit c ~now:0 ~cpu:0 ~mm_id:1 ~vpn:10 ~write:false
+      ~entry:(entry ~vpn:10 ~pfn:5)
+      ~walk:(Some { Page_table.pte; size = Tlb.Four_k; levels = 4 })
+  with
+  | `Violation reason ->
+      check Alcotest.string "remap reason" "page remapped to a different frame" reason
+  | `Clean | `Benign _ -> Alcotest.fail "expected a remap violation"
+
+let test_benign_inside_window () =
+  let c = Checker.create () in
+  let info = Flush_info.ranged ~mm_id:1 ~start_vpn:10 ~pages:1 ~new_tlb_gen:2 () in
+  let token = Checker.begin_invalidation c info in
+  (match stale_hit c with
+  | `Benign _ -> ()
+  | `Clean -> Alcotest.fail "stale hit reported clean"
+  | `Violation _ -> Alcotest.fail "in-flight hit must be benign");
+  check int_t "benign recorded" 1 (Checker.benign_races c);
+  check int_t "no violation" 0 (Checker.violation_count c);
+  Checker.end_invalidation c token;
+  (match stale_hit c ~now:1 with
+  | `Violation _ -> ()
+  | `Clean | `Benign _ -> Alcotest.fail "closed window must not excuse");
+  check int_t "violation after close" 1 (Checker.violation_count c)
+
+let test_window_must_cover_vpn_and_mm () =
+  let c = Checker.create () in
+  let info = Flush_info.ranged ~mm_id:1 ~start_vpn:100 ~pages:4 ~new_tlb_gen:2 () in
+  let token = Checker.begin_invalidation c info in
+  (* Same mm, vpn outside the flushed range: no excuse. *)
+  (match stale_hit c ~vpn:10 with
+  | `Violation _ -> ()
+  | `Clean | `Benign _ -> Alcotest.fail "uncovered vpn must violate");
+  (* Covered vpn but a different address space: no excuse. *)
+  (match stale_hit c ~mm_id:2 ~vpn:101 with
+  | `Violation _ -> ()
+  | `Clean | `Benign _ -> Alcotest.fail "other mm must violate");
+  (* Covered vpn in the right mm: benign. *)
+  (match stale_hit c ~vpn:101 with
+  | `Benign _ -> ()
+  | `Clean | `Violation _ -> Alcotest.fail "covered vpn must be benign");
+  Checker.end_invalidation c token
+
+let test_covered_matches_classification () =
+  let c = Checker.create () in
+  check bool_t "nothing covered" false (Checker.covered c ~mm_id:1 ~vpn:10);
+  let t1 = Checker.begin_invalidation c
+      (Flush_info.ranged ~mm_id:1 ~start_vpn:10 ~pages:1 ~new_tlb_gen:2 ()) in
+  let t2 = Checker.begin_invalidation c (Flush_info.full ~mm_id:2 ~new_tlb_gen:3 ()) in
+  check bool_t "ranged covers" true (Checker.covered c ~mm_id:1 ~vpn:10);
+  check bool_t "range bound" false (Checker.covered c ~mm_id:1 ~vpn:11);
+  check bool_t "full covers any vpn" true (Checker.covered c ~mm_id:2 ~vpn:123456);
+  check bool_t "mm isolation" false (Checker.covered c ~mm_id:3 ~vpn:10);
+  Checker.end_invalidation c t1;
+  check bool_t "closed window uncovers" false (Checker.covered c ~mm_id:1 ~vpn:10);
+  check bool_t "other window survives" true (Checker.covered c ~mm_id:2 ~vpn:0);
+  Checker.end_invalidation c t2
+
+(* --- open-windows bookkeeping --- *)
+
+let test_open_windows_bookkeeping () =
+  let c = Checker.create () in
+  check int_t "none open" 0 (Checker.open_windows c);
+  let tokens =
+    List.init 3 (fun i ->
+        Checker.begin_invalidation c
+          (Flush_info.ranged ~mm_id:(i + 1) ~start_vpn:0 ~pages:1 ~new_tlb_gen:2 ()))
+  in
+  check int_t "three open" 3 (Checker.open_windows c);
+  check bool_t "distinct tokens" true
+    (List.length (List.sort_uniq compare (List.map Checker.token_id tokens)) = 3);
+  List.iter (Checker.end_invalidation c) tokens;
+  check int_t "all closed" 0 (Checker.open_windows c);
+  (* Double-close is idempotent. *)
+  List.iter (Checker.end_invalidation c) tokens;
+  check int_t "still closed" 0 (Checker.open_windows c)
+
+let test_disabled_checker_windows_are_noops () =
+  let c = Checker.create ~enabled:false () in
+  let t = Checker.begin_invalidation c
+      (Flush_info.ranged ~mm_id:1 ~start_vpn:10 ~pages:1 ~new_tlb_gen:2 ()) in
+  check int_t "no window tracked" 0 (Checker.open_windows c);
+  check bool_t "nothing covered" false (Checker.covered c ~mm_id:1 ~vpn:10);
+  check bool_t "silent result" true (stale_hit c = `Clean);
+  Checker.end_invalidation c t
+
+(* --- recording cap --- *)
+
+let test_max_recorded_cap () =
+  let c = Checker.create ~max_recorded:5 () in
+  for vpn = 0 to 99 do
+    ignore (stale_hit c ~vpn : Checker.result)
+  done;
+  check int_t "count keeps going" 100 (Checker.violation_count c);
+  check int_t "list capped" 5 (List.length (Checker.violations c));
+  (* The retained records are the earliest ones. *)
+  let vpns = List.map (fun v -> v.Checker.v_vpn) (Checker.violations c) in
+  check (Alcotest.list int_t) "earliest retained" [ 0; 1; 2; 3; 4 ]
+    (List.sort compare vpns);
+  Checker.clear c;
+  check int_t "cleared" 0 (Checker.violation_count c);
+  ignore (stale_hit c : Checker.result);
+  check int_t "records again after clear" 1 (List.length (Checker.violations c))
+
+let test_default_cap_is_large () =
+  check bool_t "default cap sane" true (Checker.default_max_recorded_violations >= 100)
+
+let suite =
+  [
+    Alcotest.test_case "result: clean" `Quick test_clean_result;
+    Alcotest.test_case "result: violation reasons" `Quick test_violation_result_carries_reason;
+    Alcotest.test_case "result: benign inside window" `Quick test_benign_inside_window;
+    Alcotest.test_case "windows: cover vpn and mm" `Quick test_window_must_cover_vpn_and_mm;
+    Alcotest.test_case "windows: covered query" `Quick test_covered_matches_classification;
+    Alcotest.test_case "windows: open count" `Quick test_open_windows_bookkeeping;
+    Alcotest.test_case "windows: disabled no-ops" `Quick test_disabled_checker_windows_are_noops;
+    Alcotest.test_case "cap: max_recorded" `Quick test_max_recorded_cap;
+    Alcotest.test_case "cap: default" `Quick test_default_cap_is_large;
+  ]

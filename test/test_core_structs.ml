@@ -326,10 +326,14 @@ let entry ~vpn ~pfn ~writable =
 
 let walk_of pte = Some { Page_table.pte; size = Tlb.Four_k; levels = 4 }
 
+(* Run a hit check for its recording side effects only. *)
+let run_hit c ~now ~cpu ~mm_id ~vpn ~write ~entry ~walk =
+  ignore (Checker.check_hit c ~now ~cpu ~mm_id ~vpn ~write ~entry ~walk : Checker.result)
+
 let test_checker_clean_hit () =
   let c = Checker.create () in
   let pte = Pte.user_data ~pfn:5 in
-  Checker.check_hit c ~now:0 ~cpu:0 ~mm_id:1 ~vpn:10 ~write:true
+  run_hit c ~now:0 ~cpu:0 ~mm_id:1 ~vpn:10 ~write:true
     ~entry:(entry ~vpn:10 ~pfn:5 ~writable:true)
     ~walk:(walk_of pte);
   check int_t "no violations" 0 (Checker.violation_count c);
@@ -337,7 +341,7 @@ let test_checker_clean_hit () =
 
 let test_checker_stale_unmapped_is_violation () =
   let c = Checker.create () in
-  Checker.check_hit c ~now:5 ~cpu:2 ~mm_id:1 ~vpn:10 ~write:false
+  run_hit c ~now:5 ~cpu:2 ~mm_id:1 ~vpn:10 ~write:false
     ~entry:(entry ~vpn:10 ~pfn:5 ~writable:true)
     ~walk:None;
   check int_t "violation" 1 (Checker.violation_count c);
@@ -351,13 +355,13 @@ let test_checker_inflight_window_excuses () =
   let c = Checker.create () in
   let info = Flush_info.ranged ~mm_id:1 ~start_vpn:10 ~pages:1 ~new_tlb_gen:2 () in
   let token = Checker.begin_invalidation c info in
-  Checker.check_hit c ~now:5 ~cpu:2 ~mm_id:1 ~vpn:10 ~write:false
+  run_hit c ~now:5 ~cpu:2 ~mm_id:1 ~vpn:10 ~write:false
     ~entry:(entry ~vpn:10 ~pfn:5 ~writable:true)
     ~walk:None;
   check int_t "benign while in flight" 0 (Checker.violation_count c);
   check int_t "recorded as race" 1 (Checker.benign_races c);
   Checker.end_invalidation c token;
-  Checker.check_hit c ~now:6 ~cpu:2 ~mm_id:1 ~vpn:10 ~write:false
+  run_hit c ~now:6 ~cpu:2 ~mm_id:1 ~vpn:10 ~write:false
     ~entry:(entry ~vpn:10 ~pfn:5 ~writable:true)
     ~walk:None;
   check int_t "violation once window closed" 1 (Checker.violation_count c)
@@ -365,7 +369,7 @@ let test_checker_inflight_window_excuses () =
 let test_checker_remap_detected () =
   let c = Checker.create () in
   let pte = Pte.user_data ~pfn:99 in
-  Checker.check_hit c ~now:0 ~cpu:0 ~mm_id:1 ~vpn:10 ~write:false
+  run_hit c ~now:0 ~cpu:0 ~mm_id:1 ~vpn:10 ~write:false
     ~entry:(entry ~vpn:10 ~pfn:5 ~writable:true)
     ~walk:(walk_of pte);
   check int_t "remap violation" 1 (Checker.violation_count c)
@@ -374,12 +378,12 @@ let test_checker_write_protect_detected () =
   let c = Checker.create () in
   let pte = Pte.write_protect (Pte.user_data ~pfn:5) in
   (* Reading through the stale-writable entry is fine... *)
-  Checker.check_hit c ~now:0 ~cpu:0 ~mm_id:1 ~vpn:10 ~write:false
+  run_hit c ~now:0 ~cpu:0 ~mm_id:1 ~vpn:10 ~write:false
     ~entry:(entry ~vpn:10 ~pfn:5 ~writable:true)
     ~walk:(walk_of pte);
   check int_t "read ok" 0 (Checker.violation_count c);
   (* ...writing is not. *)
-  Checker.check_hit c ~now:0 ~cpu:0 ~mm_id:1 ~vpn:10 ~write:true
+  run_hit c ~now:0 ~cpu:0 ~mm_id:1 ~vpn:10 ~write:true
     ~entry:(entry ~vpn:10 ~pfn:5 ~writable:true)
     ~walk:(walk_of pte);
   check int_t "write violation" 1 (Checker.violation_count c)
@@ -390,7 +394,7 @@ let test_checker_hugepage_offset_match () =
      same granularity must agree at the offset. *)
   let pte = Pte.user_data ~pfn:4096 in
   let walk = Some { Page_table.pte; size = Tlb.Two_m; levels = 3 } in
-  Checker.check_hit c ~now:0 ~cpu:0 ~mm_id:1 ~vpn:1034 ~write:false
+  run_hit c ~now:0 ~cpu:0 ~mm_id:1 ~vpn:1034 ~write:false
     ~entry:{ Tlb.vpn = 1024; pfn = 4096; pcid = 1; size = Tlb.Two_m; global = false;
              writable = true; fractured = false }
     ~walk;
@@ -398,7 +402,7 @@ let test_checker_hugepage_offset_match () =
 
 let test_checker_disabled_is_silent () =
   let c = Checker.create ~enabled:false () in
-  Checker.check_hit c ~now:0 ~cpu:0 ~mm_id:1 ~vpn:10 ~write:false
+  run_hit c ~now:0 ~cpu:0 ~mm_id:1 ~vpn:10 ~write:false
     ~entry:(entry ~vpn:10 ~pfn:5 ~writable:true)
     ~walk:None;
   check int_t "nothing recorded" 0 (Checker.violation_count c);

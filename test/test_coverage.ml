@@ -43,11 +43,13 @@ let test_apic_and_tlb_stat_resets () =
 
 let test_checker_clear () =
   let c = Checker.create () in
-  Checker.check_hit c ~now:0 ~cpu:0 ~mm_id:1 ~vpn:1 ~write:false
-    ~entry:
-      { Tlb.vpn = 1; pfn = 1; pcid = 1; size = Tlb.Four_k; global = false;
-        writable = true; fractured = false }
-    ~walk:None;
+  ignore
+    (Checker.check_hit c ~now:0 ~cpu:0 ~mm_id:1 ~vpn:1 ~write:false
+       ~entry:
+         { Tlb.vpn = 1; pfn = 1; pcid = 1; size = Tlb.Four_k; global = false;
+           writable = true; fractured = false }
+       ~walk:None
+      : Checker.result);
   check int_t "one violation" 1 (Checker.violation_count c);
   Checker.clear c;
   check int_t "cleared" 0 (Checker.violation_count c);
@@ -93,7 +95,9 @@ let test_trace_of_real_shootdown_mentions_protocol () =
       Machine.delay m 10_000;
       stop := true);
   Kernel.run m;
-  let events = List.map (fun r -> r.Trace.event) (Trace.records m.Machine.trace) in
+  let events =
+    List.map (fun r -> Trace.event_text r.Trace.event) (Trace.records m.Machine.trace)
+  in
   let has prefix =
     List.exists
       (fun e ->

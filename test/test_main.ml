@@ -15,6 +15,8 @@ let () =
       ("fork-mremap", Test_fork_mremap.suite);
       ("ksm", Test_ksm.suite);
       ("stress", Test_stress.suite);
+      ("checker", Test_checker.suite);
+      ("analysis", Test_analysis.suite);
       ("coverage", Test_coverage.suite);
       ("properties", Test_props.suite);
     ]

@@ -350,8 +350,47 @@ let test_trace_records_in_order () =
   | [ r1; r2 ] ->
       check int_t "t0" 0 r1.Trace.time;
       check int_t "t10" 10 r2.Trace.time;
-      check Alcotest.string "fmt" "second at 10" r2.Trace.event
+      check Alcotest.string "fmt" "second at 10" (Trace.event_text r2.Trace.event)
   | records -> Alcotest.failf "expected 2 records, got %d" (List.length records)
+
+let test_trace_typed_events () =
+  let e = Engine.create () in
+  let t = Trace.create ~enabled:true e in
+  Trace.event t ~cpu:3 (Trace.Ipi_send { seq = 7; target = 5 });
+  Trace.event t ~cpu:5 (Trace.Ipi_ack { seq = 7; initiator = 3; early = true });
+  (match Trace.records t with
+  | [ s; a ] ->
+      check int_t "sender cpu" 3 s.Trace.cpu;
+      check Alcotest.string "send text" "IPI -> cpu5 (seq 7)" (Trace.event_text s.Trace.event);
+      check Alcotest.string "ack text" "early ack to cpu3 (seq 7)"
+        (Trace.event_text a.Trace.event)
+  | rs -> Alcotest.failf "expected 2 records, got %d" (List.length rs));
+  check bool_t "emitf is Msg" true
+    (Trace.emitf t ~actor:"x" "n=%d" 4;
+     match List.rev (Trace.records t) with
+     | { Trace.event = Trace.Msg "n=4"; cpu = -1; _ } :: _ -> true
+     | _ -> false)
+
+let test_trace_ring_buffer_cap () =
+  let e = Engine.create () in
+  let t = Trace.create ~enabled:true ~max_records:4 e in
+  for i = 1 to 10 do
+    Trace.emitf t ~actor:"p" "ev%d" i
+  done;
+  check int_t "capped length" 4 (Trace.length t);
+  check int_t "dropped count" 6 (Trace.dropped t);
+  check
+    (Alcotest.list Alcotest.string)
+    "keeps newest, oldest-first"
+    [ "ev7"; "ev8"; "ev9"; "ev10" ]
+    (List.map (fun r -> Trace.event_text r.Trace.event) (Trace.records t));
+  (* Lifting the cap resumes unbounded growth without losing the tail. *)
+  Trace.set_max_records t None;
+  Trace.emit t ~actor:"p" "ev11";
+  check int_t "grows again" 5 (Trace.length t);
+  Trace.clear t;
+  check int_t "clear resets length" 0 (Trace.length t);
+  check int_t "clear resets dropped" 0 (Trace.dropped t)
 
 let suite =
   [
@@ -389,4 +428,6 @@ let suite =
     Alcotest.test_case "waitq: completion" `Quick test_completion;
     Alcotest.test_case "trace: disabled is no-op" `Quick test_trace_disabled_by_default;
     Alcotest.test_case "trace: records in order" `Quick test_trace_records_in_order;
+    Alcotest.test_case "trace: typed events" `Quick test_trace_typed_events;
+    Alcotest.test_case "trace: ring-buffer cap" `Quick test_trace_ring_buffer_cap;
   ]
