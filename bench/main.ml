@@ -4,14 +4,42 @@
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- fig5    -- one experiment
      dune exec bench/main.exe -- quick   -- everything, reduced iterations
+     dune exec bench/main.exe -- all -j 4 -- experiments on 4 domains
+     dune exec bench/main.exe -- perf    -- wall-clock harness (BENCH_PERF.json)
      dune exec bench/main.exe -- bechamel -- harness self-measurement
 
    Simulated cycle counts are printed; EXPERIMENTS.md compares them to the
-   paper's numbers. *)
+   paper's numbers. Experiments are pure functions of their configuration
+   (fresh machines, fixed seeds), so `-j N` runs them on N domains with
+   output captured per experiment and printed in order: `-j 1` output is
+   byte-identical to the sequential harness. Per-experiment elapsed-time
+   lines go to stderr so stdout stays comparable across runs. *)
 
 let quick = ref false
 
 let micro_iters () = if !quick then 60 else 200
+
+(* A compute-once cell shared between experiments. Under the parallel
+   runner two domains can want the same matrix; the mutex makes the second
+   one wait for (rather than duplicate) the computation. *)
+module Memo = struct
+  type 'a state = Thunk of (unit -> 'a) | Value of 'a
+  type 'a t = { lock : Mutex.t; mutable state : 'a state }
+
+  let create f = { lock = Mutex.create (); state = Thunk f }
+
+  let force t =
+    Mutex.lock t.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () ->
+        match t.state with
+        | Value v -> v
+        | Thunk f ->
+            let v = f () in
+            t.state <- Value v;
+            v)
+end
 
 (* ----- Figures 5-8: the madvise microbenchmark ----- *)
 
@@ -32,6 +60,18 @@ let micro_matrix ~safe ~pte_count =
       in
       (placement, cells))
     Microbench.all_placements
+
+(* Figures 5-8 and Table 3 consume the same four matrices (safe x pte_count);
+   in an `all` run Table 3 reuses the figures' results instead of
+   recomputing ~half the microbenchmark cells. *)
+let matrix_memo =
+  List.map
+    (fun ((safe, pte_count) as key) ->
+      (key, Memo.create (fun () -> micro_matrix ~safe ~pte_count)))
+    [ (true, 1); (true, 10); (false, 1); (false, 10) ]
+
+let micro_matrix_cached ~safe ~pte_count =
+  Memo.force (List.assoc (safe, pte_count) matrix_memo)
 
 let print_micro_figure ~fig ~safe ~pte_count matrix =
   let stacks = List.map fst (List.assoc Microbench.Same_core matrix) in
@@ -65,15 +105,13 @@ let print_micro_figure ~fig ~safe ~pte_count matrix =
        (List.assoc Microbench.Cross_socket matrix))
 
 let run_micro_figure ~fig ~safe ~pte_count =
-  let matrix = micro_matrix ~safe ~pte_count in
-  print_micro_figure ~fig ~safe ~pte_count matrix;
-  matrix
+  print_micro_figure ~fig ~safe ~pte_count (micro_matrix_cached ~safe ~pte_count)
 
 (* ----- Table 3: latency reduction cross-socket, all four techniques ----- *)
 
 let table3 () =
   let cell ~safe ~pte_count =
-    let matrix = micro_matrix ~safe ~pte_count in
+    let matrix = micro_matrix_cached ~safe ~pte_count in
     let cells = List.assoc Microbench.Cross_socket matrix in
     let first = snd (List.hd cells) in
     let last = snd (List.nth cells (List.length cells - 1)) in
@@ -489,13 +527,15 @@ let ablation_freebsd () =
     ~header:[ "protocol"; "threads"; "ops/kcyc" ]
     rows
 
-let ablation () =
-  ablation_single_opt ();
-  ablation_ipi_latency ();
-  ablation_batch_slots ();
-  ablation_full_flush_threshold ();
-  ablation_freebsd ();
-  ablation_paravirt_fracture ()
+let ablation_tasks =
+  [
+    ("ablation-A", ablation_single_opt);
+    ("ablation-B", ablation_ipi_latency);
+    ("ablation-C", ablation_batch_slots);
+    ("ablation-D", ablation_full_flush_threshold);
+    ("ablation-E", ablation_freebsd);
+    ("paravirt", ablation_paravirt_fracture);
+  ]
 
 (* ----- Bechamel: wall-clock self-measurement of the harness ----- *)
 
@@ -553,59 +593,188 @@ let bechamel () =
       | Some _ | None -> Printf.printf "  %-32s (no estimate)\n" name)
     results
 
-(* ----- driver ----- *)
+(* ----- driver: named experiments over the domain pool ----- *)
 
-let run_figs_5_to_8 () =
-  ignore (run_micro_figure ~fig:5 ~safe:true ~pte_count:1);
-  ignore (run_micro_figure ~fig:6 ~safe:true ~pte_count:10);
-  ignore (run_micro_figure ~fig:7 ~safe:false ~pte_count:1);
-  ignore (run_micro_figure ~fig:8 ~safe:false ~pte_count:10)
+(* Every experiment builds its own machines from fixed seeds, so tasks are
+   independent and safe to run on separate domains. Output is captured per
+   task and printed in task order; the only per-task side channel is the
+   elapsed-time line on stderr. *)
 
-let all () =
-  run_figs_5_to_8 ();
-  table3 ();
-  fig9 ();
-  fig10 ();
-  fig11 ();
-  table2 ();
-  table4 ();
-  ablation ()
+let fig_tasks =
+  [
+    ("fig5", fun () -> run_micro_figure ~fig:5 ~safe:true ~pte_count:1);
+    ("fig6", fun () -> run_micro_figure ~fig:6 ~safe:true ~pte_count:10);
+    ("fig7", fun () -> run_micro_figure ~fig:7 ~safe:false ~pte_count:1);
+    ("fig8", fun () -> run_micro_figure ~fig:8 ~safe:false ~pte_count:10);
+  ]
+
+let all_tasks =
+  fig_tasks
+  @ [
+      ("table3", table3);
+      ("fig9", fig9);
+      ("fig10", fig10);
+      ("fig11", fig11);
+      ("table2", table2);
+      ("table4", table4);
+    ]
+  @ ablation_tasks
+
+type measure = {
+  m_name : string;
+  m_wall_s : float;
+  m_engine_ops : int;
+  m_minor_words : float;
+  m_major_words : float;
+  m_promoted_words : float;
+}
+
+(* Run one experiment with its output captured; returns (output, measure). *)
+let measure_task (name, run) =
+  let gc0 = Gc.quick_stat () in
+  let ops0 = Engine.global_ops_total () in
+  let t0 = Unix.gettimeofday () in
+  let out = Report.capture run in
+  let wall = Unix.gettimeofday () -. t0 in
+  let gc1 = Gc.quick_stat () in
+  ( out,
+    {
+      m_name = name;
+      m_wall_s = wall;
+      m_engine_ops = Engine.global_ops_total () - ops0;
+      m_minor_words = gc1.Gc.minor_words -. gc0.Gc.minor_words;
+      m_major_words = gc1.Gc.major_words -. gc0.Gc.major_words;
+      m_promoted_words = gc1.Gc.promoted_words -. gc0.Gc.promoted_words;
+    } )
+
+let run_tasks ~jobs tasks =
+  let results =
+    Domain_pool.run ~jobs
+      (Array.of_list
+         (List.map
+            (fun task ->
+              fun () ->
+               let out, m = measure_task task in
+               Printf.eprintf "[bench] %-12s %6.2fs\n%!" m.m_name m.m_wall_s;
+               out)
+            tasks))
+  in
+  Array.iter print_string results
+
+(* ----- perf: wall-clock harness, BENCH_PERF.json ----- *)
+
+(* Engine ops are a process-wide counter, so perf runs sequentially: each
+   delta then belongs to exactly one experiment. Tables are captured and
+   discarded — the normal modes cover their content; this mode measures the
+   harness itself. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 32 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let perf () =
+  let measures =
+    List.map
+      (fun task ->
+        let _out, m = measure_task task in
+        Printf.printf "  %-12s %7.2fs  %11s engine-ops  %8s ops/s\n%!" m.m_name m.m_wall_s
+          (Report.count m.m_engine_ops)
+          (Report.cycles (float_of_int m.m_engine_ops /. Float.max 1e-9 m.m_wall_s));
+        m)
+      all_tasks
+  in
+  let total_wall = List.fold_left (fun acc m -> acc +. m.m_wall_s) 0.0 measures in
+  let total_ops = List.fold_left (fun acc m -> acc + m.m_engine_ops) 0 measures in
+  let gc = Gc.quick_stat () in
+  let oc = open_out "BENCH_PERF.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"schema\": 1,\n";
+  out "  \"mode\": \"%s\",\n" (if !quick then "quick" else "full");
+  out "  \"experiments\": [\n";
+  List.iteri
+    (fun i m ->
+      out
+        "    {\"name\": \"%s\", \"wall_s\": %.4f, \"engine_ops\": %d, \
+         \"engine_ops_per_s\": %.0f, \"minor_words\": %.0f, \"major_words\": %.0f, \
+         \"promoted_words\": %.0f}%s\n"
+        (json_escape m.m_name) m.m_wall_s m.m_engine_ops
+        (float_of_int m.m_engine_ops /. Float.max 1e-9 m.m_wall_s)
+        m.m_minor_words m.m_major_words m.m_promoted_words
+        (if i = List.length measures - 1 then "" else ","))
+    measures;
+  out "  ],\n";
+  out "  \"total\": {\"wall_s\": %.4f, \"engine_ops\": %d, \"engine_ops_per_s\": %.0f},\n"
+    total_wall total_ops
+    (float_of_int total_ops /. Float.max 1e-9 total_wall);
+  out
+    "  \"gc\": {\"minor_collections\": %d, \"major_collections\": %d, \"heap_words\": \
+     %d, \"minor_words\": %.0f, \"major_words\": %.0f}\n"
+    gc.Gc.minor_collections gc.Gc.major_collections gc.Gc.heap_words gc.Gc.minor_words
+    gc.Gc.major_words;
+  out "}\n";
+  close_out oc;
+  Printf.printf "total %.2fs over %d experiments; wrote BENCH_PERF.json\n" total_wall
+    (List.length measures)
+
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [quick] [-j N] [fig5..fig11 | figs5-8 | table2 | table3 | table4 \
+     | ablation | all | perf | bechamel]\n";
+  exit 2
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "quick" || a = "--quick" then begin
-          quick := true;
-          false
-        end
-        else true)
-      args
+  let jobs = ref 1 in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | ("quick" | "--quick") :: rest ->
+        quick := true;
+        parse acc rest
+    | ("-j" | "--jobs") :: n :: rest when int_of_string_opt n <> None ->
+        jobs := int_of_string n;
+        parse acc rest
+    | [ ("-j" | "--jobs") ] ->
+        Printf.eprintf "-j needs a worker count\n";
+        exit 2
+    | arg :: rest
+      when String.length arg > 2
+           && String.sub arg 0 2 = "-j"
+           && int_of_string_opt (String.sub arg 2 (String.length arg - 2)) <> None ->
+        jobs := int_of_string (String.sub arg 2 (String.length arg - 2));
+        parse acc rest
+    | arg :: rest -> parse (arg :: acc) rest
   in
-  match args with
-  | [] -> all ()
+  let cmds = parse [] (List.tl (Array.to_list Sys.argv)) in
+  let jobs = if !jobs <= 0 then Domain_pool.default_jobs () else !jobs in
+  let group = function
+    | "figs5-8" -> Some fig_tasks
+    | ("fig5" | "fig6" | "fig7" | "fig8" | "table3" | "fig9" | "fig10" | "fig11"
+      | "table2" | "table4") as cmd ->
+        Some (List.filter (fun (n, _) -> n = cmd) all_tasks)
+    | "ablation" -> Some ablation_tasks
+    | "all" -> Some all_tasks
+    | _ -> None
+  in
+  match cmds with
+  | [] -> run_tasks ~jobs all_tasks
   | cmds ->
       List.iter
-        (function
-          | "fig5" -> ignore (run_micro_figure ~fig:5 ~safe:true ~pte_count:1)
-          | "fig6" -> ignore (run_micro_figure ~fig:6 ~safe:true ~pte_count:10)
-          | "fig7" -> ignore (run_micro_figure ~fig:7 ~safe:false ~pte_count:1)
-          | "fig8" -> ignore (run_micro_figure ~fig:8 ~safe:false ~pte_count:10)
-          | "figs5-8" -> run_figs_5_to_8 ()
-          | "table3" -> table3 ()
-          | "fig9" -> fig9 ()
-          | "fig10" -> fig10 ()
-          | "fig11" -> fig11 ()
-          | "table2" -> table2 ()
-          | "table4" -> table4 ()
-          | "ablation" -> ablation ()
-          | "bechamel" -> bechamel ()
-          | "all" -> all ()
-          | other ->
-              Printf.eprintf
-                "unknown experiment %S (try fig5..fig11, table2, table3, table4, \
-                 bechamel, all, quick)\n"
-                other;
-              exit 2)
+        (fun cmd ->
+          match group cmd with
+          | Some tasks -> run_tasks ~jobs tasks
+          | None -> (
+              match cmd with
+              | "bechamel" -> bechamel ()
+              | "perf" -> perf ()
+              | other ->
+                  Printf.eprintf "unknown experiment %S\n" other;
+                  usage ()))
         cmds

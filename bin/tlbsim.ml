@@ -287,7 +287,7 @@ let analyze_cmd =
       let m = Scenarios.early_ack_demo ~opts ~rounds ~seed:(Int64.of_int seed) () in
       Trace.enable m.Machine.trace;
       Kernel.run m;
-      let report = Hb.analyze (Trace.records m.Machine.trace) in
+      let report = Hb.analyze_trace m.Machine.trace in
       Format.printf "scenario: cross-socket reader vs %d madvise rounds, %a@."
         rounds Opts.pp opts;
       Hb.pp_report Format.std_formatter report;

@@ -120,7 +120,7 @@ let run_once ~config ~build ~prefix ~add_failure =
    with exn -> add_failure ("uncaught exception: " ^ Printexc.to_string exn));
   Engine.clear_chooser m.Machine.engine;
   post_invariants m add_failure;
-  let report = Hb.analyze (Trace.records m.Machine.trace) in
+  let report = Hb.analyze_trace m.Machine.trace in
   if report.Hb.genuine > 0 then
     add_failure
       (Printf.sprintf "happens-before analysis found %d genuine race(s)" report.Hb.genuine);

@@ -63,8 +63,7 @@ let vc_leq a b =
 
 let max_findings = 32
 
-let analyze records =
-  let records = Array.of_list records in
+let analyze_array records =
   let n = Array.length records in
   let n_cpus =
     Array.fold_left (fun acc (r : Trace.record) -> Stdlib.max acc (r.Trace.cpu + 1)) 1 records
@@ -275,6 +274,19 @@ let analyze records =
     checker_disagreements = !disagree;
     findings = List.rev !findings;
   }
+
+let analyze records = analyze_array (Array.of_list records)
+
+(* Straight from the ring buffer, no intermediate list. *)
+let analyze_trace trace =
+  let n = Trace.length trace in
+  let dummy = { Trace.time = 0; cpu = -1; actor = ""; event = Trace.Msg "" } in
+  let records = Array.make n dummy in
+  let i = ref 0 in
+  Trace.iter trace (fun r ->
+      records.(!i) <- r;
+      incr i);
+  analyze_array records
 
 let verdict_name = function
   | Proved_in_flight -> "benign (proved in-flight)"

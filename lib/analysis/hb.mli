@@ -50,6 +50,10 @@ type report = {
     {!Sim.Trace.records}). *)
 val analyze : Trace.record list -> report
 
+(** Analyze a trace buffer directly ({!Sim.Trace.iter} under the hood — no
+    intermediate record list). *)
+val analyze_trace : Trace.t -> report
+
 val verdict_name : verdict -> string
 val pp_finding : Format.formatter -> finding -> unit
 val pp_report : Format.formatter -> report -> unit

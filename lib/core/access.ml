@@ -26,15 +26,17 @@ let rec access m ~cpu ~vaddr ~write ~attempt =
       let pt = Mm_struct.page_table mm in
       (match
          Checker.check_hit m.Machine.checker ~now:(Machine.now m) ~cpu
-           ~mm_id:(Mm_struct.id mm) ~vpn ~write ~entry ~walk:(Page_table.walk pt ~vpn)
+           ~mm_id:(Mm_struct.id mm) ~vpn ~write ~entry ~pt
        with
       | `Clean -> ()
       | `Benign detail ->
-          Machine.trace_event m ~cpu
-            (Trace.Stale_hit { mm_id = Mm_struct.id mm; vpn; benign = true; detail })
+          if Machine.tracing m then
+            Machine.trace_event m ~cpu
+              (Trace.Stale_hit { mm_id = Mm_struct.id mm; vpn; benign = true; detail })
       | `Violation detail ->
-          Machine.trace_event m ~cpu
-            (Trace.Stale_hit { mm_id = Mm_struct.id mm; vpn; benign = false; detail }));
+          if Machine.tracing m then
+            Machine.trace_event m ~cpu
+              (Trace.Stale_hit { mm_id = Mm_struct.id mm; vpn; benign = false; detail }));
       if write && not entry.Tlb.writable then begin
         (* Permission fault; the hardware invalidates the faulting entry. *)
         Tlb.drop tlb ~pcid ~vpn;
@@ -66,9 +68,11 @@ let rec access m ~cpu ~vaddr ~write ~attempt =
               global = w.Page_table.pte.Pte.global;
               writable = w.Page_table.pte.Pte.writable;
               fractured = false;
+              ck_ver = -1;
             };
-          Machine.trace_event m ~cpu
-            (Trace.Tlb_fill { mm_id = Mm_struct.id mm; vpn; pcid })
+          if Machine.tracing m then
+            Machine.trace_event m ~cpu
+              (Trace.Tlb_fill { mm_id = Mm_struct.id mm; vpn; pcid })
       | Some _ | None ->
           Fault.handle m ~cpu ~mm ~vaddr ~write;
           access m ~cpu ~vaddr ~write ~attempt:(attempt + 1)

@@ -70,10 +70,12 @@ let end_invalidation t token =
 
 exception Covering_window
 
-(* The hot check_hit path calls this on every stale hit: look only at the
-   mm's own windows and stop at the first match instead of folding over
-   everything in flight. *)
+(* The hot check_hit path calls this on every stale hit: O(1) out when no
+   window is open anywhere, then look only at the mm's own windows and stop
+   at the first match instead of folding over everything in flight. *)
 let covered t ~mm_id ~vpn =
+  Hashtbl.length t.by_mm > 0
+  &&
   match Hashtbl.find_opt t.by_mm mm_id with
   | None -> false
   | Some per_mm -> (
@@ -88,35 +90,75 @@ let record t v =
   t.n_viols <- t.n_viols + 1;
   if t.n_viols <= t.max_recorded then t.viols <- v :: t.viols
 
-let check_hit t ~now ~cpu ~mm_id ~vpn ~write ~entry ~walk =
+(* Width of the mm-id field in an entry's validation stamp. *)
+let mm_bits = 20
+let mm_limit = 1 lsl mm_bits
+
+let check_hit t ~now ~cpu ~mm_id ~vpn ~write ~entry ~pt =
   if not t.on then `Clean
   else begin
     t.n_checks <- t.n_checks + 1;
-    let stale_reason =
-      match walk with
-      | None -> Some "translation removed from page table"
+    (* Fast path: the entry was validated clean against this exact
+       page-table version for this mm, and nothing changed since (every
+       mutation bumps the version) — skip the software walk entirely. The
+       stamp packs (version, mm_id) so an entry revalidated under a
+       recycled ASID slot, or against a different mm's table at the same
+       version, can never false-match. *)
+    let stamp =
+      if mm_id < mm_limit then (Page_table.version pt lsl mm_bits) lor mm_id else -1
+    in
+    if stamp >= 0 && entry.Tlb.ck_ver = stamp then `Clean
+    else begin
+      match Page_table.walk pt ~vpn with
+      | None ->
+          let reason = "translation removed from page table" in
+          if covered t ~mm_id ~vpn then begin
+            t.benign <- t.benign + 1;
+            `Benign reason
+          end
+          else begin
+            record t
+              { v_time = now; v_cpu = cpu; v_mm = mm_id; v_vpn = vpn; v_detail = reason };
+            `Violation reason
+          end
       | Some (w : Page_table.walk) ->
           let walk_base =
             match w.size with Tlb.Four_k -> vpn | Tlb.Two_m -> vpn land lnot 511
           in
           let walk_pfn = w.pte.Pte.pfn + (vpn - walk_base) in
           let entry_pfn = entry.Tlb.pfn + (vpn - entry.Tlb.vpn) in
-          if entry_pfn <> walk_pfn then Some "page remapped to a different frame"
-          else if write && entry.Tlb.writable && not w.pte.Pte.writable then
-            Some "write through a since-write-protected mapping"
-          else None
-    in
-    match stale_reason with
-    | None -> `Clean
-    | Some reason ->
-        if covered t ~mm_id ~vpn then begin
-          t.benign <- t.benign + 1;
-          `Benign reason
-        end
-        else begin
-          record t { v_time = now; v_cpu = cpu; v_mm = mm_id; v_vpn = vpn; v_detail = reason };
-          `Violation reason
-        end
+          let stale_reason =
+            if entry_pfn <> walk_pfn then Some "page remapped to a different frame"
+            else if write && entry.Tlb.writable && not w.pte.Pte.writable then
+              Some "write through a since-write-protected mapping"
+            else None
+          in
+          (match stale_reason with
+          | None ->
+              (* Stamp only when a future hit of either kind would also be
+                 clean at this version: a writable entry over a
+                 write-protected PTE is clean for reads but must keep
+                 walking so a later write still gets flagged. *)
+              if stamp >= 0 && ((not entry.Tlb.writable) || w.pte.Pte.writable) then
+                entry.Tlb.ck_ver <- stamp;
+              `Clean
+          | Some reason ->
+              if covered t ~mm_id ~vpn then begin
+                t.benign <- t.benign + 1;
+                `Benign reason
+              end
+              else begin
+                record t
+                  {
+                    v_time = now;
+                    v_cpu = cpu;
+                    v_mm = mm_id;
+                    v_vpn = vpn;
+                    v_detail = reason;
+                  };
+                `Violation reason
+              end)
+    end
   end
 
 let violations t = List.rev t.viols

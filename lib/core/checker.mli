@@ -59,9 +59,14 @@ val token_id : token -> int
     first covering window; windows are indexed per-mm. *)
 val covered : t -> mm_id:int -> vpn:int -> bool
 
-(** Verify a user-mode TLB hit on [cpu] against the current page-table walk
-    result. Records a violation (or counts a benign race) if the entry is
-    stale, and returns the classification so the caller can trace it. *)
+(** Verify a user-mode TLB hit on [cpu] against the live page table.
+    Records a violation (or counts a benign race) if the entry is stale, and
+    returns the classification so the caller can trace it.
+
+    The software walk of [pt] is skipped when [entry] was already validated
+    clean against [pt]'s current {!Mm.Page_table.version} (stamped into
+    [entry.ck_ver]) — every page-table mutation bumps the version, so an
+    unchanged stamp proves an unchanged verdict. *)
 val check_hit :
   t ->
   now:int ->
@@ -70,7 +75,7 @@ val check_hit :
   vpn:int ->
   write:bool ->
   entry:Tlb.entry ->
-  walk:Page_table.walk option ->
+  pt:Page_table.t ->
   result
 
 val violations : t -> violation list

@@ -125,6 +125,7 @@ let cow_break m ~cpu ~mm ~vma ~vpn (old : Pte.t) =
         global = false;
         writable = false;
         fractured = false;
+              ck_ver = -1;
       }
   end;
   (* Re-check under the "page-table lock": another CPU may have broken the
@@ -144,8 +145,9 @@ let cow_break m ~cpu ~mm ~vma ~vpn (old : Pte.t) =
   if !raced then Frame_alloc.free (Mm_struct.frames mm) new_pfn
   else begin
     (* This mapping's reference moves to the private copy. *)
-    Machine.trace_event m ~cpu
-      (Trace.Pte_write { mm_id = Mm_struct.id mm; vpn; pages = 1 });
+    if Machine.tracing m then
+      Machine.trace_event m ~cpu
+        (Trace.Pte_write { mm_id = Mm_struct.id mm; vpn; pages = 1 });
     Frame_alloc.free (Mm_struct.frames mm) old.Pte.pfn;
     Shootdown.flush_tlb_page_cow m ~from:cpu ~mm ~vpn ~executable:old.Pte.executable
   end

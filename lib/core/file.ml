@@ -1,14 +1,28 @@
+(* Page indices are dense (0 .. size_pages-1), so the pagecache and dirty
+   set are flat per-page tables rather than hashtables: mmap-heavy
+   workloads (Apache serves every request out of [frame_of_page]) hit
+   these once per faulted page, and generic hashing was a measurable share
+   of that path. [drop_cache] and [dirty_in_range] now visit pages in
+   ascending index order. *)
 type t = {
   frames : Frame_alloc.t;
   file_name : string;
   size : int;
-  pagecache : (int, int) Hashtbl.t;  (* page index -> pfn *)
-  dirty : (int, unit) Hashtbl.t;
+  pagecache : int array;  (* page index -> pfn, -1 = not cached *)
+  dirty : Bytes.t;  (* 1 byte per page: 0 clean, 1 dirty *)
+  mutable n_dirty : int;
 }
 
 let create frames ~name ~size_pages =
   if size_pages <= 0 then invalid_arg "File.create: size must be positive";
-  { frames; file_name = name; size = size_pages; pagecache = Hashtbl.create 64; dirty = Hashtbl.create 64 }
+  {
+    frames;
+    file_name = name;
+    size = size_pages;
+    pagecache = Array.make size_pages (-1);
+    dirty = Bytes.make size_pages '\000';
+    n_dirty = 0;
+  }
 
 let name t = t.file_name
 let size_pages t = t.size
@@ -19,38 +33,53 @@ let check t index =
 
 let frame_of_page t ~index =
   check t index;
-  match Hashtbl.find_opt t.pagecache index with
-  | Some pfn -> pfn
-  | None ->
-      let pfn = Frame_alloc.alloc t.frames in
-      Hashtbl.replace t.pagecache index pfn;
-      pfn
+  let pfn = Array.unsafe_get t.pagecache index in
+  if pfn >= 0 then pfn
+  else begin
+    let pfn = Frame_alloc.alloc t.frames in
+    Array.unsafe_set t.pagecache index pfn;
+    pfn
+  end
 
 let cached t ~index =
   check t index;
-  Hashtbl.mem t.pagecache index
+  t.pagecache.(index) >= 0
 
 let mark_dirty t ~index =
   check t index;
-  Hashtbl.replace t.dirty index ()
+  if Bytes.unsafe_get t.dirty index = '\000' then begin
+    Bytes.unsafe_set t.dirty index '\001';
+    t.n_dirty <- t.n_dirty + 1
+  end
 
 let clear_dirty t ~index =
   check t index;
-  Hashtbl.remove t.dirty index
+  if Bytes.unsafe_get t.dirty index = '\001' then begin
+    Bytes.unsafe_set t.dirty index '\000';
+    t.n_dirty <- t.n_dirty - 1
+  end
 
 let is_dirty t ~index =
   check t index;
-  Hashtbl.mem t.dirty index
+  Bytes.unsafe_get t.dirty index = '\001'
 
 let dirty_in_range t ~index ~count =
-  Hashtbl.fold
-    (fun i () acc -> if i >= index && i < index + count then i :: acc else acc)
-    t.dirty []
-  |> List.sort compare
+  let lo = Stdlib.max 0 index and hi = Stdlib.min t.size (index + count) in
+  let acc = ref [] in
+  for i = hi - 1 downto lo do
+    if Bytes.unsafe_get t.dirty i = '\001' then acc := i :: !acc
+  done;
+  !acc
 
-let dirty_count t = Hashtbl.length t.dirty
+let dirty_count t = t.n_dirty
 
 let drop_cache t =
-  Hashtbl.iter (fun _ pfn -> Frame_alloc.free t.frames pfn) t.pagecache;
-  Hashtbl.reset t.pagecache;
-  Hashtbl.reset t.dirty
+  for i = 0 to t.size - 1 do
+    let pfn = Array.unsafe_get t.pagecache i in
+    if pfn >= 0 then begin
+      Frame_alloc.free t.frames pfn;
+      Array.unsafe_set t.pagecache i (-1)
+    end
+  done;
+  Bytes.fill t.dirty 0 t.size '\000';
+  t.n_dirty <- 0

@@ -101,26 +101,33 @@ let next_ipi_seq t =
   t.next_ipi_seq <- t.next_ipi_seq + 1;
   t.next_ipi_seq
 
+(* OCaml evaluates variant arguments eagerly, so hot call sites must guard
+   event *construction* — `if Machine.tracing m then Machine.trace_event …` —
+   or they allocate the record even when tracing is off. *)
+let[@inline] tracing t = Trace.enabled t.trace
+
 let trace_event t ~cpu ev = if Trace.enabled t.trace then Trace.event t.trace ~cpu ev
 
 (* Checker window plus its trace event, emitted together so the analysis
    layer sees exactly the windows the checker reasons with. *)
 let begin_window t ~cpu (info : Flush_info.t) =
   let token = Checker.begin_invalidation t.checker info in
-  trace_event t ~cpu
-    (Trace.Flush_start
-       {
-         window = Checker.token_id token;
-         mm_id = info.Flush_info.mm_id;
-         start_vpn = info.Flush_info.start_vpn;
-         span = Flush_info.span_4k info;
-         full = info.Flush_info.full;
-       });
+  if tracing t then
+    trace_event t ~cpu
+      (Trace.Flush_start
+         {
+           window = Checker.token_id token;
+           mm_id = info.Flush_info.mm_id;
+           start_vpn = info.Flush_info.start_vpn;
+           span = Flush_info.span_4k info;
+           full = info.Flush_info.full;
+         });
   token
 
 let end_window t ~cpu ~mm_id token =
   Checker.end_invalidation t.checker token;
-  trace_event t ~cpu (Trace.Flush_done { window = Checker.token_id token; mm_id })
+  if tracing t then
+    trace_event t ~cpu (Trace.Flush_done { window = Checker.token_id token; mm_id })
 
 let reset_stats t =
   let s = t.stats in

@@ -73,6 +73,11 @@ val run : t -> unit
     events can pair sends with acks). *)
 val next_ipi_seq : t -> int
 
+(** Is tracing on? Hot call sites must guard event construction with this —
+    OCaml builds variant arguments eagerly, so an unguarded
+    [trace_event m (Tlb_fill {...})] allocates even when tracing is off. *)
+val tracing : t -> bool
+
 (** Append a typed protocol event when tracing is enabled. *)
 val trace_event : t -> cpu:int -> Trace.event -> unit
 

@@ -36,8 +36,9 @@ let switch_mm m ~cpu mm =
     let slot = pcpu.Percpu.asids.(slot_idx) in
     if recycled || slot.Percpu.gen_seen = 0 then begin
       Machine.charge_read m (Mm_struct.line mm) ~by:cpu;
-      Machine.trace_event m ~cpu
-        (Trace.Gen_read { mm_id = Mm_struct.id mm; gen = Mm_struct.tlb_gen mm });
+      if Machine.tracing m then
+        Machine.trace_event m ~cpu
+          (Trace.Gen_read { mm_id = Mm_struct.id mm; gen = Mm_struct.tlb_gen mm });
       slot.Percpu.gen_seen <- Mm_struct.tlb_gen mm
     end
     else Shootdown.check_and_sync_tlb m ~cpu

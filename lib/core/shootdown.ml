@@ -6,7 +6,11 @@
 
 let actor cpu = Printf.sprintf "cpu%d" cpu
 
-let tracef m ~cpu fmt = Trace.emitf m.Machine.trace ~actor:(actor cpu) fmt
+(* [actor] formats eagerly, so check enablement before building it. *)
+let tracef m ~cpu fmt =
+  let trace = m.Machine.trace in
+  if Trace.enabled trace then Trace.emitf trace ~actor:(actor cpu) fmt
+  else Format.ikfprintf ignore Format.str_formatter fmt
 
 (* How the user-PCID half of a flush is handled under PTI. *)
 type user_flush = Eager | Defer | Skip
@@ -34,8 +38,9 @@ let flush_tlb_func_impl m ~cpu ~user (info : Flush_info.t) =
         (* Read the mm's current generation (one contended line). *)
         Machine.charge_read m (Mm_struct.line mm) ~by:cpu;
         let latest_gen = Mm_struct.tlb_gen mm in
-        Machine.trace_event m ~cpu
-          (Trace.Gen_read { mm_id = info.Flush_info.mm_id; gen = latest_gen });
+        if Machine.tracing m then
+          Machine.trace_event m ~cpu
+            (Trace.Gen_read { mm_id = info.Flush_info.mm_id; gen = latest_gen });
         let behind = info.Flush_info.new_tlb_gen > slot.Percpu.gen_seen + 1 in
         if info.Flush_info.full
            || Flush_info.nr_entries info > opts.Opts.full_flush_threshold
@@ -47,14 +52,15 @@ let flush_tlb_func_impl m ~cpu ~user (info : Flush_info.t) =
             stats.Machine.full_flush_fallbacks <- stats.Machine.full_flush_fallbacks + 1;
           local_full_flush m ~cpu pcpu;
           slot.Percpu.gen_seen <- Stdlib.max latest_gen info.Flush_info.new_tlb_gen;
-          Machine.trace_event m ~cpu
-            (Trace.Tlb_flush
-               {
-                 mm_id = info.Flush_info.mm_id;
-                 full = true;
-                 entries = 0;
-                 gen = slot.Percpu.gen_seen;
-               });
+          if Machine.tracing m then
+            Machine.trace_event m ~cpu
+              (Trace.Tlb_flush
+                 {
+                   mm_id = info.Flush_info.mm_id;
+                   full = true;
+                   entries = 0;
+                   gen = slot.Percpu.gen_seen;
+                 });
           `Full
         end
         else begin
@@ -80,14 +86,15 @@ let flush_tlb_func_impl m ~cpu ~user (info : Flush_info.t) =
             | Skip -> ()
           end;
           slot.Percpu.gen_seen <- info.Flush_info.new_tlb_gen;
-          Machine.trace_event m ~cpu
-            (Trace.Tlb_flush
-               {
-                 mm_id = info.Flush_info.mm_id;
-                 full = false;
-                 entries = List.length vpns;
-                 gen = slot.Percpu.gen_seen;
-               });
+          if Machine.tracing m then
+            Machine.trace_event m ~cpu
+              (Trace.Tlb_flush
+                 {
+                   mm_id = info.Flush_info.mm_id;
+                   full = false;
+                   entries = List.length vpns;
+                   gen = slot.Percpu.gen_seen;
+                 });
           `Ranged
         end
       end
@@ -124,12 +131,16 @@ let flush_pending_user m ~cpu ~has_stack =
         (* The return-to-user CR3 load simply skips the NOFLUSH bit: the
            whole user PCID is invalidated for free. *)
         Tlb.cr3_flush tlb ~pcid:user_pcid;
-        Machine.trace_event m ~cpu (Trace.Deferred_flush_exec { full = true; entries = 0 })
+        if Machine.tracing m then
+          Machine.trace_event m ~cpu
+            (Trace.Deferred_flush_exec { full = true; entries = 0 })
     | Percpu.Ranged info ->
         if not has_stack then begin
           (* No stack to run the INVLPG loop on (e.g. IRET return path). *)
           Tlb.cr3_flush tlb ~pcid:user_pcid;
-          Machine.trace_event m ~cpu (Trace.Deferred_flush_exec { full = true; entries = 0 })
+          if Machine.tracing m then
+            Machine.trace_event m ~cpu
+              (Trace.Deferred_flush_exec { full = true; entries = 0 })
         end
         else begin
           let vpns = Flush_info.vpns info in
@@ -141,8 +152,9 @@ let flush_pending_user m ~cpu ~has_stack =
           (* Spectre-v1: the flush loop's bound must not be speculated
              past while stale user PTEs linger. *)
           Machine.delay m costs.Costs.lfence;
-          Machine.trace_event m ~cpu
-            (Trace.Deferred_flush_exec { full = false; entries = List.length vpns })
+          if Machine.tracing m then
+            Machine.trace_event m ~cpu
+              (Trace.Deferred_flush_exec { full = false; entries = List.length vpns })
         end
   end
 
@@ -159,13 +171,14 @@ let ipi_handler m ~me (_ : Cpu.t) =
   let pcpu = Machine.percpu m me in
   Smp.drain_queue m ~me ~run:(fun cfd ->
       let info = cfd.Percpu.cfd_info in
-      Machine.trace_event m ~cpu:me
-        (Trace.Ipi_begin
-           {
-             seq = cfd.Percpu.cfd_seq;
-             initiator = cfd.Percpu.cfd_initiator;
-             early_ack = cfd.Percpu.cfd_early_ack;
-           });
+      if Machine.tracing m then
+        Machine.trace_event m ~cpu:me
+          (Trace.Ipi_begin
+             {
+               seq = cfd.Percpu.cfd_seq;
+               initiator = cfd.Percpu.cfd_initiator;
+               early_ack = cfd.Percpu.cfd_early_ack;
+             });
       if cfd.Percpu.cfd_early_ack then begin
         (* §3.2: no user mapping can be used from inside this handler, so
            acknowledge before flushing — unless page tables are freed,
@@ -313,8 +326,9 @@ let flush_tlb_mm_range m ~from ~mm ~start_vpn ~pages ?(stride = Tlb.Four_k)
   (* Bump the generation: one atomic RMW on the mm's shared line. *)
   Machine.charge_atomic m (Mm_struct.line mm) ~by:from;
   let new_tlb_gen = Mm_struct.bump_tlb_gen mm in
-  Machine.trace_event m ~cpu:from
-    (Trace.Gen_bump { mm_id = Mm_struct.id mm; gen = new_tlb_gen });
+  if Machine.tracing m then
+    Machine.trace_event m ~cpu:from
+      (Trace.Gen_bump { mm_id = Mm_struct.id mm; gen = new_tlb_gen });
   let info = make_info m ~mm ~start_vpn ~pages ~stride ~freed_tables ~new_tlb_gen in
   let token = Machine.begin_window m ~cpu:from info in
   if opts.Opts.userspace_batching && pcpu.Percpu.batched_mode && not freed_tables then begin
@@ -347,8 +361,9 @@ let flush_tlb_page_cow m ~from ~mm ~vpn ~executable =
   else begin
     Machine.charge_atomic m (Mm_struct.line mm) ~by:from;
     let new_tlb_gen = Mm_struct.bump_tlb_gen mm in
-    Machine.trace_event m ~cpu:from
-      (Trace.Gen_bump { mm_id = Mm_struct.id mm; gen = new_tlb_gen });
+    if Machine.tracing m then
+      Machine.trace_event m ~cpu:from
+        (Trace.Gen_bump { mm_id = Mm_struct.id mm; gen = new_tlb_gen });
     let info =
       Flush_info.ranged ~mm_id:(Mm_struct.id mm) ~start_vpn:vpn ~pages:1 ~new_tlb_gen ()
     in
@@ -386,8 +401,9 @@ let flush_tlb_mm m ~from ~mm =
     (Machine.charge_atomic m (Mm_struct.line mm) ~by:from;
      Mm_struct.bump_tlb_gen mm)
   in
-  Machine.trace_event m ~cpu:from
-    (Trace.Gen_bump { mm_id = Mm_struct.id mm; gen = new_tlb_gen });
+  if Machine.tracing m then
+    Machine.trace_event m ~cpu:from
+      (Trace.Gen_bump { mm_id = Mm_struct.id mm; gen = new_tlb_gen });
   let info = Flush_info.full ~mm_id:(Mm_struct.id mm) ~new_tlb_gen () in
   let token = Machine.begin_window m ~cpu:from info in
   perform m ~from ~mm info token
@@ -420,21 +436,23 @@ let check_and_sync_tlb m ~cpu =
   | None -> ()
   | Some mm ->
       Machine.charge_read m (Mm_struct.line mm) ~by:cpu;
-      Machine.trace_event m ~cpu
-        (Trace.Gen_read { mm_id = Mm_struct.id mm; gen = Mm_struct.tlb_gen mm });
+      if Machine.tracing m then
+        Machine.trace_event m ~cpu
+          (Trace.Gen_read { mm_id = Mm_struct.id mm; gen = Mm_struct.tlb_gen mm });
       let slot = pcpu.Percpu.asids.(pcpu.Percpu.curr_asid) in
       if slot.Percpu.slot_mm = Mm_struct.id mm
          && slot.Percpu.gen_seen < Mm_struct.tlb_gen mm
       then begin
         local_full_flush m ~cpu pcpu;
         slot.Percpu.gen_seen <- Mm_struct.tlb_gen mm;
-        Machine.trace_event m ~cpu
-          (Trace.Tlb_flush
-             {
-               mm_id = Mm_struct.id mm;
-               full = true;
-               entries = 0;
-               gen = slot.Percpu.gen_seen;
-             });
+        if Machine.tracing m then
+          Machine.trace_event m ~cpu
+            (Trace.Tlb_flush
+               {
+                 mm_id = Mm_struct.id mm;
+                 full = true;
+                 entries = 0;
+                 gen = slot.Percpu.gen_seen;
+               });
         tracef m ~cpu "sync: full flush to gen %d" slot.Percpu.gen_seen
       end

@@ -37,8 +37,9 @@ let enqueue_work m ~from ~targets ~info ~early_ack =
       Machine.charge_write m cfd.Percpu.cfd_line ~by:from;
       Machine.charge_write m pcpu.Percpu.line_csq ~by:from;
       Queue.push cfd pcpu.Percpu.csq;
-      Machine.trace_event m ~cpu:from
-        (Trace.Ipi_send { seq = cfd.Percpu.cfd_seq; target });
+      if Machine.tracing m then
+        Machine.trace_event m ~cpu:from
+          (Trace.Ipi_send { seq = cfd.Percpu.cfd_seq; target });
       cfd)
     targets
 
@@ -71,13 +72,26 @@ let ack m ~me ?(early = false) cfd =
   if not cfd.Percpu.cfd_acked then begin
     cfd.Percpu.cfd_acked <- true;
     Machine.charge_write m cfd.Percpu.cfd_line ~by:me;
-    Machine.trace_event m ~cpu:me
-      (Trace.Ipi_ack { seq = cfd.Percpu.cfd_seq; initiator = cfd.Percpu.cfd_initiator; early })
+    if Machine.tracing m then
+      Machine.trace_event m ~cpu:me
+        (Trace.Ipi_ack
+           { seq = cfd.Percpu.cfd_seq; initiator = cfd.Percpu.cfd_initiator; early })
   end
 
 let wait_for_acks m ~from cfds ?(while_waiting = fun () -> ()) () =
   let cpu = Machine.cpu m from in
-  let all_acked () = List.for_all (fun c -> c.Percpu.cfd_acked) cfds in
+  (* Acks are monotone while we wait, so once a prefix of [cfds] is acked
+     it stays acked: keep a cursor instead of rescanning from the head on
+     every poll (this loop runs once per spin_poll window per shootdown). *)
+  let remaining = ref cfds in
+  let rec skip_acked = function
+    | c :: rest when c.Percpu.cfd_acked -> skip_acked rest
+    | l -> l
+  in
+  let all_acked () =
+    remaining := skip_acked !remaining;
+    !remaining == []
+  in
   (* Spin with IRQ servicing; between polls give the §3.4 interplay a
      chance to flush user PTEs in the otherwise-dead time. *)
   let rec loop () =
@@ -92,6 +106,6 @@ let wait_for_acks m ~from cfds ?(while_waiting = fun () -> ()) () =
   loop ();
   (* Observing each ack pulls the responder-written CSD line back. *)
   List.iter (fun c -> Machine.charge_read m c.Percpu.cfd_line ~by:from) cfds;
-  if cfds <> [] then
+  if cfds <> [] && Machine.tracing m then
     Machine.trace_event m ~cpu:from
       (Trace.Acks_seen { seqs = List.map (fun c -> c.Percpu.cfd_seq) cfds })

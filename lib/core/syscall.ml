@@ -13,7 +13,8 @@ let with_invalidation_window m ~cpu ~mm ~start_vpn ~pages f =
     f
 
 let trace_pte_write m ~cpu ~mm ~vpn ~pages =
-  Machine.trace_event m ~cpu (Trace.Pte_write { mm_id = Mm_struct.id mm; vpn; pages })
+  if Machine.tracing m then
+    Machine.trace_event m ~cpu (Trace.Pte_write { mm_id = Mm_struct.id mm; vpn; pages })
 
 let current_mm m ~cpu =
   match (Machine.percpu m cpu).Percpu.loaded_mm with

@@ -1,5 +1,3 @@
-module Int_set = Set.Make (Int)
-
 type totals = {
   reads : int;
   writes : int;
@@ -12,6 +10,13 @@ type totals = {
 
 type registry = {
   topo : Topology.t;
+  n_cpus : int;
+  ranks : Bytes.t;
+      (* [ranks.(a * n_cpus + b)] = distance rank of [Topology.distance a b]
+         (0 Self .. 3 Cross_socket), precomputed: the holder scans below run
+         it per sharer per access, and the div/mod chain in the live
+         computation is measurable there. A flat byte matrix keeps the whole
+         table (56x56 = 3 KiB on the paper machine) in L1. *)
   costs : Costs.t;
   mutable t_reads : int;
   mutable t_writes : int;
@@ -23,18 +28,46 @@ type registry = {
   mutable lines : line list;
 }
 
+(* Owner and sharers are immediate ints — owner is a cpu id or -1, sharers
+   a bit set over cpu ids. Coherence bookkeeping runs once per shootdown
+   participant per protocol line, so the persistent-set representation this
+   replaces was a measurable share of total bench allocation. *)
 and line = {
   reg : registry;
   line_name : string;
-  mutable owner : Topology.cpu_id option;  (* last writer *)
-  mutable sharers : Int_set.t;
+  mutable owner : int; (* last writer's cpu id, -1 = none *)
+  mutable sharers : int; (* bit [c] set iff cpu [c] holds a shared copy *)
   mutable n_accesses : int;
   mutable n_transfers : int;
 }
 
+let distance_rank = function
+  | Topology.Self -> 0
+  | Topology.Smt_sibling -> 1
+  | Topology.Same_socket -> 2
+  | Topology.Cross_socket -> 3
+
+(* Inverse of [distance_rank]; ranks are injective on the constructors, so
+   storing ranks and mapping back returns the exact same constructor. *)
+let distance_of_rank =
+  [| Topology.Self; Topology.Smt_sibling; Topology.Same_socket; Topology.Cross_socket |]
+
 let create_registry topo costs =
+  if Topology.n_cpus topo > Sys.int_size - 2 then
+    invalid_arg "Cache.create_registry: too many CPUs for the sharer bit set";
+  let n = Topology.n_cpus topo in
+  let ranks = Bytes.create (n * n) in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      Bytes.unsafe_set ranks
+        ((a * n) + b)
+        (Char.unsafe_chr (distance_rank (Topology.distance topo a b)))
+    done
+  done;
   {
     topo;
+    n_cpus = n;
+    ranks;
     costs;
     t_reads = 0;
     t_writes = 0;
@@ -48,7 +81,7 @@ let create_registry topo costs =
 
 let create_line reg ~name =
   let l =
-    { reg; line_name = name; owner = None; sharers = Int_set.empty; n_accesses = 0; n_transfers = 0 }
+    { reg; line_name = name; owner = -1; sharers = 0; n_accesses = 0; n_transfers = 0 }
   in
   reg.lines <- l :: reg.lines;
   l
@@ -71,48 +104,64 @@ let record l (d : Topology.distance) cost =
       l.n_transfers <- l.n_transfers + 1;
       reg.t_cross <- reg.t_cross + 1
 
-let distance_rank = function
-  | Topology.Self -> 0
-  | Topology.Smt_sibling -> 1
-  | Topology.Same_socket -> 2
-  | Topology.Cross_socket -> 3
+(* Everyone holding a copy, minus [by]: the sharers plus the owner. *)
+let holders_mask l ~by =
+  let m = if l.owner >= 0 then l.sharers lor (1 lsl l.owner) else l.sharers in
+  m land lnot (1 lsl by)
 
-let holders l ~by =
-  let hs =
-    match l.owner with
-    | Some o -> Int_set.add o l.sharers
-    | None -> l.sharers
-  in
-  Int_set.remove by hs
-
-let extreme_holder l ~by ~pick =
-  Int_set.fold
-    (fun cpu acc ->
-      let d = Topology.distance l.reg.topo by cpu in
-      match acc with None -> Some d | Some best -> Some (pick best d))
-    (holders l ~by) None
-
-(* A write must invalidate every sharer: priced by the farthest one. *)
-let farthest_holder l ~by =
-  extreme_holder l ~by ~pick:(fun a b -> if distance_rank a >= distance_rank b then a else b)
-
-(* A read fetches from the closest copy. *)
-let nearest_holder l ~by =
-  extreme_holder l ~by ~pick:(fun a b -> if distance_rank a <= distance_rank b then a else b)
+(* Best-rank holder distance from [by] over the holder bit set, as a rank
+   (-1 = no holders): the minimum rank when [want_min] (a read fetches
+   from the closest copy), the maximum otherwise (a write is priced by the
+   farthest invalidation). Ranks are injective on the distance
+   constructors, so reducing over ranks and mapping back through
+   [distance_of_rank] picks exactly the constructor the old
+   constructor-fold did. The walk skips zero bytes of the mask (sparse
+   holder sets) and stops as soon as the best achievable rank is reached —
+   [by] itself is never a holder here, so reads stop at [Smt_sibling],
+   writes at [Cross_socket]. Returning the rank keeps this allocation-free
+   (no [Some] boxing on the per-access path). *)
+let extreme_rank l ~by ~want_min =
+  let mask = holders_mask l ~by in
+  if mask = 0 then -1
+  else begin
+    let reg = l.reg in
+    let base = by * reg.n_cpus in
+    let ideal = if want_min then 1 else 3 in
+    let best = ref (if want_min then 4 else -1) in
+    let m = ref mask in
+    let cpu = ref 0 in
+    while !m <> 0 && !best <> ideal do
+      if !m land 0xff = 0 then begin
+        m := !m lsr 8;
+        cpu := !cpu + 8
+      end
+      else begin
+        if !m land 1 = 1 then begin
+          let r = Char.code (Bytes.unsafe_get reg.ranks (base + !cpu)) in
+          if if want_min then r < !best else r > !best then best := r
+        end;
+        m := !m lsr 1;
+        incr cpu
+      end
+    done;
+    !best
+  end
 
 let read l ~by =
   let reg = l.reg in
   reg.t_reads <- reg.t_reads + 1;
-  if Int_set.mem by l.sharers || l.owner = Some by then begin
+  let bit = 1 lsl by in
+  if l.sharers land bit <> 0 || l.owner = by then begin
     record l Self reg.costs.line_local;
-    l.sharers <- Int_set.add by l.sharers;
+    l.sharers <- l.sharers lor bit;
     reg.costs.line_local
   end
   else begin
-    let d = Option.value (nearest_holder l ~by) ~default:Topology.Self in
+    let r = extreme_rank l ~by ~want_min:true in
+    let d = if r < 0 then Topology.Self else Array.unsafe_get distance_of_rank r in
     let cost = Costs.line_transfer reg.costs d in
     record l d cost;
-    l.sharers <- Int_set.add by l.sharers;
+    l.sharers <- l.sharers lor bit;
     cost
   end
 
@@ -124,33 +173,39 @@ let read l ~by =
 let write l ~by =
   let reg = l.reg in
   reg.t_writes <- reg.t_writes + 1;
+  let bit = 1 lsl by in
   let d =
-    let exclusive =
-      l.owner = Some by && Int_set.subset l.sharers (Int_set.singleton by)
-    in
+    let exclusive = l.owner = by && l.sharers land lnot bit = 0 in
     if exclusive then Topology.Self
-    else Option.value (farthest_holder l ~by) ~default:Topology.Self
+    else begin
+      let r = extreme_rank l ~by ~want_min:false in
+      if r < 0 then Topology.Self else Array.unsafe_get distance_of_rank r
+    end
   in
   record l d reg.costs.line_local;
-  l.owner <- Some by;
-  l.sharers <- Int_set.singleton by;
+  l.owner <- by;
+  l.sharers <- bit;
   reg.costs.line_local
 
 let stalling_write l ~by =
   let reg = l.reg in
   reg.t_writes <- reg.t_writes + 1;
-  let exclusive = l.owner = Some by && Int_set.subset l.sharers (Int_set.singleton by) in
+  let bit = 1 lsl by in
+  let exclusive = l.owner = by && l.sharers land lnot bit = 0 in
   let cost, d =
     if exclusive then (reg.costs.line_local, Topology.Self)
     else begin
-      match farthest_holder l ~by with
-      | None -> (reg.costs.line_local, Topology.Self)
-      | Some d -> (Costs.line_transfer reg.costs d, d)
+      let r = extreme_rank l ~by ~want_min:false in
+      if r < 0 then (reg.costs.line_local, Topology.Self)
+      else begin
+        let d = Array.unsafe_get distance_of_rank r in
+        (Costs.line_transfer reg.costs d, d)
+      end
     end
   in
   record l d cost;
-  l.owner <- Some by;
-  l.sharers <- Int_set.singleton by;
+  l.owner <- by;
+  l.sharers <- bit;
   cost
 
 let atomic l ~by = stalling_write l ~by + l.reg.costs.atomic_op

@@ -7,6 +7,11 @@ type t = {
   cpu_tlb : Tlb.t;
   mutable masked : bool;
   pending : irq Queue.t;
+  mutable pending_unmaskable : int;
+      (* unmaskable entries in [pending]: lets [has_deliverable] answer in
+         O(1) — an unmaskable IRQ is deliverable regardless of [masked],
+         and with IRQs unmasked any pending IRQ is. *)
+  dispatch_name : string; (* precomputed: spawned per detached dispatch *)
   wake : Waitq.t;
   mutable user : bool;
   mutable draining : bool;
@@ -37,6 +42,8 @@ let create eng topo cost ~id ~safe ?tlb_capacity () =
     cpu_tlb = Tlb.create ?capacity:tlb_capacity ();
     masked = false;
     pending = Queue.create ();
+    pending_unmaskable = 0;
+    dispatch_name = Printf.sprintf "irq-dispatch-cpu%d" id;
     wake = Waitq.create eng;
     user = true;
     draining = false;
@@ -67,7 +74,8 @@ let reset_accounting t =
 
 let deliverable t irq = (not irq.maskable) || not t.masked
 
-let has_deliverable t = Queue.fold (fun acc irq -> acc || deliverable t irq) false t.pending
+let has_deliverable t =
+  t.pending_unmaskable > 0 || ((not t.masked) && Queue.length t.pending > 0)
 
 (* Run one IRQ: entry cost depends on mitigation mode and on the privilege
    we are interrupting; handler time is charged to interrupted_cycles. *)
@@ -88,20 +96,44 @@ let run_irq t irq =
 let service_pending t =
   if not t.draining then begin
     t.draining <- true;
-    Fun.protect
-      ~finally:(fun () -> t.draining <- false)
-      (fun () ->
-        let deferred = Queue.create () in
-        while not (Queue.is_empty t.pending) do
-          let irq = Queue.pop t.pending in
-          if deliverable t irq then run_irq t irq else Queue.push irq deferred
-        done;
-        Queue.transfer deferred t.pending)
+    (* The deferred queue is only materialized when something is actually
+       masked: the overwhelmingly common drain delivers everything. An
+       unmaskable IRQ is always deliverable, so deferral never has to put
+       the counter back. *)
+    let deferred = ref None in
+    (try
+       while not (Queue.is_empty t.pending) do
+         let irq = Queue.pop t.pending in
+         if not irq.maskable then t.pending_unmaskable <- t.pending_unmaskable - 1;
+         if deliverable t irq then run_irq t irq
+         else begin
+           let q =
+             match !deferred with
+             | Some q -> q
+             | None ->
+                 let q = Queue.create () in
+                 deferred := Some q;
+                 q
+           in
+           Queue.push irq q
+         end
+       done;
+       match !deferred with Some q -> Queue.transfer q t.pending | None -> ()
+     with e ->
+       t.draining <- false;
+       raise e);
+    t.draining <- false
   end
 
 let in_service_window t f =
   t.service_depth <- t.service_depth + 1;
-  Fun.protect ~finally:(fun () -> t.service_depth <- t.service_depth - 1) f
+  match f () with
+  | v ->
+      t.service_depth <- t.service_depth - 1;
+      v
+  | exception e ->
+      t.service_depth <- t.service_depth - 1;
+      raise e
 
 (* Detached dispatch: legal only when no service point will drain soon AND
    the CPU is not executing user code (handlers exclude user-mode
@@ -112,13 +144,11 @@ let maybe_dispatch t =
     && (t.occupancy = 0 || not t.user)
     && (not t.draining)
     && has_deliverable t
-  then
-    Process.spawn t.eng
-      ~name:(Printf.sprintf "irq-dispatch-cpu%d" t.cpu_id)
-      (fun () -> service_pending t)
+  then Process.spawn t.eng ~name:t.dispatch_name (fun () -> service_pending t)
 
 let post_irq t irq =
   Queue.push irq t.pending;
+  if not irq.maskable then t.pending_unmaskable <- t.pending_unmaskable + 1;
   Waitq.signal_all t.wake;
   maybe_dispatch t
 
@@ -172,10 +202,18 @@ let spin_until t cond =
       in
       loop ())
 
+(* Spin-wait loops call this once per [spin_poll] window, which makes it
+   the single hottest function in the shootdown benches — hence the inlined
+   service window (no closure, no Fun.protect). *)
 let poll t =
-  in_service_window t (fun () ->
-      if has_deliverable t then service_pending t;
-      Process.delay t.eng t.cost.spin_poll)
+  t.service_depth <- t.service_depth + 1;
+  (try
+     if has_deliverable t then service_pending t;
+     Process.delay t.eng t.cost.spin_poll
+   with e ->
+     t.service_depth <- t.service_depth - 1;
+     raise e);
+  t.service_depth <- t.service_depth - 1
 
 let idle_wait t =
   in_service_window t (fun () ->

@@ -10,6 +10,7 @@ type entry = {
   global : bool;
   writable : bool;
   fractured : bool;
+  mutable ck_ver : int;
 }
 
 type stats = {
@@ -23,16 +24,39 @@ type stats = {
   fracture_full_flushes : int;
 }
 
-(* Keys: (pcid, tag, size); 2 MiB entries are tagged by vpn lsr 9 so a 4 KiB
-   lookup can find its covering hugepage. Global entries live in a separate
-   table because they match regardless of PCID. *)
-type key = int * int * page_size
+(* Keys are packed ints: [tag lsl 13 | pcid lsl 1 | size_bit]. PCIDs fit 12
+   bits (kernel PCIDs are small slot numbers, user PCIDs are slot + 2048 <
+   4096); 2 MiB entries are tagged by [vpn lsr 9] so a 4 KiB lookup can find
+   its covering hugepage. Global entries match regardless of PCID, so they
+   live in a separate table keyed [tag lsl 1 | size_bit]. Packed keys give
+   one-word hashing and comparison where the old (pcid, tag, size) tuples
+   paid polymorphic-hash tuple traversal per probe. *)
+module Itbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+
+  (* Multiplicative (Fibonacci) hash: adjacent tags — the common access
+     pattern — spread across buckets. *)
+  let hash k = (k * 0x2545f4914f6cdd1d) lsr 17 land max_int
+end)
+
+let pcid_bits = 12
+let pcid_mask = (1 lsl pcid_bits) - 1
+let size_bit = function Four_k -> 0 | Two_m -> 1
+let tag_of vpn = function Four_k -> vpn | Two_m -> vpn lsr 9
+
+let key ~pcid ~tag size =
+  (tag lsl (pcid_bits + 1)) lor (pcid lsl 1) lor size_bit size
+
+let gkey ~tag size = (tag lsl 1) lor size_bit size
+let key_pcid k = (k lsr 1) land pcid_mask
 
 type t = {
   cap : int;
-  table : (key, entry) Hashtbl.t;
-  globals : ((int * page_size), entry) Hashtbl.t;
-  order : key Queue.t;  (* FIFO eviction for the non-global table *)
+  table : entry Itbl.t;
+  globals : entry Itbl.t;
+  order : int Queue.t; (* FIFO eviction order for the non-global table *)
   mutable s_hits : int;
   mutable s_misses : int;
   mutable s_insertions : int;
@@ -49,8 +73,8 @@ let create ?(capacity = 1536) () =
   if capacity <= 0 then invalid_arg "Tlb.create: capacity must be positive";
   {
     cap = capacity;
-    table = Hashtbl.create 1024;
-    globals = Hashtbl.create 64;
+    table = Itbl.create 1024;
+    globals = Itbl.create 64;
     order = Queue.create ();
     s_hits = 0;
     s_misses = 0;
@@ -65,17 +89,19 @@ let create ?(capacity = 1536) () =
   }
 
 let capacity t = t.cap
-let occupancy t = Hashtbl.length t.table + Hashtbl.length t.globals
-
-let tag_of vpn = function Four_k -> vpn | Two_m -> vpn lsr 9
+let occupancy t = Itbl.length t.table + Itbl.length t.globals
 
 let find t ~pcid ~vpn =
-  let try_key size =
-    match Hashtbl.find_opt t.table (pcid, tag_of vpn size, size) with
-    | Some e -> Some e
-    | None -> Hashtbl.find_opt t.globals (tag_of vpn size, size)
-  in
-  match try_key Four_k with Some e -> Some e | None -> try_key Two_m
+  match Itbl.find_opt t.table (key ~pcid ~tag:vpn Four_k) with
+  | Some _ as r -> r
+  | None -> (
+      match Itbl.find_opt t.globals (gkey ~tag:vpn Four_k) with
+      | Some _ as r -> r
+      | None -> (
+          let tag = vpn lsr 9 in
+          match Itbl.find_opt t.table (key ~pcid ~tag Two_m) with
+          | Some _ as r -> r
+          | None -> Itbl.find_opt t.globals (gkey ~tag Two_m)))
 
 let lookup t ~pcid ~vpn =
   match find t ~pcid ~vpn with
@@ -91,31 +117,51 @@ let mem t ~pcid ~vpn = Option.is_some (find t ~pcid ~vpn)
 (* Evict FIFO until under capacity; queue entries may be stale (flushed
    already), in which case they are skipped for free. *)
 let rec make_room t =
-  if Hashtbl.length t.table >= t.cap then begin
+  if Itbl.length t.table >= t.cap then begin
     match Queue.take_opt t.order with
     | None -> ()
     | Some key ->
-        if Hashtbl.mem t.table key then begin
-          Hashtbl.remove t.table key;
+        if Itbl.mem t.table key then begin
+          Itbl.remove t.table key;
           t.s_evictions <- t.s_evictions + 1
         end;
         make_room t
   end
 
+(* Selective flushes leave their keys behind in [order]; under a
+   drop-selective-heavy workload the queue would grow without bound. Once
+   stale slots dominate, rebuild it keeping only the first occurrence of
+   each live key — exactly the slot [make_room] would honour, so eviction
+   order is unchanged. *)
+let compact_order t =
+  let seen = Itbl.create (Itbl.length t.table) in
+  let fresh = Queue.create () in
+  Queue.iter
+    (fun k ->
+      if Itbl.mem t.table k && not (Itbl.mem seen k) then begin
+        Itbl.replace seen k ();
+        Queue.push k fresh
+      end)
+    t.order;
+  Queue.clear t.order;
+  Queue.transfer fresh t.order
+
 let insert t e =
+  if e.pcid < 0 || e.pcid > pcid_mask then invalid_arg "Tlb.insert: pcid out of range";
   t.s_insertions <- t.s_insertions + 1;
   if e.fractured then t.fracture <- true;
-  if e.global then Hashtbl.replace t.globals (tag_of e.vpn e.size, e.size) e
+  if e.global then Itbl.replace t.globals (gkey ~tag:(tag_of e.vpn e.size) e.size) e
   else begin
+    if Queue.length t.order > (2 * Itbl.length t.table) + 64 then compact_order t;
     make_room t;
-    let key = (e.pcid, tag_of e.vpn e.size, e.size) in
-    if not (Hashtbl.mem t.table key) then Queue.push key t.order;
-    Hashtbl.replace t.table key e
+    let key = key ~pcid:e.pcid ~tag:(tag_of e.vpn e.size) e.size in
+    if not (Itbl.mem t.table key) then Queue.push key t.order;
+    Itbl.replace t.table key e
   end
 
 let full_flush_internal t =
-  Hashtbl.reset t.table;
-  Hashtbl.reset t.globals;
+  Itbl.reset t.table;
+  Itbl.reset t.globals;
   Queue.clear t.order;
   t.pwc <- false;
   t.fracture <- false
@@ -130,11 +176,12 @@ let fracture_promote t =
   full_flush_internal t
 
 let drop_selective t ~pcid ~vpn ~drop_globals =
-  List.iter
-    (fun size ->
-      Hashtbl.remove t.table (pcid, tag_of vpn size, size);
-      if drop_globals then Hashtbl.remove t.globals (tag_of vpn size, size))
-    [ Four_k; Two_m ]
+  Itbl.remove t.table (key ~pcid ~tag:vpn Four_k);
+  Itbl.remove t.table (key ~pcid ~tag:(vpn lsr 9) Two_m);
+  if drop_globals then begin
+    Itbl.remove t.globals (gkey ~tag:vpn Four_k);
+    Itbl.remove t.globals (gkey ~tag:(vpn lsr 9) Two_m)
+  end
 
 let invlpg t ~current_pcid ~vpn =
   t.s_invlpg <- t.s_invlpg + 1;
@@ -153,11 +200,9 @@ let invpcid_addr t ~pcid ~vpn =
 
 let drop_pcid t ~pcid =
   let doomed =
-    Hashtbl.fold
-      (fun ((p, _, _) as key) _ acc -> if p = pcid then key :: acc else acc)
-      t.table []
+    Itbl.fold (fun key _ acc -> if key_pcid key = pcid then key :: acc else acc) t.table []
   in
-  List.iter (Hashtbl.remove t.table) doomed
+  List.iter (Itbl.remove t.table) doomed
 
 let flush_pcid t ~pcid =
   t.s_invpcid <- t.s_invpcid + 1;
@@ -192,8 +237,8 @@ let reset_stats t =
   t.s_fracture_full <- 0
 
 let entries t =
-  let non_global = Hashtbl.fold (fun _ e acc -> e :: acc) t.table [] in
-  Hashtbl.fold (fun _ e acc -> e :: acc) t.globals non_global
+  let non_global = Itbl.fold (fun _ e acc -> e :: acc) t.table [] in
+  Itbl.fold (fun _ e acc -> e :: acc) t.globals non_global
 
 let pp_stats fmt s =
   Format.fprintf fmt

@@ -20,11 +20,15 @@ val bytes_of_page_size : page_size -> int
 type entry = {
   vpn : int;  (** virtual page number in 4 KiB units (base of the page) *)
   pfn : int;  (** physical frame number backing [vpn] *)
-  pcid : int;
+  pcid : int;  (** must fit 12 bits (0..4095) *)
   size : page_size;
   global : bool;  (** G-bit entries survive CR3 writes *)
   writable : bool;
   fractured : bool;  (** produced by a guest-2M x host-4K nested walk *)
+  mutable ck_ver : int;
+      (** scratch for {!Core.Checker}: the packed page-table version this
+          entry was last validated against, [-1] when never validated. Not
+          part of the hardware model. *)
 }
 
 type stats = {

@@ -36,6 +36,7 @@ let fill t ~vpn =
               global = false;
               writable = r.Ept.Nested.pte.Pte.writable;
               fractured = r.Ept.Nested.fractured;
+              ck_ver = -1;
             }
     end
   | None -> begin
@@ -56,6 +57,7 @@ let fill t ~vpn =
               global = w.Page_table.pte.Pte.global;
               writable = w.Page_table.pte.Pte.writable;
               fractured = false;
+              ck_ver = -1;
             }
     end
 

@@ -1,6 +1,11 @@
-type node = { level : int; slots : (int, slot) Hashtbl.t }
+(* A node is a real 512-slot table, exactly like the x86-64 structure it
+   models: [index_at] produces 9-bit indices, so a flat array replaces the
+   hashtable this used — [walk] is the hottest lookup in page-fault-heavy
+   workloads and generic hashing of the index was a measurable share of it.
+   [live] counts occupied slots so emptiness checks stay O(1). *)
+type node = { level : int; mutable live : int; slots : slot array }
 
-and slot = Table of node | Leaf of Pte.t * Tlb.page_size
+and slot = Empty | Table of node | Leaf of Pte.t * Tlb.page_size
 
 type t = {
   root : node;  (* level 4 *)
@@ -19,24 +24,37 @@ type range_unmap = {
 
 let index_at ~level vpn = (vpn lsr ((level - 1) * 9)) land 511
 
+let fresh_node level = { level; live = 0; slots = Array.make 512 Empty }
+
 let create () =
-  { root = { level = 4; slots = Hashtbl.create 16 }; n_mapped = 0; n_tables = 0; ver = 0; n_tables_freed = 0 }
+  { root = fresh_node 4; n_mapped = 0; n_tables = 0; ver = 0; n_tables_freed = 0 }
 
 let leaf_level = function Tlb.Four_k -> 1 | Tlb.Two_m -> 2
+
+let set node idx slot =
+  (match node.slots.(idx) with Empty -> node.live <- node.live + 1 | _ -> ());
+  node.slots.(idx) <- slot
+
+let clear node idx =
+  match node.slots.(idx) with
+  | Empty -> ()
+  | _ ->
+      node.slots.(idx) <- Empty;
+      node.live <- node.live - 1
 
 (* Descend to the node at [target_level], creating intermediate tables. *)
 let rec descend t node vpn ~target_level =
   if node.level = target_level then node
   else begin
     let idx = index_at ~level:node.level vpn in
-    match Hashtbl.find_opt node.slots idx with
-    | Some (Table child) -> descend t child vpn ~target_level
-    | Some (Leaf _) ->
+    match node.slots.(idx) with
+    | Table child -> descend t child vpn ~target_level
+    | Leaf _ ->
         invalid_arg
           (Printf.sprintf "Page_table: vpn %d already covered by a level-%d leaf" vpn node.level)
-    | None ->
-        let child = { level = node.level - 1; slots = Hashtbl.create 16 } in
-        Hashtbl.replace node.slots idx (Table child);
+    | Empty ->
+        let child = fresh_node (node.level - 1) in
+        set node idx (Table child);
         t.n_tables <- t.n_tables + 1;
         descend t child vpn ~target_level
   end
@@ -48,11 +66,11 @@ let map t ~vpn ~size pte =
   let level = leaf_level size in
   let node = descend t t.root vpn ~target_level:level in
   let idx = index_at ~level vpn in
-  (match Hashtbl.find_opt node.slots idx with
-  | Some (Table _) -> invalid_arg "Page_table.map: slot holds a page table"
-  | Some (Leaf _) -> invalid_arg (Printf.sprintf "Page_table.map: vpn %d already mapped" vpn)
-  | None -> ());
-  Hashtbl.replace node.slots idx (Leaf (pte, size));
+  (match node.slots.(idx) with
+  | Table _ -> invalid_arg "Page_table.map: slot holds a page table"
+  | Leaf _ -> invalid_arg (Printf.sprintf "Page_table.map: vpn %d already mapped" vpn)
+  | Empty -> ());
+  set node idx (Leaf (pte, size));
   t.n_mapped <- t.n_mapped + 1;
   t.ver <- t.ver + 1
 
@@ -60,19 +78,25 @@ let map t ~vpn ~size pte =
 let find_leaf t vpn =
   let rec go node path =
     let idx = index_at ~level:node.level vpn in
-    match Hashtbl.find_opt node.slots idx with
-    | None -> None
-    | Some (Leaf (pte, size)) -> Some (node, idx, pte, size, path)
-    | Some (Table child) -> go child ((node, idx) :: path)
+    match node.slots.(idx) with
+    | Empty -> None
+    | Leaf (pte, size) -> Some (node, idx, pte, size, path)
+    | Table child -> go child ((node, idx) :: path)
   in
   go t.root []
 
+(* The hot path: descend without materializing the (node, index) path that
+   [find_leaf] builds for unmap's pruning — the level count alone gives
+   [levels] (root is level 4, so a leaf at level L took 5 - L lookups). *)
 let walk t ~vpn =
-  match find_leaf t vpn with
-  | None -> None
-  | Some (_, _, pte, size, path) ->
-      if pte.Pte.present then Some { pte; size; levels = List.length path + 1 }
-      else None
+  let rec go node =
+    match Array.unsafe_get node.slots (index_at ~level:node.level vpn) with
+    | Empty -> None
+    | Leaf (pte, size) ->
+        if pte.Pte.present then Some { pte; size; levels = 5 - node.level } else None
+    | Table child -> go child
+  in
+  go t.root
 
 (* Base VPN of the page a leaf at (level, idx along path) covers. *)
 let leaf_base vpn = function Tlb.Four_k -> vpn | Tlb.Two_m -> vpn land lnot 511
@@ -82,13 +106,13 @@ let prune t path =
   let freed = ref false in
   List.iter
     (fun (node, idx) ->
-      match Hashtbl.find_opt node.slots idx with
-      | Some (Table child) when Hashtbl.length child.slots = 0 ->
-          Hashtbl.remove node.slots idx;
+      match node.slots.(idx) with
+      | Table child when child.live = 0 ->
+          clear node idx;
           t.n_tables <- t.n_tables - 1;
           t.n_tables_freed <- t.n_tables_freed + 1;
           freed := true
-      | Some _ | None -> ())
+      | Table _ | Leaf _ | Empty -> ())
     path;
   !freed
 
@@ -96,7 +120,7 @@ let unmap t ~vpn ?(free_tables = false) () =
   match find_leaf t vpn with
   | None -> { removed = []; freed_tables = false }
   | Some (node, idx, pte, size, path) ->
-      Hashtbl.remove node.slots idx;
+      clear node idx;
       t.n_mapped <- t.n_mapped - 1;
       t.ver <- t.ver + 1;
       let freed = if free_tables then prune t ((node, idx) :: path) else false in
@@ -124,7 +148,7 @@ let update t ~vpn ~f =
   | None -> None
   | Some (node, idx, pte, size, _) ->
       let pte' = f pte in
-      Hashtbl.replace node.slots idx (Leaf (pte', size));
+      set node idx (Leaf (pte', size));
       t.ver <- t.ver + 1;
       Some (pte, pte')
 
@@ -134,14 +158,15 @@ let tables_freed t = t.n_tables_freed
 let version t = t.ver
 
 let iter t ~f =
-  (* Reconstruct each leaf's base VPN from the index path. *)
+  (* Reconstruct each leaf's base VPN from the index path. Visits slots in
+     ascending index order, i.e. leaves in ascending VPN order. *)
   let rec go node base =
-    Hashtbl.iter
-      (fun idx slot ->
-        let base' = base lor (idx lsl ((node.level - 1) * 9)) in
-        match slot with
-        | Leaf (pte, size) -> if pte.Pte.present then f base' pte size
-        | Table child -> go child base')
-      node.slots
+    for idx = 0 to 511 do
+      let base' = base lor (idx lsl ((node.level - 1) * 9)) in
+      match node.slots.(idx) with
+      | Empty -> ()
+      | Leaf (pte, size) -> if pte.Pte.present then f base' pte size
+      | Table child -> go child base'
+    done
   in
   go t.root 0

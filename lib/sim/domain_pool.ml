@@ -1,0 +1,47 @@
+(* Fork-join execution of independent tasks over OCaml 5 domains.
+
+   The bench harness uses this to run whole experiments in parallel: each
+   experiment builds its own machines and engines, so tasks share no mutable
+   state and the only cross-domain traffic is the atomic work-stealing index
+   and the per-slot result writes (distinct array cells, published by
+   Domain.join before anyone reads them). *)
+
+type 'a outcome = Value of 'a | Raised of exn * Printexc.raw_backtrace
+
+let run_parallel ~jobs tasks =
+  let n = Array.length tasks in
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (results.(i) <-
+           (try Some (Value (tasks.(i) ()))
+            with e -> Some (Raised (e, Printexc.get_raw_backtrace ()))));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  (* The calling domain is one of the workers; spawn the rest. *)
+  let spawned = Stdlib.min (jobs - 1) (n - 1) in
+  let domains = Array.init spawned (fun _ -> Domain.spawn worker) in
+  worker ();
+  Array.iter Domain.join domains;
+  Array.map
+    (function
+      | Some (Value v) -> v
+      | Some (Raised (e, bt)) -> Printexc.raise_with_backtrace e bt
+      | None -> assert false)
+    results
+
+let run ~jobs (tasks : (unit -> 'a) array) : 'a array =
+  if jobs <= 1 || Array.length tasks <= 1 then
+    (* Inline sequential execution: no domains are spawned, so [jobs = 1]
+       behaves exactly like a plain loop (same exception propagation, same
+       evaluation order) — the parallel runner's byte-identical baseline. *)
+    Array.map (fun f -> f ()) tasks
+  else run_parallel ~jobs tasks
+
+let default_jobs () = Domain.recommended_domain_count ()

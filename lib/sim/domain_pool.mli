@@ -1,0 +1,22 @@
+(** Fork-join execution of independent tasks over OCaml 5 domains.
+
+    Built for the bench harness: experiments are self-contained (each builds
+    its own {!Engine.t} and machines), so running them on separate domains
+    is safe as long as they share no mutable state. *)
+
+(** [run ~jobs tasks] runs every task and returns their results in task
+    order. With [jobs <= 1] (or fewer than two tasks) the tasks run inline
+    on the calling domain, strictly in order, with no domains spawned — so
+    a [jobs:1] run is indistinguishable from a plain sequential loop. With
+    [jobs > 1], up to [jobs] domains (including the caller) pull tasks from
+    a shared atomic counter; task [i]'s result lands in slot [i] regardless
+    of which domain ran it.
+
+    If a task raises, the parallel runner still completes the remaining
+    tasks, then re-raises the first (lowest-index) exception with its
+    original backtrace. *)
+val run : jobs:int -> (unit -> 'a) array -> 'a array
+
+(** What the runtime recommends for [jobs] on this machine
+    ({!Domain.recommended_domain_count}). *)
+val default_jobs : unit -> int

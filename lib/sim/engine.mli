@@ -2,7 +2,12 @@
 
     Time is a monotonically increasing integer cycle counter. Events
     scheduled for the same instant fire in insertion order, which makes every
-    simulation deterministic. *)
+    simulation deterministic.
+
+    Internally the priority key packs [(time, seq)] into a single int, so
+    heap ordering is one native comparison; see the implementation notes.
+    Simulated time may not exceed [2^38] cycles (ample: the full paper
+    evaluation stays below [2^31]). *)
 
 type t
 
@@ -14,6 +19,9 @@ val now : t -> int
 (** Number of events executed so far. *)
 val events_run : t -> int
 
+(** Number of suspend-free clock advances (the [try_advance] fast path). *)
+val advances : t -> int
+
 (** [schedule t ~delay f] runs [f] at [now t + delay]. [delay] must be
     non-negative. *)
 val schedule : t -> delay:int -> (unit -> unit) -> unit
@@ -21,6 +29,13 @@ val schedule : t -> delay:int -> (unit -> unit) -> unit
 (** [schedule_at t ~time f] runs [f] at absolute [time]; raises
     [Invalid_argument] if [time] is in the past. *)
 val schedule_at : t -> time:int -> (unit -> unit) -> unit
+
+(** [try_advance t ~cycles] advances the clock by [cycles] and returns
+    [true] iff no pending event would fire at or before the new time and no
+    chooser is installed. Used by [Process.delay] to skip the
+    suspend/reschedule round-trip for uncontended sleeps; behaviour is
+    identical either way. *)
+val try_advance : t -> cycles:int -> bool
 
 (** Execute the earliest pending event. Returns [false] when none remain. *)
 val step : t -> bool
@@ -35,6 +50,14 @@ val run_until : t -> time:int -> unit
 (** Pending event count. *)
 val pending : t -> int
 
+(** Name of the cooperative process currently executing on this engine
+    ("main" outside any process). Maintained by {!Process}; lives on the
+    engine rather than in a global so independent machines can run on
+    separate domains. *)
+val current_name : t -> string
+
+val set_current_name : t -> string -> unit
+
 (** Install a scheduling chooser: whenever more than one pending event falls
     within [horizon] cycles of the earliest one, [choose n] is called with
     the candidate count and returns the index (in (time, seq) order) of the
@@ -42,7 +65,15 @@ val pending : t -> int
     clamped monotone, so choosing a later candidate makes overtaken events
     run "late" at the current time — the interleaving explorer's model of
     timing variance. No chooser (the default) is the strict deterministic
-    (time, seq) order with zero overhead. *)
+    (time, seq) order with zero overhead. While a chooser is installed the
+    {!try_advance} fast path is disabled, so the explorer sees every
+    scheduling decision point. *)
 val set_chooser : t -> ?horizon:int -> (int -> int) -> unit
 
 val clear_chooser : t -> unit
+
+(** Process-wide count of engine operations (events run + fast-path
+    advances) across every engine and domain, folded in when each engine's
+    [run]/[run_until] returns. The perf harness divides deltas of this by
+    wall-clock time. *)
+val global_ops_total : unit -> int

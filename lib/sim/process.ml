@@ -9,11 +9,16 @@ let () =
         Some (Printf.sprintf "Process %S failed: %s" name (Printexc.to_string inner))
     | _ -> None)
 
-type _ Effect.t += Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+type _ Effect.t +=
+  | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+  | Sleep : int -> unit Effect.t
+        (* [Sleep cycles] = [Suspend (fun r -> Engine.schedule ~delay:cycles r)]
+           minus two allocations: no [register] closure, and no double-resume
+           guard — the engine fires a scheduled event exactly once. Delays are
+           the dominant suspension in spin-heavy benches, so the slimmer path
+           pays for the extra constructor. *)
 
-let current_name = ref "main"
-
-let self_name () = !current_name
+let self_name engine = Engine.current_name engine
 
 let suspend register = perform (Suspend register)
 
@@ -35,24 +40,45 @@ let spawn engine ~name f =
                         invalid_arg
                           (Printf.sprintf "Process %s resumed twice" name);
                       resumed := true;
-                      let saved = !current_name in
-                      current_name := name;
-                      Fun.protect
-                        ~finally:(fun () -> current_name := saved)
-                        (fun () -> continue k ())
+                      let saved = Engine.current_name engine in
+                      Engine.set_current_name engine name;
+                      (* Restore by hand instead of Fun.protect: this runs
+                         once per resumed suspension, squarely on the hot
+                         path, and the protect pair is two allocations. *)
+                      match continue k () with
+                      | () -> Engine.set_current_name engine saved
+                      | exception e ->
+                          Engine.set_current_name engine saved;
+                          raise e
                     in
                     register resume)
+            | Sleep cycles ->
+                Some
+                  (fun (k : (a, _) continuation) ->
+                    Engine.schedule engine ~delay:cycles (fun () ->
+                        let saved = Engine.current_name engine in
+                        Engine.set_current_name engine name;
+                        match continue k () with
+                        | () -> Engine.set_current_name engine saved
+                        | exception e ->
+                            Engine.set_current_name engine saved;
+                            raise e))
             | _ -> None);
       }
   in
   Engine.schedule engine ~delay:0 (fun () ->
-      let saved = !current_name in
-      current_name := name;
-      Fun.protect ~finally:(fun () -> current_name := saved) body)
+      let saved = Engine.current_name engine in
+      Engine.set_current_name engine name;
+      match body () with
+      | () -> Engine.set_current_name engine saved
+      | exception e ->
+          Engine.set_current_name engine saved;
+          raise e)
 
 let delay engine cycles =
   if cycles < 0 then invalid_arg "Process.delay: negative delay";
-  if cycles = 0 then ()
-  else suspend (fun resume -> Engine.schedule engine ~delay:cycles resume)
+  if cycles = 0 || Engine.try_advance engine ~cycles then ()
+  else perform (Sleep cycles)
 
-let yield engine = suspend (fun resume -> Engine.schedule engine ~delay:0 resume)
+let yield engine =
+  if Engine.try_advance engine ~cycles:0 then () else perform (Sleep 0)

@@ -19,12 +19,17 @@ val spawn : Engine.t -> name:string -> (unit -> unit) -> unit
     context. *)
 val suspend : ((unit -> unit) -> unit) -> unit
 
-(** Advance this process's local time by [cycles] (>= 0). *)
+(** Advance this process's local time by [cycles] (>= 0). When no pending
+    event falls inside the window this is a plain clock bump
+    ({!Engine.try_advance}) with no suspend; behaviour is identical either
+    way. *)
 val delay : Engine.t -> int -> unit
 
 (** Re-enter the event queue at the current instant, letting other events at
     this time run first. *)
 val yield : Engine.t -> unit
 
-(** Name of the currently running process ("main" outside any process). *)
-val self_name : unit -> string
+(** Name of the process currently running on [engine] ("main" outside any
+    process). Per-engine rather than global so independent machines can run
+    on separate domains. *)
+val self_name : Engine.t -> string

@@ -86,14 +86,31 @@ let add t r =
   end
 
 let emit t ~actor event =
-  add t { time = Engine.now t.engine; cpu = -1; actor; event = Msg event }
+  if t.is_enabled then
+    add t { time = Engine.now t.engine; cpu = -1; actor; event = Msg event }
 
-let emitf t ~actor fmt = Format.kasprintf (fun event -> emit t ~actor event) fmt
+(* When disabled, ikfprintf consumes the arguments without formatting —
+   emitf call sites pay nothing for an off trace. *)
+let emitf t ~actor fmt =
+  if t.is_enabled then Format.kasprintf (fun event -> emit t ~actor event) fmt
+  else Format.ikfprintf ignore Format.str_formatter fmt
 
 let event t ~cpu event =
-  add t { time = Engine.now t.engine; cpu; actor = Printf.sprintf "cpu%d" cpu; event }
+  if t.is_enabled then
+    add t { time = Engine.now t.engine; cpu; actor = Printf.sprintf "cpu%d" cpu; event }
 
 let records t = List.init t.len (fun i -> t.buf.((t.head + i) mod Array.length t.buf))
+
+let iter t f =
+  let n = Array.length t.buf in
+  for i = 0 to t.len - 1 do
+    f t.buf.((t.head + i) mod n)
+  done
+
+let fold t ~init f =
+  let acc = ref init in
+  iter t (fun r -> acc := f !acc r);
+  !acc
 
 let length t = t.len
 let dropped t = t.n_dropped
@@ -144,13 +161,8 @@ let pp_event fmt = function
 let event_text e = Format.asprintf "%a" pp_event e
 
 let pp fmt t =
-  let recs = records t in
-  let actor_width =
-    List.fold_left (fun w r -> Stdlib.max w (String.length r.actor)) 5 recs
-  in
+  let actor_width = fold t ~init:5 (fun w r -> Stdlib.max w (String.length r.actor)) in
   if t.n_dropped > 0 then
     Format.fprintf fmt "... (%d older records dropped)@." t.n_dropped;
-  List.iter
-    (fun r ->
+  iter t (fun r ->
       Format.fprintf fmt "%8d | %-*s | %a@." r.time actor_width r.actor pp_event r.event)
-    recs

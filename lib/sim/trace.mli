@@ -63,8 +63,15 @@ val emitf : t -> actor:string -> ('a, Format.formatter, unit, unit) format4 -> '
 (** Append a typed protocol event attributed to [cpu]. *)
 val event : t -> cpu:int -> event -> unit
 
-(** Records in chronological order (oldest first). O(n). *)
+(** Records in chronological order (oldest first). O(n) and materializes a
+    list — prefer {!iter}/{!fold} in analysis paths. *)
 val records : t -> record list
+
+(** Apply [f] to every retained record, oldest first, without building a
+    list. *)
+val iter : t -> (record -> unit) -> unit
+
+val fold : t -> init:'a -> ('a -> record -> 'a) -> 'a
 
 (** Records currently retained. *)
 val length : t -> int

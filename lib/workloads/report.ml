@@ -1,3 +1,27 @@
+(* Output sink. Tables normally go straight to stdout; a bench task running
+   under the parallel runner instead captures its output into a per-domain
+   buffer (so concurrent experiments cannot interleave) and the driver
+   prints the buffers in experiment order. Domain-local state, not a plain
+   ref, because capture must not leak across domains. *)
+let sink : Buffer.t option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let out_string s =
+  match !(Domain.DLS.get sink) with
+  | Some buf -> Buffer.add_string buf s
+  | None -> print_string s
+
+let out_line s =
+  out_string s;
+  out_string "\n"
+
+let capture f =
+  let cell = Domain.DLS.get sink in
+  let saved = !cell in
+  let buf = Buffer.create 4096 in
+  cell := Some buf;
+  Fun.protect ~finally:(fun () -> cell := saved) f;
+  Buffer.contents buf
+
 let table ~title ~header rows =
   let all = header :: rows in
   let columns = List.length header in
@@ -19,10 +43,10 @@ let table ~title ~header rows =
           if i = 0 then Printf.sprintf "%-*s" w cell else Printf.sprintf "%*s" w cell)
         widths
     in
-    print_endline ("  " ^ String.concat "  " cells)
+    out_line ("  " ^ String.concat "  " cells)
   in
-  print_newline ();
-  print_endline ("== " ^ title ^ " ==");
+  out_string "\n";
+  out_line ("== " ^ title ^ " ==");
   print_row header;
   print_row (List.map (fun w -> String.make w '-') widths);
   List.iter print_row rows
@@ -46,16 +70,17 @@ let bar_of ~width ~max value =
   end
 
 let bars ~title rows =
-  print_newline ();
-  print_endline ("-- " ^ title ^ " --");
+  out_string "\n";
+  out_line ("-- " ^ title ^ " --");
   let label_width =
     List.fold_left (fun acc (l, _) -> Stdlib.max acc (String.length l)) 0 rows
   in
   let max_value = List.fold_left (fun acc (_, v) -> Stdlib.max acc v) 0.0 rows in
   List.iter
     (fun (label, value) ->
-      Printf.printf "  %-*s %8s |%s\n" label_width label (cycles value)
-        (bar_of ~width:40 ~max:max_value value))
+      out_string
+        (Printf.sprintf "  %-*s %8s |%s\n" label_width label (cycles value)
+           (bar_of ~width:40 ~max:max_value value)))
     rows
 
 let count n =

@@ -1,7 +1,15 @@
 (** Plain-text table rendering for the benchmark harness. *)
 
-(** [table ~title ~header rows] prints an aligned table to stdout. *)
+(** [table ~title ~header rows] prints an aligned table to stdout — or, when
+    running inside {!capture}, into the capturing buffer. *)
 val table : title:string -> header:string list -> string list list -> unit
+
+(** [capture f] runs [f], collecting everything {!table} and {!bars} would
+    have printed into a buffer, and returns it as a string. The redirection
+    is domain-local, so experiments captured on different domains cannot
+    interleave their output. Nests (and restores the previous sink) on the
+    same domain. *)
+val capture : (unit -> unit) -> string
 
 (** Format a cycle count compactly ("12.3k", "1.20M"). *)
 val cycles : float -> string

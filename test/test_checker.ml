@@ -7,24 +7,36 @@ let int_t = Alcotest.int
 
 let entry ~vpn ~pfn =
   { Tlb.vpn; pfn; pcid = 1; size = Tlb.Four_k; global = false; writable = true;
-    fractured = false }
+    fractured = false; ck_ver = -1 }
 
+(* An empty page table: the walk misses, so any hit through it is stale. *)
 let stale_hit ?(now = 0) ?(cpu = 0) ?(mm_id = 1) ?(vpn = 10) c =
   Checker.check_hit c ~now ~cpu ~mm_id ~vpn ~write:false
-    ~entry:(entry ~vpn ~pfn:5) ~walk:None
+    ~entry:(entry ~vpn ~pfn:5) ~pt:(Page_table.create ())
 
 (* --- classification results --- *)
 
 let test_clean_result () =
   let c = Checker.create () in
-  let pte = Pte.user_data ~pfn:5 in
-  let r =
-    Checker.check_hit c ~now:0 ~cpu:0 ~mm_id:1 ~vpn:10 ~write:true
-      ~entry:(entry ~vpn:10 ~pfn:5)
-      ~walk:(Some { Page_table.pte; size = Tlb.Four_k; levels = 4 })
-  in
+  let pt = Page_table.create () in
+  Page_table.map pt ~vpn:10 ~size:Tlb.Four_k (Pte.user_data ~pfn:5);
+  let e = entry ~vpn:10 ~pfn:5 in
+  let r = Checker.check_hit c ~now:0 ~cpu:0 ~mm_id:1 ~vpn:10 ~write:true ~entry:e ~pt in
   check bool_t "clean" true (r = `Clean);
-  check int_t "no benign races" 0 (Checker.benign_races c)
+  check int_t "no benign races" 0 (Checker.benign_races c);
+  (* The clean verdict is stamped into the entry; a re-check against the
+     unchanged table takes the walk-free path and agrees. *)
+  check bool_t "stamped" true (e.Tlb.ck_ver >= 0);
+  let r2 = Checker.check_hit c ~now:1 ~cpu:0 ~mm_id:1 ~vpn:10 ~write:true ~entry:e ~pt in
+  check bool_t "clean via stamp" true (r2 = `Clean);
+  (* Any mutation bumps the version: the stamp stops matching and the next
+     check walks again, seeing the remap. *)
+  ignore (Page_table.unmap pt ~vpn:10 () : Page_table.range_unmap);
+  Page_table.map pt ~vpn:10 ~size:Tlb.Four_k (Pte.user_data ~pfn:99);
+  (match Checker.check_hit c ~now:2 ~cpu:0 ~mm_id:1 ~vpn:10 ~write:false ~entry:e ~pt with
+  | `Violation reason ->
+      check Alcotest.string "restale" "page remapped to a different frame" reason
+  | `Clean | `Benign _ -> Alcotest.fail "stamp must not survive a version bump")
 
 let test_violation_result_carries_reason () =
   let c = Checker.create () in
@@ -32,15 +44,33 @@ let test_violation_result_carries_reason () =
   | `Violation reason ->
       check Alcotest.string "reason" "translation removed from page table" reason
   | `Clean | `Benign _ -> Alcotest.fail "expected a violation");
-  let pte = Pte.user_data ~pfn:99 in
+  let pt = Page_table.create () in
+  Page_table.map pt ~vpn:10 ~size:Tlb.Four_k (Pte.user_data ~pfn:99);
   match
     Checker.check_hit c ~now:0 ~cpu:0 ~mm_id:1 ~vpn:10 ~write:false
-      ~entry:(entry ~vpn:10 ~pfn:5)
-      ~walk:(Some { Page_table.pte; size = Tlb.Four_k; levels = 4 })
+      ~entry:(entry ~vpn:10 ~pfn:5) ~pt
   with
   | `Violation reason ->
       check Alcotest.string "remap reason" "page remapped to a different frame" reason
   | `Clean | `Benign _ -> Alcotest.fail "expected a remap violation"
+
+(* A writable entry over a write-protected PTE is clean for reads but must
+   not be stamped: a later write through it at the same page-table version
+   still has to be flagged. *)
+let test_write_protected_read_not_stamped () =
+  let c = Checker.create () in
+  let pt = Page_table.create () in
+  Page_table.map pt ~vpn:10 ~size:Tlb.Four_k (Pte.write_protect (Pte.user_data ~pfn:5));
+  let e = entry ~vpn:10 ~pfn:5 in
+  (match Checker.check_hit c ~now:0 ~cpu:0 ~mm_id:1 ~vpn:10 ~write:false ~entry:e ~pt with
+  | `Clean -> ()
+  | `Benign _ | `Violation _ -> Alcotest.fail "read through it is clean");
+  check bool_t "not stamped" true (e.Tlb.ck_ver = -1);
+  match Checker.check_hit c ~now:1 ~cpu:0 ~mm_id:1 ~vpn:10 ~write:true ~entry:e ~pt with
+  | `Violation reason ->
+      check Alcotest.string "write reason" "write through a since-write-protected mapping"
+        reason
+  | `Clean | `Benign _ -> Alcotest.fail "write must be flagged"
 
 let test_benign_inside_window () =
   let c = Checker.create () in
@@ -144,6 +174,8 @@ let suite =
   [
     Alcotest.test_case "result: clean" `Quick test_clean_result;
     Alcotest.test_case "result: violation reasons" `Quick test_violation_result_carries_reason;
+    Alcotest.test_case "result: write-protected read not stamped" `Quick
+      test_write_protected_read_not_stamped;
     Alcotest.test_case "result: benign inside window" `Quick test_benign_inside_window;
     Alcotest.test_case "windows: cover vpn and mm" `Quick test_window_must_cover_vpn_and_mm;
     Alcotest.test_case "windows: covered query" `Quick test_covered_matches_classification;

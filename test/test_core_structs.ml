@@ -322,20 +322,25 @@ let test_percpu_defer_cross_mm_goes_full () =
 (* --- Checker --- *)
 
 let entry ~vpn ~pfn ~writable =
-  { Tlb.vpn; pfn; pcid = 1; size = Tlb.Four_k; global = false; writable; fractured = false }
+  { Tlb.vpn; pfn; pcid = 1; size = Tlb.Four_k; global = false; writable; fractured = false; ck_ver = -1 }
 
-let walk_of pte = Some { Page_table.pte; size = Tlb.Four_k; levels = 4 }
+(* A one-mapping page table; vpn 10 matches the default hit below. *)
+let pt_of ?(vpn = 10) ?(size = Tlb.Four_k) pte =
+  let pt = Page_table.create () in
+  Page_table.map pt ~vpn ~size pte;
+  pt
+
+let empty_pt () = Page_table.create ()
 
 (* Run a hit check for its recording side effects only. *)
-let run_hit c ~now ~cpu ~mm_id ~vpn ~write ~entry ~walk =
-  ignore (Checker.check_hit c ~now ~cpu ~mm_id ~vpn ~write ~entry ~walk : Checker.result)
+let run_hit c ~now ~cpu ~mm_id ~vpn ~write ~entry ~pt =
+  ignore (Checker.check_hit c ~now ~cpu ~mm_id ~vpn ~write ~entry ~pt : Checker.result)
 
 let test_checker_clean_hit () =
   let c = Checker.create () in
-  let pte = Pte.user_data ~pfn:5 in
   run_hit c ~now:0 ~cpu:0 ~mm_id:1 ~vpn:10 ~write:true
     ~entry:(entry ~vpn:10 ~pfn:5 ~writable:true)
-    ~walk:(walk_of pte);
+    ~pt:(pt_of (Pte.user_data ~pfn:5));
   check int_t "no violations" 0 (Checker.violation_count c);
   check int_t "checked" 1 (Checker.checks c)
 
@@ -343,7 +348,7 @@ let test_checker_stale_unmapped_is_violation () =
   let c = Checker.create () in
   run_hit c ~now:5 ~cpu:2 ~mm_id:1 ~vpn:10 ~write:false
     ~entry:(entry ~vpn:10 ~pfn:5 ~writable:true)
-    ~walk:None;
+    ~pt:(empty_pt ());
   check int_t "violation" 1 (Checker.violation_count c);
   match Checker.violations c with
   | [ v ] ->
@@ -357,54 +362,51 @@ let test_checker_inflight_window_excuses () =
   let token = Checker.begin_invalidation c info in
   run_hit c ~now:5 ~cpu:2 ~mm_id:1 ~vpn:10 ~write:false
     ~entry:(entry ~vpn:10 ~pfn:5 ~writable:true)
-    ~walk:None;
+    ~pt:(empty_pt ());
   check int_t "benign while in flight" 0 (Checker.violation_count c);
   check int_t "recorded as race" 1 (Checker.benign_races c);
   Checker.end_invalidation c token;
   run_hit c ~now:6 ~cpu:2 ~mm_id:1 ~vpn:10 ~write:false
     ~entry:(entry ~vpn:10 ~pfn:5 ~writable:true)
-    ~walk:None;
+    ~pt:(empty_pt ());
   check int_t "violation once window closed" 1 (Checker.violation_count c)
 
 let test_checker_remap_detected () =
   let c = Checker.create () in
-  let pte = Pte.user_data ~pfn:99 in
   run_hit c ~now:0 ~cpu:0 ~mm_id:1 ~vpn:10 ~write:false
     ~entry:(entry ~vpn:10 ~pfn:5 ~writable:true)
-    ~walk:(walk_of pte);
+    ~pt:(pt_of (Pte.user_data ~pfn:99));
   check int_t "remap violation" 1 (Checker.violation_count c)
 
 let test_checker_write_protect_detected () =
   let c = Checker.create () in
-  let pte = Pte.write_protect (Pte.user_data ~pfn:5) in
+  let pt = pt_of (Pte.write_protect (Pte.user_data ~pfn:5)) in
   (* Reading through the stale-writable entry is fine... *)
   run_hit c ~now:0 ~cpu:0 ~mm_id:1 ~vpn:10 ~write:false
     ~entry:(entry ~vpn:10 ~pfn:5 ~writable:true)
-    ~walk:(walk_of pte);
+    ~pt;
   check int_t "read ok" 0 (Checker.violation_count c);
   (* ...writing is not. *)
   run_hit c ~now:0 ~cpu:0 ~mm_id:1 ~vpn:10 ~write:true
     ~entry:(entry ~vpn:10 ~pfn:5 ~writable:true)
-    ~walk:(walk_of pte);
+    ~pt;
   check int_t "write violation" 1 (Checker.violation_count c)
 
 let test_checker_hugepage_offset_match () =
   let c = Checker.create () in
   (* A 2 MiB walk covering vpn 1034 with pfn base 4096: entry cached at the
      same granularity must agree at the offset. *)
-  let pte = Pte.user_data ~pfn:4096 in
-  let walk = Some { Page_table.pte; size = Tlb.Two_m; levels = 3 } in
   run_hit c ~now:0 ~cpu:0 ~mm_id:1 ~vpn:1034 ~write:false
     ~entry:{ Tlb.vpn = 1024; pfn = 4096; pcid = 1; size = Tlb.Two_m; global = false;
-             writable = true; fractured = false }
-    ~walk;
+             writable = true; fractured = false; ck_ver = -1 }
+    ~pt:(pt_of ~vpn:1024 ~size:Tlb.Two_m (Pte.user_data ~pfn:4096));
   check int_t "consistent hugepage" 0 (Checker.violation_count c)
 
 let test_checker_disabled_is_silent () =
   let c = Checker.create ~enabled:false () in
   run_hit c ~now:0 ~cpu:0 ~mm_id:1 ~vpn:10 ~write:false
     ~entry:(entry ~vpn:10 ~pfn:5 ~writable:true)
-    ~walk:None;
+    ~pt:(empty_pt ());
   check int_t "nothing recorded" 0 (Checker.violation_count c);
   check int_t "no checks" 0 (Checker.checks c)
 

@@ -47,8 +47,8 @@ let test_checker_clear () =
     (Checker.check_hit c ~now:0 ~cpu:0 ~mm_id:1 ~vpn:1 ~write:false
        ~entry:
          { Tlb.vpn = 1; pfn = 1; pcid = 1; size = Tlb.Four_k; global = false;
-           writable = true; fractured = false }
-       ~walk:None
+           writable = true; fractured = false; ck_ver = -1 }
+       ~pt:(Page_table.create ())
       : Checker.result);
   check int_t "one violation" 1 (Checker.violation_count c);
   Checker.clear c;

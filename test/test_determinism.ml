@@ -1,0 +1,54 @@
+(* The simulator is deterministic: a workload config (seeds included) fully
+   determines its results. The bench harness's `-j N` mode leans on this —
+   experiments run on whatever domain picks them up, and the output must not
+   depend on the schedule. These tests pin both properties: same config
+   twice gives identical numbers, and the domain pool at `-j 2` returns
+   exactly what the inline sequential runner returns. *)
+
+let check = Alcotest.check
+let pairf = Alcotest.(pair (float 0.0) (float 0.0))
+
+let micro_cell ?(placement = Microbench.Cross_socket) () =
+  let cfg =
+    Microbench.default_config ~opts:(Opts.all_general ~safe:true) ~placement ~pte_count:10
+  in
+  let r = Microbench.run { cfg with Microbench.iterations = 20; warmup = 5 } in
+  (r.Microbench.initiator_mean, r.Microbench.responder_mean)
+
+let sys_cell () =
+  let cfg = Sysbench.default_config ~opts:(Opts.all ~safe:true) ~threads:4 in
+  let r =
+    Sysbench.run { cfg with Sysbench.ops_per_thread = 60; file_pages = 256; seed = 23L }
+  in
+  (r.Sysbench.throughput, float_of_int r.Sysbench.shootdowns)
+
+let test_microbench_repeatable () =
+  check pairf "identical back-to-back" (micro_cell ()) (micro_cell ())
+
+let test_sysbench_repeatable () =
+  check pairf "identical back-to-back" (sys_cell ()) (sys_cell ())
+
+let test_domain_pool_preserves_order () =
+  let tasks = Array.init 32 (fun i () -> i * i) in
+  check
+    Alcotest.(array int)
+    "slot i holds task i" (Array.init 32 (fun i -> i * i))
+    (Domain_pool.run ~jobs:4 tasks)
+
+let test_parallel_matches_sequential () =
+  let tasks =
+    Array.of_list
+      (List.map (fun placement () -> micro_cell ~placement ()) Microbench.all_placements
+      @ [ sys_cell ])
+  in
+  let seq = Domain_pool.run ~jobs:1 tasks in
+  let par = Domain_pool.run ~jobs:2 tasks in
+  check Alcotest.(array pairf) "-j 2 = -j 1" seq par
+
+let suite =
+  [
+    Alcotest.test_case "microbench repeatable" `Quick test_microbench_repeatable;
+    Alcotest.test_case "sysbench repeatable" `Quick test_sysbench_repeatable;
+    Alcotest.test_case "domain pool: result order" `Quick test_domain_pool_preserves_order;
+    Alcotest.test_case "domain pool: -j2 = -j1" `Quick test_parallel_matches_sequential;
+  ]

@@ -154,7 +154,7 @@ let test_cache_totals () =
 
 let entry ?(pcid = 1) ?(global = false) ?(size = Tlb.Four_k) ?(fractured = false)
     ?(writable = true) ~vpn ~pfn () =
-  { Tlb.vpn; pfn; pcid; size; global; writable; fractured }
+  { Tlb.vpn; pfn; pcid; size; global; writable; fractured; ck_ver = -1 }
 
 let test_tlb_hit_miss () =
   let t = Tlb.create () in

@@ -18,5 +18,6 @@ let () =
       ("checker", Test_checker.suite);
       ("analysis", Test_analysis.suite);
       ("coverage", Test_coverage.suite);
+      ("determinism", Test_determinism.suite);
       ("properties", Test_props.suite);
     ]

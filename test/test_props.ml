@@ -167,6 +167,7 @@ let prop_tlb_matches_model =
                   global = false;
                   writable = true;
                   fractured = false;
+              ck_ver = -1;
                 };
               Hashtbl.replace model (pcid, vpn) ()
           | Invlpg (vpn, pcid) ->

@@ -83,6 +83,7 @@ let test_shootdown_flushes_remote () =
             global = false;
             writable = true;
             fractured = false;
+              ck_ver = -1;
           };
         remote_had := Tlb.mem (tlb_of m 14) ~pcid:(user_pcid_of m 14) ~vpn;
         Shootdown.flush_tlb_page m ~from:0 ~mm ~vpn;
@@ -271,6 +272,7 @@ let test_lazy_cpu_skipped_and_syncs () =
           global = false;
           writable = true;
           fractured = false;
+              ck_ver = -1;
         };
       Sched.enter_lazy m ~cpu:14;
       Shootdown.flush_tlb_page m ~from:0 ~mm ~vpn;
@@ -496,6 +498,7 @@ let test_multiple_responders_all_flushed () =
               global = false;
               writable = true;
               fractured = false;
+              ck_ver = -1;
             })
         responders;
       Shootdown.flush_tlb_page m ~from:0 ~mm ~vpn;

@@ -275,7 +275,7 @@ let test_process_self_name () =
   let seen = ref "" in
   Process.spawn e ~name:"worker-7" (fun () ->
       Process.delay e 1;
-      seen := Process.self_name ());
+      seen := Process.self_name e);
   Engine.run e;
   check Alcotest.string "name visible after resume" "worker-7" !seen
 
