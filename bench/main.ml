@@ -4,74 +4,63 @@
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- fig5    -- one experiment
      dune exec bench/main.exe -- quick   -- everything, reduced iterations
-     dune exec bench/main.exe -- all -j 4 -- experiments on 4 domains
+     dune exec bench/main.exe -- all -j 4 -- sim runs on 4 domains
      dune exec bench/main.exe -- perf    -- wall-clock harness (BENCH_PERF.json)
      dune exec bench/main.exe -- bechamel -- harness self-measurement
 
    Simulated cycle counts are printed; EXPERIMENTS.md compares them to the
-   paper's numbers. Experiments are pure functions of their configuration
-   (fresh machines, fixed seeds), so `-j N` runs them on N domains with
-   output captured per experiment and printed in order: `-j 1` output is
-   byte-identical to the sequential harness. Per-experiment elapsed-time
-   lines go to stderr so stdout stays comparable across runs. *)
+   paper's numbers.
+
+   `-j N` semantics (sub-experiment sharding): every multi-run experiment
+   is flattened at plan time into self-contained (config, seed) sim-run
+   cells — fig10 alone is 2 modes x 12 thread counts x 6 configs x 3
+   seeds = 432 cells in a full run — and ALL selected experiments' cells
+   execute on one shared N-domain pool in longest-task-first order. Each
+   cell's result lands in its own slot; tables are reduced from the slots
+   in experiment order, so stdout is byte-identical for every `-j` by
+   construction and the wall-clock bound is the slowest single cell, not
+   the slowest experiment. `-j 1` spawns no domains. `-j 0` asks the
+   runtime for a domain count. Expected scaling: the full bench is
+   embarrassingly parallel past the plan phase, so wall-clock approaches
+   (sum of cell costs) / N until the slowest fig10 cell dominates.
+   Per-experiment elapsed-time lines go to stderr (per-cell lines with
+   -v) so stdout stays comparable across runs and `-j` levels.
+
+   `perf` respects `-j` too: engine ops are per-engine counters carried in
+   each cell's result and summed at reduce time, so attribution is exact
+   under any schedule; per-experiment wall_s sums the experiment's own
+   cell walls (CPU-seconds when parallel). Experiments that drive no
+   engine (table2, table4, paravirt) or own no cells in this invocation
+   (table3 reusing the figures' matrices) report engine_ops null — an
+   explicit n/a, never a misleading 0. *)
 
 let quick = ref false
+let verbose = ref false
 
 let micro_iters () = if !quick then 60 else 200
+let micro_warmup = 20
 
-(* A compute-once cell shared between experiments. Under the parallel
-   runner two domains can want the same matrix; the mutex makes the second
-   one wait for (rather than duplicate) the computation. *)
-module Memo = struct
-  type 'a state = Thunk of (unit -> 'a) | Value of 'a
-  type 'a t = { lock : Mutex.t; mutable state : 'a state }
+(* ----- Figures 5-8 / Table 3: shared micro matrices -----
 
-  let create f = { lock = Mutex.create (); state = Thunk f }
+   Figures 5-8 and Table 3 consume the same four matrices (safe x
+   pte_count). Matrix cells are planned once and owned by the FIRST
+   requesting experiment in plan order: in an `all` run each figure owns
+   its matrix and table3 owns nothing (it reduces from the figures'
+   slots); when table3 runs alone it owns all four. Planning is
+   sequential, so a plain assoc list replaces the old mutex'd memo. *)
 
-  let force t =
-    Mutex.lock t.lock;
-    Fun.protect
-      ~finally:(fun () -> Mutex.unlock t.lock)
-      (fun () ->
-        match t.state with
-        | Value v -> v
-        | Thunk f ->
-            let v = f () in
-            t.state <- Value v;
-            v)
-end
+let matrix_memo : ((bool * int) * (unit -> Figures.micro_matrix)) list ref = ref []
 
-(* ----- Figures 5-8: the madvise microbenchmark ----- *)
-
-let micro_cell ~opts ~placement ~pte_count =
-  let cfg = Microbench.default_config ~opts ~placement ~pte_count in
-  Microbench.run { cfg with Microbench.iterations = micro_iters (); warmup = 20 }
-
-(* All stacks for all placements; returns (placement, (label, result) list). *)
-let micro_matrix ~safe ~pte_count =
-  let stacks = Opts.cumulative_general ~safe in
-  List.map
-    (fun placement ->
-      let cells =
-        List.map
-          (fun (label, opts) ->
-            (label, micro_cell ~opts:(Opts.copy opts) ~placement ~pte_count))
-          stacks
+let micro_matrix_shared ~safe ~pte_count =
+  match List.assoc_opt (safe, pte_count) !matrix_memo with
+  | Some get -> ([], get)
+  | None ->
+      let jobs, get =
+        Figures.micro_matrix_cells ~iterations:(micro_iters ()) ~warmup:micro_warmup
+          ~safe ~pte_count
       in
-      (placement, cells))
-    Microbench.all_placements
-
-(* Figures 5-8 and Table 3 consume the same four matrices (safe x pte_count);
-   in an `all` run Table 3 reuses the figures' results instead of
-   recomputing ~half the microbenchmark cells. *)
-let matrix_memo =
-  List.map
-    (fun ((safe, pte_count) as key) ->
-      (key, Memo.create (fun () -> micro_matrix ~safe ~pte_count)))
-    [ (true, 1); (true, 10); (false, 1); (false, 10) ]
-
-let micro_matrix_cached ~safe ~pte_count =
-  Memo.force (List.assoc (safe, pte_count) matrix_memo)
+      matrix_memo := ((safe, pte_count), get) :: !matrix_memo;
+      (jobs, get)
 
 let print_micro_figure ~fig ~safe ~pte_count matrix =
   let stacks = List.map fst (List.assoc Microbench.Same_core matrix) in
@@ -104,163 +93,109 @@ let print_micro_figure ~fig ~safe ~pte_count matrix =
        (fun (label, r) -> (label, r.Microbench.initiator_mean))
        (List.assoc Microbench.Cross_socket matrix))
 
-let run_micro_figure ~fig ~safe ~pte_count =
-  print_micro_figure ~fig ~safe ~pte_count (micro_matrix_cached ~safe ~pte_count)
+let micro_figure_plan ~fig ~safe ~pte_count () =
+  let jobs, get = micro_matrix_shared ~safe ~pte_count in
+  {
+    Shard.name = Printf.sprintf "fig%d" fig;
+    jobs;
+    reduce = (fun () -> print_micro_figure ~fig ~safe ~pte_count (get ()));
+  }
 
 (* ----- Table 3: latency reduction cross-socket, all four techniques ----- *)
 
-let table3 () =
-  let cell ~safe ~pte_count =
-    let matrix = micro_matrix_cached ~safe ~pte_count in
-    let cells = List.assoc Microbench.Cross_socket matrix in
-    let first = snd (List.hd cells) in
-    let last = snd (List.nth cells (List.length cells - 1)) in
-    let pct baseline v =
-      if baseline = 0.0 then 0.0 else (baseline -. v) /. baseline *. 100.0
-    in
-    ( pct first.Microbench.initiator_mean last.Microbench.initiator_mean,
-      pct first.Microbench.responder_mean last.Microbench.responder_mean )
+let table3_plan () =
+  let matrices =
+    List.map
+      (fun ((safe, pte_count) as key) -> (key, micro_matrix_shared ~safe ~pte_count))
+      [ (true, 1); (true, 10); (false, 1); (false, 10) ]
   in
-  let s1 = cell ~safe:true ~pte_count:1 in
-  let s10 = cell ~safe:true ~pte_count:10 in
-  let u1 = cell ~safe:false ~pte_count:1 in
-  let u10 = cell ~safe:false ~pte_count:10 in
-  let fmt (i, r) = Printf.sprintf "%.0f%% / %.0f%%" i r in
-  Report.table
-    ~title:
-      "Table 3 — [initiator / responder] latency reduction, cross-socket, all \
-       techniques of §3 (paper: safe 39%/13% & 58%/22%; unsafe 39%/18% & 54%/14%)"
-    ~header:[ ""; "Safe Mode"; "Unsafe Mode" ]
-    [ [ "1 PTE"; fmt s1; fmt u1 ]; [ "10 PTEs"; fmt s10; fmt u10 ] ]
+  let jobs = List.concat_map (fun (_, (jobs, _)) -> jobs) matrices in
+  let reduce () =
+    let cell ~safe ~pte_count =
+      let _, get = List.assoc (safe, pte_count) matrices in
+      let cells = List.assoc Microbench.Cross_socket (get ()) in
+      let first = snd (List.hd cells) in
+      let last = snd (List.nth cells (List.length cells - 1)) in
+      let pct baseline v =
+        if baseline = 0.0 then 0.0 else (baseline -. v) /. baseline *. 100.0
+      in
+      ( pct first.Microbench.initiator_mean last.Microbench.initiator_mean,
+        pct first.Microbench.responder_mean last.Microbench.responder_mean )
+    in
+    let s1 = cell ~safe:true ~pte_count:1 in
+    let s10 = cell ~safe:true ~pte_count:10 in
+    let u1 = cell ~safe:false ~pte_count:1 in
+    let u10 = cell ~safe:false ~pte_count:10 in
+    let fmt (i, r) = Printf.sprintf "%.0f%% / %.0f%%" i r in
+    Report.table
+      ~title:
+        "Table 3 — [initiator / responder] latency reduction, cross-socket, all \
+         techniques of §3 (paper: safe 39%/13% & 58%/22%; unsafe 39%/18% & 54%/14%)"
+      ~header:[ ""; "Safe Mode"; "Unsafe Mode" ]
+      [ [ "1 PTE"; fmt s1; fmt u1 ]; [ "10 PTEs"; fmt s10; fmt u10 ] ]
+  in
+  { Shard.name = "table3"; jobs; reduce }
 
 (* ----- Figure 9: CoW fault latency ----- *)
 
-let fig9 () =
-  let run ~safe ~label opts =
+let fig9_plan () =
+  let jobs = ref [] in
+  let run_cell ~safe ~label opts =
     let cfg = Cow_bench.default_config ~opts in
     let cfg =
       if !quick then { cfg with Cow_bench.rounds = 4; pages_per_round = 32 } else cfg
     in
-    let r = Cow_bench.run cfg in
-    ( (if safe then "safe" else "unsafe"),
-      label,
-      r.Cow_bench.write_mean,
-      r.Cow_bench.write_sd )
+    let job, get =
+      Shard.cell
+        ~label:(Printf.sprintf "fig9 %s %s" (if safe then "safe" else "unsafe") label)
+        ~ops:(fun r -> r.Cow_bench.engine_ops)
+        ~weight:(float_of_int (cfg.Cow_bench.rounds * cfg.Cow_bench.pages_per_round * 12))
+        (fun () -> Cow_bench.run cfg)
+    in
+    jobs := job :: !jobs;
+    fun () ->
+      let r = get () in
+      ( (if safe then "safe" else "unsafe"),
+        label,
+        r.Cow_bench.write_mean,
+        r.Cow_bench.write_sd )
   in
-  let rows =
+  let row_getters =
     List.concat_map
       (fun safe ->
-        let baseline = run ~safe ~label:"baseline" (Opts.baseline ~safe) in
-        let all = run ~safe ~label:"all (SS3)" (Opts.all_general ~safe) in
+        let baseline = run_cell ~safe ~label:"baseline" (Opts.baseline ~safe) in
+        let all = run_cell ~safe ~label:"all (SS3)" (Opts.all_general ~safe) in
         let cow_opts = Opts.all_general ~safe in
         cow_opts.Opts.cow_avoid_flush <- true;
-        let cow = run ~safe ~label:"all + CoW" cow_opts in
+        let cow = run_cell ~safe ~label:"all + CoW" cow_opts in
         [ baseline; all; cow ])
       [ true; false ]
   in
-  Report.table
-    ~title:
-      "Figure 9 — CoW write latency, cycles (paper: CoW avoidance saves ~130 \
-       cycles, 3-5%)"
-    ~header:[ "mode"; "config"; "cycles"; "sd" ]
-    (List.map
-       (fun (mode, label, mean, sd) ->
-         [ mode; label; Report.cycles mean; Printf.sprintf "%.0f" sd ])
-       rows)
-
-(* ----- Figure 10: Sysbench ----- *)
-
-let fig10 () =
-  let threads =
-    if !quick then [ 1; 4; 10; 16 ] else [ 1; 2; 3; 4; 6; 8; 10; 12; 16; 20; 24; 28 ]
+  let reduce () =
+    Report.table
+      ~title:
+        "Figure 9 — CoW write latency, cycles (paper: CoW avoidance saves ~130 \
+         cycles, 3-5%)"
+      ~header:[ "mode"; "config"; "cycles"; "sd" ]
+      (List.map
+         (fun g ->
+           let mode, label, mean, sd = g () in
+           [ mode; label; Report.cycles mean; Printf.sprintf "%.0f" sd ])
+         row_getters)
   in
-  (* Average several seeds, as the paper averages 5 runs. *)
-  let seeds = if !quick then [ 23L ] else [ 23L; 137L; 911L ] in
-  let run ~opts ~n =
-    let one seed =
-      let cfg = Sysbench.default_config ~opts ~threads:n in
-      let cfg =
-        if !quick then { cfg with Sysbench.ops_per_thread = 120; file_pages = 1024; seed }
-        else { cfg with Sysbench.ops_per_thread = 288; file_pages = 4096; seed }
-      in
-      (Sysbench.run cfg).Sysbench.throughput
-    in
-    List.fold_left (fun acc s -> acc +. one s) 0.0 seeds
-    /. float_of_int (List.length seeds)
-  in
-  List.iter
-    (fun safe ->
-      let stacks = Opts.cumulative_workload ~safe in
-      let header = "threads" :: "base ops/kcyc" :: List.map fst stacks in
-      let rows =
-        List.map
-          (fun n ->
-            let base = run ~opts:(Opts.baseline ~safe) ~n in
-            string_of_int n
-            :: Printf.sprintf "%.3f" base
-            :: List.map
-                 (fun (_, opts) -> Report.speedup (run ~opts:(Opts.copy opts) ~n /. base))
-                 stacks)
-          threads
-      in
-      Report.table
-        ~title:
-          (Printf.sprintf
-             "Figure 10 — Sysbench rnd-write + fdatasync speedup over baseline (%s \
-              mode; paper: up to 1.22x, batching up to 1.18x, gains fade at high \
-              thread counts)"
-             (if safe then "safe" else "unsafe"))
-        ~header rows)
-    [ true; false ]
+  { Shard.name = "fig9"; jobs = List.rev !jobs; reduce }
 
-(* ----- Figure 11: Apache ----- *)
+(* ----- Figures 10 and 11 (lib/workloads/figures.ml builds the plans) ----- *)
 
-let fig11 () =
-  let cores =
-    if !quick then [ 1; 4; 8; 11 ] else [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11 ]
-  in
-  let seeds = if !quick then [ 31L ] else [ 31L; 211L; 1013L ] in
-  let run ~opts ~n =
-    let one seed =
-      let cfg = Apache.default_config ~opts ~cores:n in
-      let cfg =
-        if !quick then { cfg with Apache.requests = 220; seed }
-        else { cfg with Apache.requests = 660; seed }
-      in
-      (Apache.run cfg).Apache.throughput
-    in
-    List.fold_left (fun acc s -> acc +. one s) 0.0 seeds
-    /. float_of_int (List.length seeds)
-  in
-  List.iter
-    (fun safe ->
-      let stacks = Opts.cumulative_workload ~safe in
-      let header = "cores" :: "base req/Mcyc" :: List.map fst stacks in
-      let rows =
-        List.map
-          (fun n ->
-            let base = run ~opts:(Opts.baseline ~safe) ~n in
-            string_of_int n
-            :: Printf.sprintf "%.2f" base
-            :: List.map
-                 (fun (_, opts) -> Report.speedup (run ~opts:(Opts.copy opts) ~n /. base))
-                 stacks)
-          cores
-      in
-      Report.table
-        ~title:
-          (Printf.sprintf
-             "Figure 11 — Apache mpm_event speedup over baseline (%s mode; paper: \
-              concurrent up to 1.10x, in-context up to 1.05x)"
-             (if safe then "safe" else "unsafe"))
-        ~header rows)
-    [ true; false ]
+let fig10_plan () = Figures.fig10_plan (Figures.fig10_scale ~quick:!quick)
+let fig11_plan () = Figures.fig11_plan (Figures.fig11_scale ~quick:!quick)
 
 (* ----- Table 2: lines of code ----- *)
 
-let table2 () =
+let table2_plan () =
   (* Our implementation sizes, measured from the sources when run from the
-     repository root; the paper's patch sizes alongside. *)
+     repository root; the paper's patch sizes alongside. No simulation, so
+     the perf row carries engine_ops null. *)
   let wc path =
     if Sys.file_exists path then begin
       let ic = open_in path in
@@ -281,64 +216,88 @@ let table2 () =
     | [] -> "n/a (run from repo root)"
     | counts -> string_of_int (List.fold_left ( + ) 0 counts)
   in
-  Report.table
-    ~title:"Table 2 — lines of code per optimization (paper patch vs this repo)"
-    ~header:[ "Optimization"; "paper LoC"; "this repo (module LoC)" ]
+  let rows_spec =
     [
-      [ "Concurrent flushes"; "103"; ours [ "lib/core/shootdown.ml" ] ];
-      [ "Early ack + cacheline consolidation"; "73"; ours [ "lib/core/smp.ml" ] ];
-      [ "In-context page flushing"; "353"; ours [ "lib/core/percpu.ml" ] ];
-      [ "CoW"; "35"; ours [ "lib/core/fault.ml" ] ];
-      [ "Userspace-safe batching"; "221"; ours [ "lib/core/syscall.ml" ] ];
+      ("Concurrent flushes", "103", [ "lib/core/shootdown.ml" ]);
+      ("Early ack + cacheline consolidation", "73", [ "lib/core/smp.ml" ]);
+      ("In-context page flushing", "353", [ "lib/core/percpu.ml" ]);
+      ("CoW", "35", [ "lib/core/fault.ml" ]);
+      ("Userspace-safe batching", "221", [ "lib/core/syscall.ml" ]);
     ]
+  in
+  let job, get =
+    Shard.cell ~label:"table2 wc" ~weight:1000.0 (fun () ->
+        List.map (fun (name, paper, paths) -> [ name; paper; ours paths ]) rows_spec)
+  in
+  let reduce () =
+    Report.table
+      ~title:"Table 2 — lines of code per optimization (paper patch vs this repo)"
+      ~header:[ "Optimization"; "paper LoC"; "this repo (module LoC)" ]
+      (get ())
+  in
+  { Shard.name = "table2"; jobs = [ job ]; reduce }
 
 (* ----- Table 4: page fracturing ----- *)
 
-let table4 () =
+let table4_plan () =
   let cfg =
     if !quick then { Fracture.working_set_pages = 512; rounds = 40; tlb_capacity = 1536 }
     else { Fracture.working_set_pages = 1024; rounds = 100; tlb_capacity = 1536 }
   in
-  let results = Fracture.run_all cfg in
-  Report.table
-    ~title:
-      "Table 4 — dTLB misses after full vs selective flush (paper's anomaly: \
-       guest-2M-on-host-4K makes selective ~= full)"
-    ~header:[ "configuration"; "full flush"; "selective flush"; "promoted-to-full" ]
-    (List.map
-       (fun (r : Fracture.result) ->
-         [
-           r.Fracture.shape.Fracture.label;
-           Report.count r.Fracture.full_misses;
-           Report.count r.Fracture.selective_misses;
-           Report.count r.Fracture.fracture_promotions;
-         ])
-       results)
+  (* One cell per VM shape; no engine is driven (pure TLB modelling). *)
+  let cells =
+    List.map
+      (fun shape ->
+        Shard.cell
+          ~label:(Printf.sprintf "table4 %s" shape.Fracture.label)
+          ~weight:(float_of_int (cfg.Fracture.working_set_pages * cfg.Fracture.rounds / 2))
+          (fun () -> Fracture.run_shape cfg shape))
+      Fracture.table4_rows
+  in
+  let reduce () =
+    Report.table
+      ~title:
+        "Table 4 — dTLB misses after full vs selective flush (paper's anomaly: \
+         guest-2M-on-host-4K makes selective ~= full)"
+      ~header:[ "configuration"; "full flush"; "selective flush"; "promoted-to-full" ]
+      (List.map
+         (fun (_, get) ->
+           let r = get () in
+           [
+             r.Fracture.shape.Fracture.label;
+             Report.count r.Fracture.full_misses;
+             Report.count r.Fracture.selective_misses;
+             Report.count r.Fracture.fracture_promotions;
+           ])
+         cells)
+  in
+  { Shard.name = "table4"; jobs = List.map fst cells; reduce }
 
 (* ----- Ablations: design choices DESIGN.md calls out ----- *)
 
-let ablation_single_opt () =
+let micro_cell_job ~label ~opts ~placement ~pte_count =
+  let cfg = Microbench.default_config ~opts ~placement ~pte_count in
+  let cfg = { cfg with Microbench.iterations = micro_iters (); warmup = micro_warmup } in
+  Shard.cell ~label
+    ~ops:(fun r -> r.Microbench.engine_ops)
+    ~weight:(Figures.micro_weight ~iterations:cfg.Microbench.iterations ~pte_count)
+    (fun () -> Microbench.run cfg)
+
+let ablation_single_opt_plan () =
   (* Each optimization alone (non-cumulative), cross-socket, safe, 10 PTEs:
      isolates each technique's contribution without stacking. *)
-  let cell opts =
-    micro_cell ~opts ~placement:Microbench.Cross_socket ~pte_count:10
+  let cell ~label opts =
+    micro_cell_job ~label:("ablation-A " ^ label) ~opts ~placement:Microbench.Cross_socket
+      ~pte_count:10
   in
-  let base = cell (Opts.baseline ~safe:true) in
-  let rows =
+  let base_job, base = cell ~label:"baseline" (Opts.baseline ~safe:true) in
+  let techniques =
     List.map
       (fun (label, set) ->
         let opts = Opts.baseline ~safe:true in
         set opts;
-        let r = cell opts in
-        [
-          label;
-          Report.cycles r.Microbench.initiator_mean;
-          Report.reduction ~baseline:base.Microbench.initiator_mean
-            r.Microbench.initiator_mean;
-          Report.cycles r.Microbench.responder_mean;
-          Report.reduction ~baseline:base.Microbench.responder_mean
-            r.Microbench.responder_mean;
-        ])
+        let job, get = cell ~label opts in
+        (label, job, get))
       [
         ("concurrent alone", fun o -> o.Opts.concurrent_flush <- true);
         ("early-ack alone", fun o -> o.Opts.early_ack <- true);
@@ -346,17 +305,40 @@ let ablation_single_opt () =
         ("in-context alone", fun o -> o.Opts.in_context_flush <- true);
       ]
   in
-  Report.table
-    ~title:
-      (Printf.sprintf
-         "Ablation A — each §3 technique alone (cross-socket, safe, 10 PTEs; \
-          baseline init=%s resp=%s)"
-         (Report.cycles base.Microbench.initiator_mean)
-         (Report.cycles base.Microbench.responder_mean))
-    ~header:[ "technique"; "initiator"; "init cut"; "responder"; "resp cut" ]
-    rows
+  let reduce () =
+    let base = base () in
+    let rows =
+      List.map
+        (fun (label, _, get) ->
+          let r = get () in
+          [
+            label;
+            Report.cycles r.Microbench.initiator_mean;
+            Report.reduction ~baseline:base.Microbench.initiator_mean
+              r.Microbench.initiator_mean;
+            Report.cycles r.Microbench.responder_mean;
+            Report.reduction ~baseline:base.Microbench.responder_mean
+              r.Microbench.responder_mean;
+          ])
+        techniques
+    in
+    Report.table
+      ~title:
+        (Printf.sprintf
+           "Ablation A — each §3 technique alone (cross-socket, safe, 10 PTEs; \
+            baseline init=%s resp=%s)"
+           (Report.cycles base.Microbench.initiator_mean)
+           (Report.cycles base.Microbench.responder_mean))
+      ~header:[ "technique"; "initiator"; "init cut"; "responder"; "resp cut" ]
+      rows
+  in
+  {
+    Shard.name = "ablation-A";
+    jobs = base_job :: List.map (fun (_, j, _) -> j) techniques;
+    reduce;
+  }
 
-let ablation_ipi_latency () =
+let ablation_ipi_latency_plan () =
   (* §2.3.2: works evaluated without multicast IPIs saw ~500k-cycle
      shootdowns; scaling IPI latency shows how the case for *avoiding*
      shootdowns (rather than speeding them up) depends on slow IPIs. *)
@@ -369,38 +351,57 @@ let ablation_ipi_latency () =
       ipi_cross_socket = Costs.default.Costs.ipi_cross_socket * k;
     }
   in
-  let rows =
+  let jobs = ref [] in
+  let cell ~k ~label opts =
+    let cfg =
+      Microbench.default_config ~opts ~placement:Microbench.Cross_socket ~pte_count:10
+    in
+    let cfg =
+      { cfg with Microbench.costs = scaled k; iterations = micro_iters () }
+    in
+    let job, get =
+      Shard.cell
+        ~label:(Printf.sprintf "ablation-B x%d %s" k label)
+        ~ops:(fun r -> r.Microbench.engine_ops)
+        ~weight:(Figures.micro_weight ~iterations:cfg.Microbench.iterations ~pte_count:10)
+        (fun () -> Microbench.run cfg)
+    in
+    jobs := job :: !jobs;
+    fun () -> (get ()).Microbench.initiator_mean
+  in
+  let row_getters =
     List.map
       (fun k ->
-        let run opts =
-          let cfg =
-            Microbench.default_config ~opts ~placement:Microbench.Cross_socket
-              ~pte_count:10
-          in
-          (Microbench.run
-             { cfg with Microbench.costs = scaled k; iterations = micro_iters () })
-            .Microbench.initiator_mean
-        in
-        let base = run (Opts.baseline ~safe:true) in
-        let all = run (Opts.all_general ~safe:true) in
-        [
-          Printf.sprintf "x%d" k;
-          Report.cycles base;
-          Report.cycles all;
-          Report.reduction ~baseline:base all;
-        ])
+        let base = cell ~k ~label:"baseline" (Opts.baseline ~safe:true) in
+        let all = cell ~k ~label:"all" (Opts.all_general ~safe:true) in
+        (k, base, all))
       [ 1; 4; 16; 64 ]
   in
-  Report.table
-    ~title:
-      "Ablation B — IPI-latency sensitivity (initiator, cross-socket, safe, 10 \
-       PTEs): with slow pre-x2APIC IPIs the protocol work the paper optimizes \
-       is noise, which is §2.3.2's point about older evaluations"
-    ~header:[ "IPI scale"; "baseline"; "all §3"; "reduction" ]
-    rows
+  let reduce () =
+    let rows =
+      List.map
+        (fun (k, base, all) ->
+          let base = base () and all = all () in
+          [
+            Printf.sprintf "x%d" k;
+            Report.cycles base;
+            Report.cycles all;
+            Report.reduction ~baseline:base all;
+          ])
+        row_getters
+    in
+    Report.table
+      ~title:
+        "Ablation B — IPI-latency sensitivity (initiator, cross-socket, safe, 10 \
+         PTEs): with slow pre-x2APIC IPIs the protocol work the paper optimizes \
+         is noise, which is §2.3.2's point about older evaluations"
+      ~header:[ "IPI scale"; "baseline"; "all §3"; "reduction" ]
+      rows
+  in
+  { Shard.name = "ablation-B"; jobs = List.rev !jobs; reduce }
 
-let ablation_batch_slots () =
-  let rows =
+let ablation_batch_slots_plan () =
+  let cells =
     List.map
       (fun slots ->
         let opts = Opts.all ~safe:true in
@@ -409,69 +410,103 @@ let ablation_batch_slots () =
         let cfg =
           { cfg with Sysbench.ops_per_thread = (if !quick then 120 else 240) }
         in
-        let r = Sysbench.run cfg in
-        [
-          string_of_int slots;
-          Printf.sprintf "%.3f" r.Sysbench.throughput;
-          string_of_int r.Sysbench.shootdowns;
-          string_of_int r.Sysbench.batched_deferrals;
-        ])
+        let job, get =
+          Shard.cell
+            ~label:(Printf.sprintf "ablation-C slots=%d" slots)
+            ~ops:(fun r -> r.Sysbench.engine_ops)
+            ~weight:
+              (Figures.sysbench_weight ~threads:8
+                 ~ops_per_thread:cfg.Sysbench.ops_per_thread)
+            (fun () -> Sysbench.run cfg)
+        in
+        (slots, job, get))
       [ 1; 2; 4; 8; 16 ]
   in
-  Report.table
-    ~title:
-      "Ablation C — §4.2 batch slots (sysbench, 8 threads, safe; the paper \
-       allocates 4)"
-    ~header:[ "slots"; "ops/kcyc"; "shootdowns"; "deferrals" ]
-    rows
+  let reduce () =
+    let rows =
+      List.map
+        (fun (slots, _, get) ->
+          let r = get () in
+          [
+            string_of_int slots;
+            Printf.sprintf "%.3f" r.Sysbench.throughput;
+            string_of_int r.Sysbench.shootdowns;
+            string_of_int r.Sysbench.batched_deferrals;
+          ])
+        cells
+    in
+    Report.table
+      ~title:
+        "Ablation C — §4.2 batch slots (sysbench, 8 threads, safe; the paper \
+         allocates 4)"
+      ~header:[ "slots"; "ops/kcyc"; "shootdowns"; "deferrals" ]
+      rows
+  in
+  { Shard.name = "ablation-C"; jobs = List.map (fun (_, j, _) -> j) cells; reduce }
 
-let ablation_full_flush_threshold () =
+let ablation_full_flush_threshold_plan () =
   (* madvise of 24 pages: below the threshold the kernel INVLPGs 24 entries
      per CPU; above it one cheap CR3 reload flushes everything — faster for
      the flusher, but every other cached translation is collateral (§2.1:
      Linux picks 33, FreeBSD 4096). *)
-  let rows =
+  let jobs = ref [] in
+  let cell ~threshold ~safe =
+    let opts = Opts.all_general ~safe in
+    opts.Opts.full_flush_threshold <- threshold;
+    let job, get =
+      micro_cell_job
+        ~label:
+          (Printf.sprintf "ablation-D t=%d %s" threshold
+             (if safe then "safe" else "unsafe"))
+        ~opts ~placement:Microbench.Cross_socket ~pte_count:24
+    in
+    jobs := job :: !jobs;
+    fun () ->
+      let r = get () in
+      (r.Microbench.initiator_mean, r.Microbench.responder_mean)
+  in
+  let row_getters =
     List.map
       (fun threshold ->
-        let run safe =
-          let opts = Opts.all_general ~safe in
-          opts.Opts.full_flush_threshold <- threshold;
-          let cfg =
-            Microbench.default_config ~opts ~placement:Microbench.Cross_socket
-              ~pte_count:24
-          in
-          let r = Microbench.run { cfg with Microbench.iterations = micro_iters () } in
-          (r.Microbench.initiator_mean, r.Microbench.responder_mean)
-        in
-        let si, sr = run true in
-        let ui, ur = run false in
-        [
-          string_of_int threshold;
-          (if threshold < 24 then "full" else "ranged");
-          Report.cycles si;
-          Report.cycles sr;
-          Report.cycles ui;
-          Report.cycles ur;
-        ])
+        let s = cell ~threshold ~safe:true in
+        let u = cell ~threshold ~safe:false in
+        (threshold, s, u))
       [ 8; 16; 33; 64 ]
   in
-  Report.table
-    ~title:
-      "Ablation D — full-flush threshold on a 24-page madvise (cross-socket): \
-       a full flush is cheaper for the flusher but drops every cached \
-       translation"
-    ~header:
-      [ "threshold"; "mode"; "safe init"; "safe resp"; "unsafe init"; "unsafe resp" ]
-    rows
+  let reduce () =
+    let rows =
+      List.map
+        (fun (threshold, s, u) ->
+          let si, sr = s () and ui, ur = u () in
+          [
+            string_of_int threshold;
+            (if threshold < 24 then "full" else "ranged");
+            Report.cycles si;
+            Report.cycles sr;
+            Report.cycles ui;
+            Report.cycles ur;
+          ])
+        row_getters
+    in
+    Report.table
+      ~title:
+        "Ablation D — full-flush threshold on a 24-page madvise (cross-socket): \
+         a full flush is cheaper for the flusher but drops every cached \
+         translation"
+      ~header:
+        [ "threshold"; "mode"; "safe init"; "safe resp"; "unsafe init"; "unsafe resp" ]
+      rows
+  in
+  { Shard.name = "ablation-D"; jobs = List.rev !jobs; reduce }
 
-let ablation_paravirt_fracture () =
+let ablation_paravirt_fracture_plan () =
   (* §7's proposed mitigation: a host-provided fracturing hint makes the
      guest use one full flush instead of n selective flushes that would be
-     promoted to full anyway. *)
+     promoted to full anyway. Pure TLB modelling: no engine ops. *)
   let cfg = { Fracture.working_set_pages = 512; rounds = 1; tlb_capacity = 1536 } in
   let shape = List.nth Fracture.table4_rows 1 (* host=4K guest=2M *) in
   let flush_count = 16 in
-  let run ~hint =
+  let run ~hint () =
     let mmu = Fracture.build_mmu_for_tests cfg shape in
     Nested_mmu.set_paravirt_fracture_hint mmu hint;
     ignore
@@ -487,54 +522,78 @@ let ablation_paravirt_fracture () =
     in
     (instructions, misses)
   in
-  let i_no, m_no = run ~hint:false in
-  let i_yes, m_yes = run ~hint:true in
-  Report.table
-    ~title:
-      "Extension (§7) — paravirtual fracturing hint: flushing 16 pages of a \
-       fractured guest working set"
-    ~header:[ "guest behaviour"; "flush instructions"; "misses on re-touch" ]
-    [
-      [ "16 selective flushes (unhinted)"; string_of_int i_no; Report.count m_no ];
-      [ "1 full flush (hinted)"; string_of_int i_yes; Report.count m_yes ];
-    ]
+  let no_job, get_no = Shard.cell ~label:"paravirt unhinted" ~weight:1000.0 (run ~hint:false) in
+  let yes_job, get_yes = Shard.cell ~label:"paravirt hinted" ~weight:1000.0 (run ~hint:true) in
+  let reduce () =
+    let i_no, m_no = get_no () in
+    let i_yes, m_yes = get_yes () in
+    Report.table
+      ~title:
+        "Extension (§7) — paravirtual fracturing hint: flushing 16 pages of a \
+         fractured guest working set"
+      ~header:[ "guest behaviour"; "flush instructions"; "misses on re-touch" ]
+      [
+        [ "16 selective flushes (unhinted)"; string_of_int i_no; Report.count m_no ];
+        [ "1 full flush (hinted)"; string_of_int i_yes; Report.count m_yes ];
+      ]
+  in
+  { Shard.name = "paravirt"; jobs = [ no_job; yes_job ]; reduce }
 
-let ablation_freebsd () =
+let ablation_freebsd_plan () =
   (* §3.3 dismisses FreeBSD's scheme because smp_ipi_mtx admits one
      shootdown machine-wide; under concurrent mutators the serialization
      shows up directly. *)
-  let run ~label opts ~threads =
-    let cfg = Sysbench.default_config ~opts ~threads in
-    let cfg = { cfg with Sysbench.ops_per_thread = (if !quick then 100 else 200) } in
-    let r = Sysbench.run cfg in
-    [ label; string_of_int threads; Printf.sprintf "%.3f" r.Sysbench.throughput ]
-  in
-  let rows =
+  let cells =
     List.concat_map
       (fun threads ->
-        [
-          run ~label:"Linux baseline" (Opts.baseline ~safe:true) ~threads;
-          run ~label:"FreeBSD (smp_ipi_mtx)" (Opts.freebsd ~safe:true) ~threads;
-          run ~label:"Linux + all six" (Opts.all ~safe:true) ~threads;
-        ])
+        List.map
+          (fun (label, opts) ->
+            let cfg = Sysbench.default_config ~opts ~threads in
+            let cfg =
+              { cfg with Sysbench.ops_per_thread = (if !quick then 100 else 200) }
+            in
+            let job, get =
+              Shard.cell
+                ~label:(Printf.sprintf "ablation-E %s t=%d" label threads)
+                ~ops:(fun r -> r.Sysbench.engine_ops)
+                ~weight:
+                  (Figures.sysbench_weight ~threads
+                     ~ops_per_thread:cfg.Sysbench.ops_per_thread)
+                (fun () -> Sysbench.run cfg)
+            in
+            (label, threads, job, get))
+          [
+            ("Linux baseline", Opts.baseline ~safe:true);
+            ("FreeBSD (smp_ipi_mtx)", Opts.freebsd ~safe:true);
+            ("Linux + all six", Opts.all ~safe:true);
+          ])
       [ 2; 8 ]
   in
-  Report.table
-    ~title:
-      "Ablation E — protocol comparison on sysbench (safe mode): FreeBSD's \
-       global shootdown mutex vs Linux's concurrent protocol vs the paper's \
-       optimizations"
-    ~header:[ "protocol"; "threads"; "ops/kcyc" ]
-    rows
+  let reduce () =
+    let rows =
+      List.map
+        (fun (label, threads, _, get) ->
+          [ label; string_of_int threads; Printf.sprintf "%.3f" (get ()).Sysbench.throughput ])
+        cells
+    in
+    Report.table
+      ~title:
+        "Ablation E — protocol comparison on sysbench (safe mode): FreeBSD's \
+         global shootdown mutex vs Linux's concurrent protocol vs the paper's \
+         optimizations"
+      ~header:[ "protocol"; "threads"; "ops/kcyc" ]
+      rows
+  in
+  { Shard.name = "ablation-E"; jobs = List.map (fun (_, _, j, _) -> j) cells; reduce }
 
 let ablation_tasks =
   [
-    ("ablation-A", ablation_single_opt);
-    ("ablation-B", ablation_ipi_latency);
-    ("ablation-C", ablation_batch_slots);
-    ("ablation-D", ablation_full_flush_threshold);
-    ("ablation-E", ablation_freebsd);
-    ("paravirt", ablation_paravirt_fracture);
+    ("ablation-A", ablation_single_opt_plan);
+    ("ablation-B", ablation_ipi_latency_plan);
+    ("ablation-C", ablation_batch_slots_plan);
+    ("ablation-D", ablation_full_flush_threshold_plan);
+    ("ablation-E", ablation_freebsd_plan);
+    ("paravirt", ablation_paravirt_fracture_plan);
   ]
 
 (* ----- Bechamel: wall-clock self-measurement of the harness ----- *)
@@ -544,10 +603,12 @@ let bechamel () =
   let micro_test =
     Test.make ~name:"figs5-8:microbench-cell"
       (Staged.stage (fun () ->
-           ignore
-             (micro_cell
-                ~opts:(Opts.all_general ~safe:true)
-                ~placement:Microbench.Cross_socket ~pte_count:10)))
+           let cfg =
+             Microbench.default_config
+               ~opts:(Opts.all_general ~safe:true)
+               ~placement:Microbench.Cross_socket ~pte_count:10
+           in
+           ignore (Microbench.run { cfg with Microbench.iterations = micro_iters (); warmup = 20 })))
   in
   let cow_test =
     Test.make ~name:"fig9:cow-bench"
@@ -593,80 +654,46 @@ let bechamel () =
       | Some _ | None -> Printf.printf "  %-32s (no estimate)\n" name)
     results
 
-(* ----- driver: named experiments over the domain pool ----- *)
-
-(* Every experiment builds its own machines from fixed seeds, so tasks are
-   independent and safe to run on separate domains. Output is captured per
-   task and printed in task order; the only per-task side channel is the
-   elapsed-time line on stderr. *)
+(* ----- driver: named experiments, sharded over the domain pool ----- *)
 
 let fig_tasks =
   [
-    ("fig5", fun () -> run_micro_figure ~fig:5 ~safe:true ~pte_count:1);
-    ("fig6", fun () -> run_micro_figure ~fig:6 ~safe:true ~pte_count:10);
-    ("fig7", fun () -> run_micro_figure ~fig:7 ~safe:false ~pte_count:1);
-    ("fig8", fun () -> run_micro_figure ~fig:8 ~safe:false ~pte_count:10);
+    ("fig5", micro_figure_plan ~fig:5 ~safe:true ~pte_count:1);
+    ("fig6", micro_figure_plan ~fig:6 ~safe:true ~pte_count:10);
+    ("fig7", micro_figure_plan ~fig:7 ~safe:false ~pte_count:1);
+    ("fig8", micro_figure_plan ~fig:8 ~safe:false ~pte_count:10);
   ]
 
 let all_tasks =
   fig_tasks
   @ [
-      ("table3", table3);
-      ("fig9", fig9);
-      ("fig10", fig10);
-      ("fig11", fig11);
-      ("table2", table2);
-      ("table4", table4);
+      ("table3", table3_plan);
+      ("fig9", fig9_plan);
+      ("fig10", fig10_plan);
+      ("fig11", fig11_plan);
+      ("table2", table2_plan);
+      ("table4", table4_plan);
     ]
   @ ablation_tasks
 
-type measure = {
-  m_name : string;
-  m_wall_s : float;
-  m_engine_ops : int;
-  m_minor_words : float;
-  m_major_words : float;
-  m_promoted_words : float;
-}
-
-(* Run one experiment with its output captured; returns (output, measure). *)
-let measure_task (name, run) =
-  let gc0 = Gc.quick_stat () in
-  let ops0 = Engine.global_ops_total () in
-  let t0 = Unix.gettimeofday () in
-  let out = Report.capture run in
-  let wall = Unix.gettimeofday () -. t0 in
-  let gc1 = Gc.quick_stat () in
-  ( out,
-    {
-      m_name = name;
-      m_wall_s = wall;
-      m_engine_ops = Engine.global_ops_total () - ops0;
-      m_minor_words = gc1.Gc.minor_words -. gc0.Gc.minor_words;
-      m_major_words = gc1.Gc.major_words -. gc0.Gc.major_words;
-      m_promoted_words = gc1.Gc.promoted_words -. gc0.Gc.promoted_words;
-    } )
+(* Plan every requested experiment (sequential: the matrix memo assigns
+   shared cells to their first requester), execute all cells on one shared
+   pool, reduce in order. *)
+let execute ~jobs tasks =
+  let plans = List.map (fun (_, build) -> build ()) tasks in
+  Shard.execute ~progress:!verbose ~jobs plans
 
 let run_tasks ~jobs tasks =
-  let results =
-    Domain_pool.run ~jobs
-      (Array.of_list
-         (List.map
-            (fun task ->
-              fun () ->
-               let out, m = measure_task task in
-               Printf.eprintf "[bench] %-12s %6.2fs\n%!" m.m_name m.m_wall_s;
-               out)
-            tasks))
-  in
-  Array.iter print_string results
+  let outcomes, _gc = execute ~jobs tasks in
+  List.iter
+    (fun o ->
+      let m = o.Shard.out_measure in
+      Printf.eprintf "[bench] %-12s %7.2fs cpu  %4d run(s)  slowest %5.2fs\n%!"
+        o.Shard.out_name m.Shard.wall_s m.Shard.runs m.Shard.max_wall_s;
+      print_string o.Shard.output)
+    outcomes
 
 (* ----- perf: wall-clock harness, BENCH_PERF.json ----- *)
-
-(* Engine ops are a process-wide counter, so perf runs sequentially: each
-   delta then belongs to exactly one experiment. Tables are captured and
-   discarded — the normal modes cover their content; this mode measures the
-   harness itself. *)
 
 let json_escape s =
   let buf = Buffer.create (String.length s) in
@@ -680,41 +707,75 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let perf () =
-  let measures =
-    List.map
-      (fun task ->
-        let _out, m = measure_task task in
-        Printf.printf "  %-12s %7.2fs  %11s engine-ops  %8s ops/s\n%!" m.m_name m.m_wall_s
-          (Report.count m.m_engine_ops)
-          (Report.cycles (float_of_int m.m_engine_ops /. Float.max 1e-9 m.m_wall_s));
-        m)
-      all_tasks
+let perf ~jobs () =
+  let t0 = Unix.gettimeofday () in
+  let outcomes, pool_gc = execute ~jobs all_tasks in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let measures = List.map (fun o -> (o.Shard.out_name, o.Shard.out_measure)) outcomes in
+  List.iter
+    (fun (name, m) ->
+      let ops_s =
+        match m.Shard.engine_ops with
+        | None -> "n/a"
+        | Some ops -> Report.count ops
+      in
+      let rate =
+        match m.Shard.engine_ops with
+        | None -> "n/a"
+        | Some ops -> Report.cycles (float_of_int ops /. Float.max 1e-9 m.Shard.wall_s)
+      in
+      Printf.printf "  %-12s %7.2fs  %11s engine-ops  %8s ops/s  %4d run(s)\n%!" name
+        m.Shard.wall_s ops_s rate m.Shard.runs)
+    measures;
+  let total_wall = List.fold_left (fun acc (_, m) -> acc +. m.Shard.wall_s) 0.0 measures in
+  let total_ops =
+    List.fold_left
+      (fun acc (_, m) -> acc + Option.value m.Shard.engine_ops ~default:0)
+      0 measures
   in
-  let total_wall = List.fold_left (fun acc m -> acc +. m.m_wall_s) 0.0 measures in
-  let total_ops = List.fold_left (fun acc m -> acc + m.m_engine_ops) 0 measures in
+  (* Process-lifetime GC totals: after the pool's domains are joined their
+     counters have folded into this domain's, so a plain quick_stat here
+     sums every domain — the cross-domain aggregate perf mode reports. *)
   let gc = Gc.quick_stat () in
   let oc = open_out "BENCH_PERF.json" in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
-  out "  \"schema\": 1,\n";
+  out "  \"schema\": 2,\n";
   out "  \"mode\": \"%s\",\n" (if !quick then "quick" else "full");
+  out "  \"jobs\": %d,\n" jobs;
   out "  \"experiments\": [\n";
+  let n_rows = List.length measures in
   List.iteri
-    (fun i m ->
+    (fun i (name, m) ->
+      let ops_json =
+        match m.Shard.engine_ops with None -> "null" | Some ops -> string_of_int ops
+      in
+      let rate_json =
+        match m.Shard.engine_ops with
+        | None -> "null"
+        | Some ops ->
+            Printf.sprintf "%.0f" (float_of_int ops /. Float.max 1e-9 m.Shard.wall_s)
+      in
       out
-        "    {\"name\": \"%s\", \"wall_s\": %.4f, \"engine_ops\": %d, \
-         \"engine_ops_per_s\": %.0f, \"minor_words\": %.0f, \"major_words\": %.0f, \
-         \"promoted_words\": %.0f}%s\n"
-        (json_escape m.m_name) m.m_wall_s m.m_engine_ops
-        (float_of_int m.m_engine_ops /. Float.max 1e-9 m.m_wall_s)
-        m.m_minor_words m.m_major_words m.m_promoted_words
-        (if i = List.length measures - 1 then "" else ","))
+        "    {\"name\": \"%s\", \"wall_s\": %.4f, \"max_run_wall_s\": %.4f, \"runs\": \
+         %d, \"engine_ops\": %s, \"engine_ops_per_s\": %s, \"minor_words\": %.0f, \
+         \"major_words\": %.0f, \"promoted_words\": %.0f}%s\n"
+        (json_escape name) m.Shard.wall_s m.Shard.max_wall_s m.Shard.runs ops_json
+        rate_json m.Shard.minor_words m.Shard.major_words m.Shard.promoted_words
+        (if i = n_rows - 1 then "" else ","))
     measures;
   out "  ],\n";
-  out "  \"total\": {\"wall_s\": %.4f, \"engine_ops\": %d, \"engine_ops_per_s\": %.0f},\n"
-    total_wall total_ops
+  out
+    "  \"total\": {\"wall_s\": %.4f, \"elapsed_s\": %.4f, \"engine_ops\": %d, \
+     \"engine_ops_per_s\": %.0f},\n"
+    total_wall elapsed total_ops
     (float_of_int total_ops /. Float.max 1e-9 total_wall);
+  out
+    "  \"pool_gc\": {\"minor_words\": %.0f, \"major_words\": %.0f, \"promoted_words\": \
+     %.0f, \"minor_collections\": %d, \"major_collections\": %d},\n"
+    pool_gc.Domain_pool.pool_minor_words pool_gc.Domain_pool.pool_major_words
+    pool_gc.Domain_pool.pool_promoted_words pool_gc.Domain_pool.pool_minor_collections
+    pool_gc.Domain_pool.pool_major_collections;
   out
     "  \"gc\": {\"minor_collections\": %d, \"major_collections\": %d, \"heap_words\": \
      %d, \"minor_words\": %.0f, \"major_words\": %.0f}\n"
@@ -722,13 +783,14 @@ let perf () =
     gc.Gc.major_words;
   out "}\n";
   close_out oc;
-  Printf.printf "total %.2fs over %d experiments; wrote BENCH_PERF.json\n" total_wall
-    (List.length measures)
+  Printf.printf "total %.2fs cpu (%.2fs elapsed at -j %d) over %d experiments; wrote \
+                 BENCH_PERF.json\n"
+    total_wall elapsed jobs (List.length measures)
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [quick] [-j N] [fig5..fig11 | figs5-8 | table2 | table3 | table4 \
-     | ablation | all | perf | bechamel]\n";
+    "usage: main.exe [quick] [-v] [-j N] [fig5..fig11 | figs5-8 | table2 | table3 | \
+     table4 | ablation | all | perf | bechamel]\n";
   exit 2
 
 let () =
@@ -737,6 +799,9 @@ let () =
     | [] -> List.rev acc
     | ("quick" | "--quick") :: rest ->
         quick := true;
+        parse acc rest
+    | ("-v" | "--verbose") :: rest ->
+        verbose := true;
         parse acc rest
     | ("-j" | "--jobs") :: n :: rest when int_of_string_opt n <> None ->
         jobs := int_of_string n;
@@ -754,6 +819,9 @@ let () =
   in
   let cmds = parse [] (List.tl (Array.to_list Sys.argv)) in
   let jobs = if !jobs <= 0 then Domain_pool.default_jobs () else !jobs in
+  (* The main domain gets the same allocation-storm GC relief as the pool's
+     workers; tuning affects wall-clock only, never simulated results. *)
+  Domain_pool.tune_current_domain ();
   let group = function
     | "figs5-8" -> Some fig_tasks
     | ("fig5" | "fig6" | "fig7" | "fig8" | "table3" | "fig9" | "fig10" | "fig11"
@@ -773,7 +841,7 @@ let () =
           | None -> (
               match cmd with
               | "bechamel" -> bechamel ()
-              | "perf" -> perf ()
+              | "perf" -> perf ~jobs ()
               | other ->
                   Printf.eprintf "unknown experiment %S\n" other;
                   usage ()))

@@ -1,0 +1,154 @@
+(* Perf regression gate over BENCH_PERF.json (schema 2).
+
+     perf_gate.exe BASELINE.json CURRENT.json [--threshold 0.25]
+
+   Raw engine_ops_per_s is hardware-dependent — CI runners differ run to
+   run — so the gate compares each experiment's NORMALIZED throughput: its
+   ops/s divided by the whole run's ops/s. That ratio cancels machine
+   speed; it only moves when one experiment slows down (or speeds up)
+   relative to the rest of the bench, which is exactly the signature of a
+   hot-path regression localized to one workload. An experiment fails the
+   gate when its normalized throughput falls more than the threshold below
+   the committed baseline's.
+
+   Trivial experiments (engine_ops below [min_ops], or null — table2,
+   table4, paravirt drive no engine) are reported but never gated: their
+   wall times are noise-dominated.
+
+   The parser is a minimal scanner for the schema this repo's own perf
+   mode emits — not a general JSON reader, and deliberately so: it keeps
+   the gate dependency-free. *)
+
+let min_ops = 100_000
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Scan [s] for ["key": value] and return the raw value text (up to [,}]).
+   Searches from [from]; returns the value and the position after it. *)
+let raw_field s ~from key =
+  let pat = Printf.sprintf "\"%s\":" key in
+  let plen = String.length pat in
+  let slen = String.length s in
+  let rec find i =
+    if i + plen > slen then None
+    else if String.sub s i plen = pat then Some (i + plen)
+    else find (i + 1)
+  in
+  match find from with
+  | None -> None
+  | Some v0 ->
+      let v0 = ref v0 in
+      while !v0 < slen && (s.[!v0] = ' ' || s.[!v0] = '\n') do
+        incr v0
+      done;
+      let v1 = ref !v0 in
+      (if !v1 < slen && s.[!v1] = '"' then begin
+         incr v1;
+         while !v1 < slen && s.[!v1] <> '"' do
+           incr v1
+         done;
+         incr v1
+       end
+       else
+         while
+           !v1 < slen && (match s.[!v1] with ',' | '}' | ']' | '\n' -> false | _ -> true)
+         do
+           incr v1
+         done);
+      Some (String.trim (String.sub s !v0 (!v1 - !v0)), !v1)
+
+let unquote v =
+  if String.length v >= 2 && v.[0] = '"' then String.sub v 1 (String.length v - 2) else v
+
+type row = { name : string; wall_s : float; engine_ops : int option }
+
+(* Experiment rows, in file order: each starts at a ["name":] key inside the
+   "experiments" array (total/gc blocks carry no "name"). *)
+let rows_of_file path =
+  let s = read_file path in
+  let rec collect from acc =
+    match raw_field s ~from "name" with
+    | None -> List.rev acc
+    | Some (name, p1) -> (
+        match (raw_field s ~from:p1 "wall_s", raw_field s ~from:p1 "engine_ops") with
+        | Some (wall, _), Some (ops, p2) ->
+            let row =
+              {
+                name = unquote name;
+                wall_s = float_of_string wall;
+                engine_ops = (if ops = "null" then None else Some (int_of_string ops));
+              }
+            in
+            collect p2 (row :: acc)
+        | _ ->
+            Printf.eprintf "perf_gate: malformed row %s in %s\n" name path;
+            exit 2)
+  in
+  collect 0 []
+
+let total_rate rows =
+  let ops, wall =
+    List.fold_left
+      (fun (ops, wall) r ->
+        match r.engine_ops with
+        | Some o when o >= min_ops -> (ops + o, wall +. r.wall_s)
+        | _ -> (ops, wall))
+      (0, 0.0) rows
+  in
+  float_of_int ops /. Float.max 1e-9 wall
+
+let () =
+  let threshold = ref 0.25 in
+  let files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--threshold" :: t :: rest ->
+        threshold := float_of_string t;
+        parse rest
+    | f :: rest ->
+        files := f :: !files;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let baseline_path, current_path =
+    match List.rev !files with
+    | [ b; c ] -> (b, c)
+    | _ ->
+        prerr_endline "usage: perf_gate.exe BASELINE.json CURRENT.json [--threshold 0.25]";
+        exit 2
+  in
+  let baseline = rows_of_file baseline_path in
+  let current = rows_of_file current_path in
+  let base_total = total_rate baseline and cur_total = total_rate current in
+  let failed = ref 0 in
+  List.iter
+    (fun b ->
+      match List.find_opt (fun c -> c.name = b.name) current with
+      | None ->
+          Printf.printf "FAIL %-12s missing from current run\n" b.name;
+          incr failed
+      | Some c -> (
+          match (b.engine_ops, c.engine_ops) with
+          | Some bo, Some co when bo >= min_ops && co >= min_ops ->
+              (* share of the run's aggregate throughput: machine-speed-free *)
+              let b_norm = float_of_int bo /. Float.max 1e-9 b.wall_s /. base_total in
+              let c_norm = float_of_int co /. Float.max 1e-9 c.wall_s /. cur_total in
+              let rel = c_norm /. Float.max 1e-9 b_norm in
+              if rel < 1.0 -. !threshold then begin
+                Printf.printf "FAIL %-12s normalized ops/s %.2fx of baseline (limit %.2fx)\n"
+                  b.name rel (1.0 -. !threshold);
+                incr failed
+              end
+              else Printf.printf "ok   %-12s normalized ops/s %.2fx of baseline\n" b.name rel
+          | _ -> Printf.printf "skip %-12s trivial or no engine ops (not gated)\n" b.name))
+    baseline;
+  if !failed > 0 then begin
+    Printf.printf "%d experiment(s) regressed more than %.0f%%\n" !failed (!threshold *. 100.0);
+    exit 1
+  end;
+  print_endline "perf gate passed"

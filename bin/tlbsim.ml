@@ -248,6 +248,13 @@ let analyze_cmd =
   let rounds_t =
     Arg.(value & opt int 40 & info [ "rounds" ] ~doc:"madvise rounds in the traced scenario.")
   in
+  let jobs_t =
+    let doc =
+      "Domains for the $(b,--explore) sweep (one scenario per task; 0 = ask the \
+       runtime). Output is identical at every job count."
+    in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~doc)
+  in
   let general_flags =
     [
       ("concurrent", fun o v -> o.Opts.concurrent_flush <- v);
@@ -256,31 +263,42 @@ let analyze_cmd =
       ("in-context", fun o v -> o.Opts.in_context_flush <- v);
     ]
   in
-  let run safe spec inject_bug explore rounds seed =
+  let run safe spec inject_bug explore rounds seed jobs =
     let opts = make_opts ~safe spec in
     let opts = if spec = `None && not explore then Opts.all_general ~safe else opts in
     if inject_bug then opts.Opts.bug_skip_deferred_flush <- true;
     if explore then begin
       (* Sweep every subset of the four general optimizations on the
-         exhaustively-explorable 2-CPU scenario. *)
+         exhaustively-explorable 2-CPU scenario; each subset's exploration
+         is one pool task, reported in mask order whatever the schedule. *)
       let nflags = List.length general_flags in
+      let combos =
+        List.init (1 lsl nflags) (fun mask ->
+            let o = Opts.copy opts in
+            List.iteri (fun i (_, set) -> set o (mask land (1 lsl i) <> 0)) general_flags;
+            let label =
+              if mask = 0 then "baseline"
+              else
+                String.concat ","
+                  (List.filteri
+                     (fun i _ -> mask land (1 lsl i) <> 0)
+                     (List.map fst general_flags))
+            in
+            (label, o))
+      in
+      let jobs = if jobs <= 0 then Domain_pool.default_jobs () else jobs in
+      let results =
+        Explorer.explore_set ~jobs
+          (List.map
+             (fun (_, o) () -> Scenarios.shootdown_2cpu ~opts:o ~seed:(Int64.of_int seed) ())
+             combos)
+      in
       let worst = ref 0 in
-      for mask = 0 to (1 lsl nflags) - 1 do
-        let o = Opts.copy opts in
-        List.iteri (fun i (_, set) -> set o (mask land (1 lsl i) <> 0)) general_flags;
-        let label =
-          if mask = 0 then "baseline"
-          else
-            String.concat ","
-              (List.filteri (fun i _ -> mask land (1 lsl i) <> 0) (List.map fst general_flags))
-        in
-        let r =
-          Explorer.explore (fun () ->
-              Scenarios.shootdown_2cpu ~opts:o ~seed:(Int64.of_int seed) ())
-        in
-        Format.printf "[%-42s] %a" label Explorer.pp_result r;
-        worst := Stdlib.max !worst (List.length r.Explorer.failures)
-      done;
+      List.iter2
+        (fun (label, _) r ->
+          Format.printf "[%-42s] %a" label Explorer.pp_result r;
+          worst := Stdlib.max !worst (List.length r.Explorer.failures))
+        combos results;
       if !worst > 0 then exit 1
     end
     else begin
@@ -299,7 +317,7 @@ let analyze_cmd =
        ~doc:
          "Happens-before race analysis of a shootdown trace; with $(b,--explore), \
           systematic interleaving exploration.")
-    Term.(const run $ safe_t $ opts_t $ inject_bug_t $ explore_t $ rounds_t $ seed_t)
+    Term.(const run $ safe_t $ opts_t $ inject_bug_t $ explore_t $ rounds_t $ seed_t $ jobs_t)
 
 let () =
   let info =

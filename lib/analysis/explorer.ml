@@ -166,6 +166,16 @@ let explore ?(config = default_config) build =
     genuine = !genuine;
   }
 
+(* Each scenario's exploration is an independent pure function of its
+   builder (fresh machine per run, replay instead of shared state), so a
+   sweep over scenarios shards perfectly: one pool task per scenario,
+   results slotted in input order. Explorations are similarly sized, so
+   plain in-order claiming beats weighted LPT here. *)
+let explore_set ?(config = default_config) ~jobs builds =
+  Array.to_list
+    (Domain_pool.run ~jobs
+       (Array.of_list (List.map (fun build () -> explore ~config build) builds)))
+
 let pp_result fmt r =
   Format.fprintf fmt
     "%d run(s), %d decision point(s) deep, %d stale hit(s) (%d proved in-flight, %d \

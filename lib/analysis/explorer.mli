@@ -45,4 +45,12 @@ type result = {
     (fresh machine per run, processes spawned, engine not yet run). *)
 val explore : ?config:config -> (unit -> Machine.t) -> result
 
+(** [explore_set ?config ~jobs builds] explores each scenario in [builds]
+    as an independent task on a [jobs]-domain pool ({!Sim.Domain_pool}).
+    Results come back in the order of [builds] regardless of schedule, and
+    each exploration is single-domain internally, so the output is
+    identical to mapping {!explore} sequentially. Use for sweeps (e.g. the
+    64-combo flag sweep of [tlbsim analyze --explore]). *)
+val explore_set : ?config:config -> jobs:int -> (unit -> Machine.t) list -> result list
+
 val pp_result : Format.formatter -> result -> unit

@@ -96,6 +96,7 @@ let charge_read t line ~by = delay t (Cache.read line ~by)
 let charge_write t line ~by = delay t (Cache.write line ~by)
 let charge_atomic t line ~by = delay t (Cache.atomic line ~by)
 let run t = Engine.run t.engine
+let engine_ops t = Engine.ops t.engine
 
 let next_ipi_seq t =
   t.next_ipi_seq <- t.next_ipi_seq + 1;

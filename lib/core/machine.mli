@@ -69,6 +69,11 @@ val charge_atomic : t -> Cache.line -> by:int -> unit
 (** Run the engine until idle. *)
 val run : t -> unit
 
+(** Engine operations (events + fast-path advances) this machine has
+    executed so far. Workload results carry this so harnesses can
+    attribute simulation work per run and aggregate at reduce time. *)
+val engine_ops : t -> int
+
 (** Fresh machine-wide IPI sequence number (stamped on each CFD so trace
     events can pair sends with acks). *)
 val next_ipi_seq : t -> int

@@ -41,7 +41,6 @@ type t = {
   mutable seq : int;
   mutable events_run : int;
   mutable advances : int; (* fast-path clock advances (skipped suspends) *)
-  mutable flushed_ops : int; (* ops already folded into [global_ops] *)
   mutable data : event array; (* binary min-heap on [key], far/chooser events *)
   mutable size : int; (* heap population *)
   ring : event array; (* slot heads, [nil] = empty *)
@@ -64,7 +63,6 @@ let create () =
     seq = 0;
     events_run = 0;
     advances = 0;
-    flushed_ops = 0;
     data = [||];
     size = 0;
     ring = Array.make ring_size nil;
@@ -79,6 +77,15 @@ let create () =
 let now t = t.now
 let events_run t = t.events_run
 let advances t = t.advances
+
+(* Engine operations are a per-engine quantity: every engine belongs to
+   exactly one simulation run, so a harness that wants "ops spent in this
+   run" reads the run's own engine(s) and aggregation across runs (and
+   domains) is plain addition at reduce time. There is deliberately no
+   process-wide counter: a global meter both serializes perf attribution
+   (deltas only mean something when one experiment runs at a time) and
+   reports 0 for experiments that reuse memoized results. *)
+let ops t = t.events_run + t.advances
 let pending t = t.size + t.ring_count
 let current_name t = t.cur_name
 let set_current_name t name = t.cur_name <- name
@@ -325,18 +332,6 @@ let step t =
       ev.run ();
       true
 
-(* Lifetime engine-operation counter across every engine (and every domain):
-   the perf harness divides it by wall-clock for an events/sec figure. Only
-   touched when a run finishes, never per event. *)
-let global_ops = Atomic.make 0
-
-let flush_ops t =
-  let ops = t.events_run + t.advances in
-  ignore (Atomic.fetch_and_add global_ops (ops - t.flushed_ops) : int);
-  t.flushed_ops <- ops
-
-let global_ops_total () = Atomic.get global_ops
-
 (* The chooser-free branch drains the queues without going through
    [step]/[pop]: those box every event in [Some], which at ~500 events per
    simulated shootdown is a measurable share of minor-GC pressure. The
@@ -364,13 +359,11 @@ let run t =
           t.events_run <- t.events_run + 1;
           ev.run ()
         end
-  done;
-  flush_ops t
+  done
 
 let run_until t ~time =
   let continue = ref true in
   while !continue do
     if peek_time t > time then continue := false else ignore (step t)
   done;
-  if t.now < time && t.ring_count = 0 && t.size = 0 then t.now <- time;
-  flush_ops t
+  if t.now < time && t.ring_count = 0 && t.size = 0 then t.now <- time

@@ -22,6 +22,14 @@ val events_run : t -> int
 (** Number of suspend-free clock advances (the [try_advance] fast path). *)
 val advances : t -> int
 
+(** Engine operations so far: [events_run + advances]. Per-engine by
+    design — each simulation run owns its engine, so a harness attributes
+    ops to a run by reading this after the run and sums across runs at
+    reduce time. There is no process-wide counter: a global meter would
+    force perf attribution to run one experiment at a time and would
+    report 0 for experiments that reuse memoized results. *)
+val ops : t -> int
+
 (** [schedule t ~delay f] runs [f] at [now t + delay]. [delay] must be
     non-negative. *)
 val schedule : t -> delay:int -> (unit -> unit) -> unit
@@ -71,9 +79,3 @@ val set_current_name : t -> string -> unit
 val set_chooser : t -> ?horizon:int -> (int -> int) -> unit
 
 val clear_chooser : t -> unit
-
-(** Process-wide count of engine operations (events run + fast-path
-    advances) across every engine and domain, folded in when each engine's
-    [run]/[run_until] returns. The perf harness divides deltas of this by
-    wall-clock time. *)
-val global_ops_total : unit -> int

@@ -19,7 +19,13 @@ let default_config ~opts ~cores =
     seed = 31L;
   }
 
-type result = { requests_done : int; cycles : int; throughput : float; shootdowns : int }
+type result = {
+  requests_done : int;
+  cycles : int;
+  throughput : float;
+  shootdowns : int;
+  engine_ops : int;
+}
 
 let run config =
   if config.cores <= 0 then invalid_arg "Apache: cores must be positive";
@@ -79,4 +85,5 @@ let run config =
       (if cycles = 0 then 0.0
        else float_of_int !done_count *. 1_000_000.0 /. float_of_int cycles);
     shootdowns = m.Machine.stats.Machine.shootdowns;
+    engine_ops = Machine.engine_ops m;
   }

@@ -24,6 +24,7 @@ type result = {
   cycles : int;
   throughput : float;  (** requests per megacycle *)
   shootdowns : int;
+  engine_ops : int;  (** engine events + advances spent by this run *)
 }
 
 val run : config -> result

@@ -7,6 +7,7 @@ type result = {
   write_sd : float;
   cow_breaks : int;
   flushes_avoided : int;
+  engine_ops : int;
 }
 
 let run config =
@@ -45,4 +46,5 @@ let run config =
     write_sd = Stats.stddev stats;
     cow_breaks = m.Machine.stats.Machine.cow_breaks;
     flushes_avoided = m.Machine.stats.Machine.cow_flush_avoided;
+    engine_ops = Machine.engine_ops m;
   }

@@ -19,6 +19,7 @@ type result = {
   write_sd : float;
   cow_breaks : int;
   flushes_avoided : int;
+  engine_ops : int;  (** engine events + advances spent by this run *)
 }
 
 val run : config -> result

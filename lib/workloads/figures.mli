@@ -1,0 +1,45 @@
+(** {!Shard} plans for the paper's multi-run experiments.
+
+    Builders flatten an experiment's (config, seed) matrix into cells at
+    plan time and return a reduce that reassembles the published tables
+    from the cell slots. Every cell copies its opts and bakes its seed
+    into the config, so per-run RNG streams derive from the run's own seed
+    and never from mutable state shared across cells. *)
+
+(** Per-run cost estimates in engine-op units (drive LPT ordering). *)
+val micro_weight : iterations:int -> pte_count:int -> float
+
+val sysbench_weight : threads:int -> ops_per_thread:int -> float
+val apache_weight : cores:int -> requests:int -> float
+
+type micro_matrix = (Microbench.placement * (string * Microbench.result) list) list
+
+(** Cells for one Figures-5–8 matrix (all placements × cumulative stacks at
+    one (safe, pte_count)); the getter rebuilds the matrix shape the table
+    printers consume. The caller attaches the jobs to whichever plan owns
+    the matrix (figs 5–8 normally; table 3 when it runs alone). *)
+val micro_matrix_cells :
+  iterations:int ->
+  warmup:int ->
+  safe:bool ->
+  pte_count:int ->
+  Shard.job list * (unit -> micro_matrix)
+
+type fig10_scale = {
+  sys_threads : int list;
+  sys_seeds : int64 list;  (** the paper averages several runs per point *)
+  sys_ops_per_thread : int;
+  sys_file_pages : int;
+}
+
+(** The bench harness's full/quick parameters. *)
+val fig10_scale : quick:bool -> fig10_scale
+
+(** Figure 10 as a plan: 2 modes × threads × (baseline + stacks) × seeds
+    sim-run cells, reduced to the two published speedup tables. *)
+val fig10_plan : fig10_scale -> Shard.plan
+
+type fig11_scale = { ap_cores : int list; ap_seeds : int64 list; ap_requests : int }
+
+val fig11_scale : quick:bool -> fig11_scale
+val fig11_plan : fig11_scale -> Shard.plan

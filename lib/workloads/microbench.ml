@@ -27,6 +27,7 @@ type result = {
   responder_mean : float;
   responder_sd : float;
   shootdowns : int;
+  engine_ops : int;
 }
 
 let placement_label = function
@@ -106,4 +107,5 @@ let run config =
     responder_mean;
     responder_sd = 0.0;
     shootdowns = !measured_shootdowns;
+    engine_ops = Machine.engine_ops m;
   }

@@ -27,6 +27,7 @@ type result = {
   responder_mean : float;  (** responder interruption cycles per shootdown *)
   responder_sd : float;  (** 0 (aggregate accounting); kept for symmetry *)
   shootdowns : int;
+  engine_ops : int;  (** engine events + advances spent by this run *)
 }
 
 val run : config -> result

@@ -17,6 +17,7 @@ type result = {
   shootdowns : int;
   full_flush_fallbacks : int;
   batched_deferrals : int;
+  engine_ops : int;
 }
 
 let node_cpus topo n =
@@ -91,4 +92,5 @@ let run config =
     shootdowns = m.Machine.stats.Machine.shootdowns;
     full_flush_fallbacks = m.Machine.stats.Machine.full_flush_fallbacks;
     batched_deferrals = m.Machine.stats.Machine.batched_deferrals;
+    engine_ops = Machine.engine_ops m;
   }

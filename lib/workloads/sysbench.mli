@@ -26,6 +26,7 @@ type result = {
   shootdowns : int;
   full_flush_fallbacks : int;
   batched_deferrals : int;
+  engine_ops : int;  (** engine events + advances spent by this run *)
 }
 
 val run : config -> result

@@ -218,29 +218,38 @@ let general_setters =
    invariant holds and the analyzer proves every stale hit in-flight. *)
 let test_explore_all_flag_combos () =
   let n = List.length general_setters in
+  let masks = List.init (1 lsl n) Fun.id in
+  (* The 64 combos shard across domains via explore_set; results come back
+     in mask order, so the assertions below see exactly the sequential
+     sweep's view. *)
+  let results =
+    Explorer.explore_set ~config:quick_config ~jobs:2
+      (List.map
+         (fun mask ->
+           let opts = Opts.baseline ~safe:true in
+           List.iteri (fun i set -> set opts (mask land (1 lsl i) <> 0)) general_setters;
+           fun () -> Scenarios.shootdown_2cpu ~opts ())
+         masks)
+  in
   let total_hits = ref 0 and total_proved = ref 0 and total_runs = ref 0 in
-  for mask = 0 to (1 lsl n) - 1 do
-    let opts = Opts.baseline ~safe:true in
-    List.iteri (fun i set -> set opts (mask land (1 lsl i) <> 0)) general_setters;
-    let r =
-      Explorer.explore ~config:quick_config (fun () -> Scenarios.shootdown_2cpu ~opts ())
-    in
-    let label = Printf.sprintf "mask %d" mask in
-    if r.Explorer.failures <> [] then
-      Alcotest.failf "%s: %s" label
-        (String.concat "; "
-           (List.map (fun f -> f.Explorer.fail_what) r.Explorer.failures));
-    check int_t (label ^ ": no genuine race") 0 r.Explorer.genuine;
-    (* §4.2 batching combos may leave unordered-latent hits: a batched CPU
-       is skipped by IPI targeting and synchronizes at the mmap_sem-release
-       barrier, which contributes no happens-before edge — the checker's
-       wall-clock window excuses those hits, the vector clocks cannot. *)
-    if not (mask land 32 <> 0) then
-      check int_t (label ^ ": no unordered hit") 0 r.Explorer.unordered_latent;
-    total_hits := !total_hits + r.Explorer.stale_hits;
-    total_proved := !total_proved + r.Explorer.proved_in_flight + r.Explorer.unordered_latent;
-    total_runs := !total_runs + r.Explorer.runs
-  done;
+  List.iter2
+    (fun mask r ->
+      let label = Printf.sprintf "mask %d" mask in
+      if r.Explorer.failures <> [] then
+        Alcotest.failf "%s: %s" label
+          (String.concat "; "
+             (List.map (fun f -> f.Explorer.fail_what) r.Explorer.failures));
+      check int_t (label ^ ": no genuine race") 0 r.Explorer.genuine;
+      (* §4.2 batching combos may leave unordered-latent hits: a batched CPU
+         is skipped by IPI targeting and synchronizes at the mmap_sem-release
+         barrier, which contributes no happens-before edge — the checker's
+         wall-clock window excuses those hits, the vector clocks cannot. *)
+      if not (mask land 32 <> 0) then
+        check int_t (label ^ ": no unordered hit") 0 r.Explorer.unordered_latent;
+      total_hits := !total_hits + r.Explorer.stale_hits;
+      total_proved := !total_proved + r.Explorer.proved_in_flight + r.Explorer.unordered_latent;
+      total_runs := !total_runs + r.Explorer.runs)
+    masks results;
   check bool_t "explored many runs" true (!total_runs >= 64);
   check bool_t "races exercised" true (!total_hits > 0);
   check int_t "every hit proved or latent, none genuine" !total_hits !total_proved

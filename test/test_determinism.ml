@@ -45,10 +45,78 @@ let test_parallel_matches_sequential () =
   let par = Domain_pool.run ~jobs:2 tasks in
   check Alcotest.(array pairf) "-j 2 = -j 1" seq par
 
+(* LPT ordering and chunked claiming are schedule details: whatever order
+   workers claim tasks in, slot i must still hold task i's value. *)
+let test_weighted_chunked_pool_slot_order () =
+  let n = 37 in
+  let tasks = Array.init n (fun i () -> (i * 7) mod 13) in
+  let expected = Array.init n (fun i -> (i * 7) mod 13) in
+  let weights = Array.init n (fun i -> float_of_int ((i * 31) mod 17)) in
+  check
+    Alcotest.(array int)
+    "weighted, chunk=4, -j4" expected
+    (Domain_pool.run ~jobs:4 ~weights ~chunk:4 tasks);
+  check
+    Alcotest.(array int)
+    "weighted, -j1 inline" expected
+    (Domain_pool.run ~jobs:1 ~weights tasks)
+
+(* The tentpole property: sharded fig10/fig11 plans reduce to byte-identical
+   table output at every -j. Mini scales keep the test quick while still
+   putting several (config, seed) cells in flight per table row. *)
+let fig10_mini =
+  {
+    Figures.sys_threads = [ 1; 2 ];
+    sys_seeds = [ 23L; 137L ];
+    sys_ops_per_thread = 40;
+    sys_file_pages = 128;
+  }
+
+let fig11_mini = { Figures.ap_cores = [ 1; 2 ]; ap_seeds = [ 31L ]; ap_requests = 40 }
+
+let sharded_output ~jobs =
+  let outcomes, _gc =
+    Shard.execute ~jobs [ Figures.fig10_plan fig10_mini; Figures.fig11_plan fig11_mini ]
+  in
+  String.concat "" (List.map (fun o -> o.Shard.output) outcomes)
+
+let test_sharded_figures_identical_across_jobs () =
+  let j1 = sharded_output ~jobs:1 in
+  check Alcotest.bool "plans produced tables" true (String.length j1 > 0);
+  check Alcotest.string "-j2 byte-identical to -j1" j1 (sharded_output ~jobs:2);
+  check Alcotest.string "-j4 byte-identical to -j1" j1 (sharded_output ~jobs:4)
+
+(* Per-run RNG isolation: a run's stream derives from its own config seed,
+   never from state shared across cells. Two identical-config cells must
+   agree even when cells with different seeds execute between and around
+   them on other domains. *)
+let test_per_run_rng_isolation () =
+  let sys ~seed () =
+    let cfg = Sysbench.default_config ~opts:(Opts.all ~safe:true) ~threads:2 in
+    let r =
+      Sysbench.run { cfg with Sysbench.ops_per_thread = 40; file_pages = 128; seed }
+    in
+    (r.Sysbench.throughput, float_of_int r.Sysbench.shootdowns)
+  in
+  let solo = sys ~seed:23L () in
+  let interleaved =
+    Domain_pool.run ~jobs:4
+      [| sys ~seed:23L; sys ~seed:911L; sys ~seed:23L; sys ~seed:1013L; sys ~seed:23L |]
+  in
+  check pairf "slot 0 = solo" solo interleaved.(0);
+  check pairf "slot 2 = solo" solo interleaved.(2);
+  check pairf "slot 4 = solo" solo interleaved.(4);
+  check Alcotest.bool "different seed differs" true (interleaved.(1) <> solo)
+
 let suite =
   [
     Alcotest.test_case "microbench repeatable" `Quick test_microbench_repeatable;
     Alcotest.test_case "sysbench repeatable" `Quick test_sysbench_repeatable;
     Alcotest.test_case "domain pool: result order" `Quick test_domain_pool_preserves_order;
     Alcotest.test_case "domain pool: -j2 = -j1" `Quick test_parallel_matches_sequential;
+    Alcotest.test_case "domain pool: weighted/chunked slot order" `Quick
+      test_weighted_chunked_pool_slot_order;
+    Alcotest.test_case "sharded fig10/fig11: -j2/-j4 = -j1" `Quick
+      test_sharded_figures_identical_across_jobs;
+    Alcotest.test_case "per-run rng streams isolated" `Quick test_per_run_rng_isolation;
   ]
