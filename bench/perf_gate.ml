@@ -28,20 +28,29 @@ let read_file path =
   close_in ic;
   s
 
-(* Scan [s] for ["key": value] and return the raw value text (up to [,}]).
-   Searches from [from]; returns the value and the position after it. *)
-let raw_field s ~from key =
+(* Position of the first ["key":] at or after [from], [None] past [until]. *)
+let find_key s ~from ?(until = max_int) key =
   let pat = Printf.sprintf "\"%s\":" key in
   let plen = String.length pat in
   let slen = String.length s in
+  let until = min until slen in
   let rec find i =
-    if i + plen > slen then None
-    else if String.sub s i plen = pat then Some (i + plen)
+    if i + plen > slen || i >= until then None
+    else if String.sub s i plen = pat then Some i
     else find (i + 1)
   in
-  match find from with
+  find from
+
+(* Scan [s] for ["key": value] and return the raw value text (up to [,}]).
+   Searches from [from]; a key starting at or past [until] does not count —
+   that bound is what stops a field missing from one row from silently
+   matching the next row's. Returns the value and the position after it. *)
+let raw_field s ~from ?until key =
+  let slen = String.length s in
+  match find_key s ~from ?until key with
   | None -> None
-  | Some v0 ->
+  | Some k0 ->
+      let v0 = k0 + String.length key + 3 in
       let v0 = ref v0 in
       while !v0 < slen && (s.[!v0] = ' ' || s.[!v0] = '\n') do
         incr v0
@@ -65,39 +74,60 @@ let raw_field s ~from key =
 let unquote v =
   if String.length v >= 2 && v.[0] = '"' then String.sub v 1 (String.length v - 2) else v
 
-type row = { name : string; wall_s : float; engine_ops : int option }
+type row = { name : string; wall_s : float option; engine_ops : int option }
 
 (* Experiment rows, in file order: each starts at a ["name":] key inside the
-   "experiments" array (total/gc blocks carry no "name"). *)
+   "experiments" array (total/gc blocks carry no "name"). A row's fields
+   are searched only up to the next ["name":] key, so a missing field reads
+   as [None] instead of picking up the following row's value. Unparseable
+   or null values also read as [None]: such rows are reported and skipped,
+   never gated and never crash the gate. *)
 let rows_of_file path =
   let s = read_file path in
   let rec collect from acc =
     match raw_field s ~from "name" with
     | None -> List.rev acc
-    | Some (name, p1) -> (
-        match (raw_field s ~from:p1 "wall_s", raw_field s ~from:p1 "engine_ops") with
-        | Some (wall, _), Some (ops, p2) ->
-            let row =
-              {
-                name = unquote name;
-                wall_s = float_of_string wall;
-                engine_ops = (if ops = "null" then None else Some (int_of_string ops));
-              }
-            in
-            collect p2 (row :: acc)
-        | _ ->
-            Printf.eprintf "perf_gate: malformed row %s in %s\n" name path;
-            exit 2)
+    | Some (name, p1) ->
+        let bound =
+          match find_key s ~from:p1 "name" with
+          | Some k -> k
+          | None -> String.length s
+        in
+        let field key =
+          match raw_field s ~from:p1 ~until:bound key with
+          | Some (v, _) -> Some v
+          | None -> None
+        in
+        let row =
+          {
+            name = unquote name;
+            wall_s = Option.bind (field "wall_s") float_of_string_opt;
+            engine_ops = Option.bind (field "engine_ops") int_of_string_opt;
+          }
+        in
+        if row.wall_s = None then
+          Printf.eprintf "perf_gate: row %s in %s has no usable wall_s\n" row.name
+            path;
+        collect bound (row :: acc)
   in
   collect 0 []
+
+(* A row enters the aggregate (and is gateable) only with a positive wall
+   time and a non-trivial op count: [engine_ops: null] rows, zero-wall
+   runs and malformed rows all fall out here instead of poisoning the
+   normalization with infinities. *)
+let gateable r =
+  match (r.engine_ops, r.wall_s) with
+  | Some o, Some w -> o >= min_ops && w > 0.0
+  | _ -> false
 
 let total_rate rows =
   let ops, wall =
     List.fold_left
       (fun (ops, wall) r ->
-        match r.engine_ops with
-        | Some o when o >= min_ops -> (ops + o, wall +. r.wall_s)
-        | _ -> (ops, wall))
+        if gateable r then
+          (ops + Option.get r.engine_ops, wall +. Option.get r.wall_s)
+        else (ops, wall))
       (0, 0.0) rows
   in
   float_of_int ops /. Float.max 1e-9 wall
@@ -124,6 +154,10 @@ let () =
   in
   let baseline = rows_of_file baseline_path in
   let current = rows_of_file current_path in
+  if baseline = [] then begin
+    Printf.eprintf "perf_gate: no experiment rows in %s\n" baseline_path;
+    exit 2
+  end;
   let base_total = total_rate baseline and cur_total = total_rate current in
   let failed = ref 0 in
   List.iter
@@ -132,20 +166,22 @@ let () =
       | None ->
           Printf.printf "FAIL %-12s missing from current run\n" b.name;
           incr failed
-      | Some c -> (
-          match (b.engine_ops, c.engine_ops) with
-          | Some bo, Some co when bo >= min_ops && co >= min_ops ->
-              (* share of the run's aggregate throughput: machine-speed-free *)
-              let b_norm = float_of_int bo /. Float.max 1e-9 b.wall_s /. base_total in
-              let c_norm = float_of_int co /. Float.max 1e-9 c.wall_s /. cur_total in
-              let rel = c_norm /. Float.max 1e-9 b_norm in
-              if rel < 1.0 -. !threshold then begin
-                Printf.printf "FAIL %-12s normalized ops/s %.2fx of baseline (limit %.2fx)\n"
-                  b.name rel (1.0 -. !threshold);
-                incr failed
-              end
-              else Printf.printf "ok   %-12s normalized ops/s %.2fx of baseline\n" b.name rel
-          | _ -> Printf.printf "skip %-12s trivial or no engine ops (not gated)\n" b.name))
+      | Some c ->
+          if gateable b && gateable c then begin
+            let bo = Option.get b.engine_ops and co = Option.get c.engine_ops in
+            let bw = Option.get b.wall_s and cw = Option.get c.wall_s in
+            (* share of the run's aggregate throughput: machine-speed-free *)
+            let b_norm = float_of_int bo /. bw /. Float.max 1e-9 base_total in
+            let c_norm = float_of_int co /. cw /. Float.max 1e-9 cur_total in
+            let rel = c_norm /. Float.max 1e-9 b_norm in
+            if rel < 1.0 -. !threshold then begin
+              Printf.printf "FAIL %-12s normalized ops/s %.2fx of baseline (limit %.2fx)\n"
+                b.name rel (1.0 -. !threshold);
+              incr failed
+            end
+            else Printf.printf "ok   %-12s normalized ops/s %.2fx of baseline\n" b.name rel
+          end
+          else Printf.printf "skip %-12s trivial, zero-wall or no engine ops (not gated)\n" b.name)
     baseline;
   if !failed > 0 then begin
     Printf.printf "%d experiment(s) regressed more than %.0f%%\n" !failed (!threshold *. 100.0);

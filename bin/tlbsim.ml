@@ -319,6 +319,82 @@ let analyze_cmd =
           systematic interleaving exploration.")
     Term.(const run $ safe_t $ opts_t $ inject_bug_t $ explore_t $ rounds_t $ seed_t $ jobs_t)
 
+(* --- fuzz --- *)
+
+let fuzz_cmd =
+  let count_t =
+    Arg.(value & opt int 500 & info [ "count" ] ~doc:"Seeded programs to run.")
+  in
+  let seed_base_t =
+    Arg.(value & opt int 0 & info [ "seed-base" ] ~doc:"First seed of the range.")
+  in
+  let seed_one_t =
+    let doc = "Run exactly this seed (use with $(b,--replay) to reproduce a failure)." in
+    Arg.(value & opt (some int) None & info [ "seed" ] ~doc)
+  in
+  let replay_t =
+    let doc = "Replay mode: print the seed's program and every per-op observation." in
+    Arg.(value & flag & info [ "replay" ] ~doc)
+  in
+  let inject_bug_t =
+    let doc =
+      "Inject the drop-deferred-flush protocol bug into the optimized run; the fuzzer \
+       must catch it and shrink to a minimal counterexample."
+    in
+    Arg.(value & flag & info [ "inject-bug" ] ~doc)
+  in
+  let max_ops_t =
+    Arg.(value & opt int 32 & info [ "max-ops" ] ~doc:"Upper bound on random ops per program.")
+  in
+  let no_shrink_t =
+    Arg.(value & flag & info [ "no-shrink" ] ~doc:"Report failures without ddmin shrinking.")
+  in
+  let jobs_t =
+    let doc = "Domains to shard seeds over (0 = ask the runtime)." in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~doc)
+  in
+  let run count seed_base seed_one replay inject_bug max_ops no_shrink jobs =
+    let shrink = not no_shrink in
+    match seed_one with
+    | Some seed ->
+        let program = Fuzz.gen_program ~max_ops ~inject_bug seed in
+        Format.printf "%a@." Fuzz.pp_program program;
+        if replay then begin
+          List.iteri (fun i op -> Format.printf "  op %2d: %a@." i Fuzz.pp_op op) program.Fuzz.p_ops;
+          let opts =
+            Fuzz.opts_of_combo ~safe:program.Fuzz.p_safe ~inject_bug program.Fuzz.p_combo
+          in
+          let r = Fuzz.execute ~opts program in
+          Array.iteri (fun i o -> Format.printf "  obs %2d: %s@." i o) r.Fuzz.xr_obs
+        end;
+        (match Fuzz.check_seed ~max_ops ~inject_bug ~shrink seed with
+        | None ->
+            print_endline "seed passed: optimized run matches the oracle";
+            exit 0
+        | Some f ->
+            Format.printf "%a@." Fuzz.pp_failure f;
+            exit 1)
+    | None ->
+        let jobs = if jobs <= 0 then Domain_pool.default_jobs () else jobs in
+        let report =
+          Fuzz.run_seeds ~seed_base ~count ~jobs ~max_ops ~inject_bug ~shrink ()
+        in
+        List.iter (fun f -> Format.printf "%a@." Fuzz.pp_failure f) report.Fuzz.failures;
+        Printf.printf "fuzz: %d/%d seeds diverged (seeds %d..%d)\n"
+          (List.length report.Fuzz.failures) report.Fuzz.tested seed_base
+          (seed_base + count - 1);
+        if report.Fuzz.failures <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: run random kernel-op programs under the optimized \
+          protocol and under a conservative synchronous-broadcast oracle, diff every \
+          observable, and ddmin-shrink any divergence.")
+    Term.(
+      const run $ count_t $ seed_base_t $ seed_one_t $ replay_t $ inject_bug_t $ max_ops_t
+      $ no_shrink_t $ jobs_t)
+
 let () =
   let info =
     Cmd.info "tlbsim" ~version:"1.0.0"
@@ -338,4 +414,5 @@ let () =
             fracture_cmd;
             trace_cmd;
             analyze_cmd;
+            fuzz_cmd;
           ]))

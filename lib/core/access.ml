@@ -1,5 +1,8 @@
 let max_fault_retries = 8
 
+(* Translate and return the pfn backing [vaddr] — the value the fuzzer
+   diffs between optimized and oracle runs. For a 2M entry the offset
+   within the huge frame is added so the result names the exact 4k frame. *)
 let rec access m ~cpu ~vaddr ~write ~attempt =
   if attempt > max_fault_retries then
     failwith
@@ -43,6 +46,7 @@ let rec access m ~cpu ~vaddr ~write ~attempt =
         Fault.handle m ~cpu ~mm ~vaddr ~write;
         access m ~cpu ~vaddr ~write ~attempt:(attempt + 1)
       end
+      else entry.Tlb.pfn + (vpn - entry.Tlb.vpn)
   | None -> begin
       let pt = Mm_struct.page_table mm in
       match Page_table.walk pt ~vpn with
@@ -72,18 +76,19 @@ let rec access m ~cpu ~vaddr ~write ~attempt =
             };
           if Machine.tracing m then
             Machine.trace_event m ~cpu
-              (Trace.Tlb_fill { mm_id = Mm_struct.id mm; vpn; pcid })
+              (Trace.Tlb_fill { mm_id = Mm_struct.id mm; vpn; pcid });
+          w.Page_table.pte.Pte.pfn + (vpn - base)
       | Some _ | None ->
           Fault.handle m ~cpu ~mm ~vaddr ~write;
           access m ~cpu ~vaddr ~write ~attempt:(attempt + 1)
     end
 
-let read m ~cpu ~vaddr = access m ~cpu ~vaddr ~write:false ~attempt:0
-let write m ~cpu ~vaddr = access m ~cpu ~vaddr ~write:true ~attempt:0
+let translate m ~cpu ~vaddr ~write = access m ~cpu ~vaddr ~write ~attempt:0
+let read m ~cpu ~vaddr = ignore (access m ~cpu ~vaddr ~write:false ~attempt:0)
+let write m ~cpu ~vaddr = ignore (access m ~cpu ~vaddr ~write:true ~attempt:0)
 
 let touch_range m ~cpu ~addr ~pages ~write =
   for i = 0 to pages - 1 do
     let vaddr = addr + (i * Addr.page_size) in
-    if write then access m ~cpu ~vaddr ~write:true ~attempt:0
-    else access m ~cpu ~vaddr ~write:false ~attempt:0
+    ignore (access m ~cpu ~vaddr ~write ~attempt:0)
   done

@@ -12,5 +12,10 @@
 val read : Machine.t -> cpu:int -> vaddr:int -> unit
 val write : Machine.t -> cpu:int -> vaddr:int -> unit
 
+(** Like {!read}/{!write} but returns the pfn the access observed (through
+    the TLB or the walk that refilled it) — the per-CPU observable the
+    differential fuzzer diffs between optimized and oracle runs. *)
+val translate : Machine.t -> cpu:int -> vaddr:int -> write:bool -> int
+
 (** Touch [pages] consecutive pages starting at [addr] (one access each). *)
 val touch_range : Machine.t -> cpu:int -> addr:int -> pages:int -> write:bool -> unit

@@ -163,9 +163,17 @@ let check_hit t ~now ~cpu ~mm_id ~vpn ~write ~entry ~pt =
 
 let violations t = List.rev t.viols
 let violation_count t = t.n_viols
+let recorded_violation_count t = List.length t.viols
 let benign_races t = t.benign
 let checks t = t.n_checks
 let open_windows t = Hashtbl.length t.windows
+
+(* Window entries across the whole per-mm index; must equal [open_windows]
+   at all times or the index leaks (regression: window-lifecycle tests). *)
+let by_mm_entries t =
+  Hashtbl.fold (fun _ per_mm acc -> acc + Hashtbl.length per_mm) t.by_mm 0
+
+let max_recorded t = t.max_recorded
 
 let clear t =
   Hashtbl.reset t.windows;

@@ -81,6 +81,13 @@ val check_hit :
 val violations : t -> violation list
 val violation_count : t -> int
 
+(** Violations actually kept (capped at [max_recorded]); always
+    [min (violation_count t) (max_recorded t)]. *)
+val recorded_violation_count : t -> int
+
+(** The [max_recorded] cap this checker was created with. *)
+val max_recorded : t -> int
+
 (** Stale hits excused by an open window. *)
 val benign_races : t -> int
 
@@ -89,6 +96,10 @@ val checks : t -> int
 
 (** Open windows right now (should be 0 at quiescence). *)
 val open_windows : t -> int
+
+(** Total entries in the per-mm window index; equals {!open_windows} unless
+    the index has leaked (closed windows must leave both tables). *)
+val by_mm_entries : t -> int
 
 val clear : t -> unit
 val pp_violation : Format.formatter -> violation -> unit

@@ -48,11 +48,12 @@ let fresh_stats () =
   }
 
 let create ?(topo = Topology.paper_machine) ?(costs = Costs.default)
-    ?(frames = 262144) ?(seed = 42L) ?(checker = true) ~opts () =
+    ?(frames = 262144) ?(seed = 42L) ?(checker = true) ?tlb_capacity ~opts () =
   let engine = Engine.create () in
   let n = Topology.n_cpus topo in
   let cpus =
-    Array.init n (fun id -> Cpu.create engine topo costs ~id ~safe:opts.Opts.safe ())
+    Array.init n (fun id ->
+        Cpu.create engine topo costs ~id ~safe:opts.Opts.safe ?tlb_capacity ())
   in
   let registry = Cache.create_registry topo costs in
   let percpu = Array.map (fun cpu -> Percpu.create cpu registry ~n_cpus:n) cpus in

@@ -46,6 +46,7 @@ val create :
   ?frames:int ->
   ?seed:int64 ->
   ?checker:bool ->
+  ?tlb_capacity:int ->
   opts:Opts.t ->
   unit ->
   t

@@ -9,6 +9,7 @@ type t = {
   mutable unsafe_lazy_batching : bool;
   mutable freebsd_protocol : bool;
   mutable bug_skip_deferred_flush : bool;
+  mutable oracle_flush : bool;
   mutable spec_pte_recache_p : float;
   mutable full_flush_threshold : int;
   mutable batch_slots : int;
@@ -26,10 +27,21 @@ let baseline ~safe =
     unsafe_lazy_batching = false;
     freebsd_protocol = false;
     bug_skip_deferred_flush = false;
+    oracle_flush = false;
     spec_pte_recache_p = 0.05;
     full_flush_threshold = 33;
     batch_slots = 4;
   }
+
+(* The conservative reference protocol for differential testing: every PTE
+   change becomes one synchronous whole-TLB flush IPI broadcast to every
+   other CPU, with no deferral, batching, early acknowledgement or target
+   filtering. Trivially correct (no stale translation can survive any
+   flush), unusably slow — exactly what an oracle should be. *)
+let oracle ~safe =
+  let t = baseline ~safe in
+  t.oracle_flush <- true;
+  t
 
 let freebsd ~safe =
   let t = baseline ~safe in
@@ -65,6 +77,7 @@ let copy t =
     unsafe_lazy_batching = t.unsafe_lazy_batching;
     freebsd_protocol = t.freebsd_protocol;
     bug_skip_deferred_flush = t.bug_skip_deferred_flush;
+    oracle_flush = t.oracle_flush;
     spec_pte_recache_p = t.spec_pte_recache_p;
     full_flush_threshold = t.full_flush_threshold;
     batch_slots = t.batch_slots;
@@ -120,6 +133,7 @@ let pp fmt t =
         flag "UNSAFE-LAZY" t.unsafe_lazy_batching;
         flag "freebsd" t.freebsd_protocol;
         flag "BUG-SKIP-DEFERRED" t.bug_skip_deferred_flush;
+        flag "ORACLE" t.oracle_flush;
       ]
   in
   Format.fprintf fmt "%s mode [%s]"

@@ -28,6 +28,13 @@ type t = {
           flushes (§3.4) at kernel exit instead of executing them. The
           happens-before analyzer must flag the resulting stale user-PCID
           hits as genuine races. *)
+  mutable oracle_flush : bool;
+      (** Conservative reference protocol for differential testing (the
+          {!Fuzz} oracle): every flush request becomes one synchronous
+          whole-TLB flush IPI broadcast to every other CPU — no deferral,
+          no batching, no early ack, no target filtering. Trivially
+          correct; meant to be paired with {!oracle}, i.e. every other
+          optimization off. *)
   mutable spec_pte_recache_p : float;
       (** probability that, between a CoW fault and its PTE update, a
           speculative page walk re-caches the stale PTE (paper §4.1's
@@ -48,6 +55,10 @@ val all : safe:bool -> t
 (** FreeBSD-flavoured baseline: serialized shootdowns (smp_ipi_mtx) and the
     4096-entry full-flush ceiling (§2.1). *)
 val freebsd : safe:bool -> t
+
+(** Baseline with {!field-oracle_flush} set: the trivially-correct
+    synchronous-broadcast reference the differential fuzzer diffs against. *)
+val oracle : safe:bool -> t
 
 val copy : t -> t
 

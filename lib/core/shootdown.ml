@@ -16,12 +16,20 @@ let tracef m ~cpu fmt =
 type user_flush = Eager | Defer | Skip
 
 (* Full local flush of the kernel PCID; the user PCID full flush is always
-   deferred to the next return-to-user CR3 load (stock Linux behaviour). *)
+   deferred to the next return-to-user CR3 load (stock Linux behaviour).
+   The oracle mode flushes the user PCID eagerly instead — it never defers
+   anything. *)
 let local_full_flush m ~cpu pcpu =
   let tlb = Cpu.tlb (Machine.cpu m cpu) in
   Machine.delay m m.Machine.costs.Costs.cr3_write;
   Tlb.cr3_flush tlb ~pcid:(Percpu.kernel_pcid pcpu.Percpu.curr_asid);
-  if m.Machine.opts.Opts.safe then pcpu.Percpu.pending_user <- Percpu.Full_flush
+  if m.Machine.opts.Opts.safe then begin
+    if m.Machine.opts.Opts.oracle_flush then begin
+      Machine.delay m m.Machine.costs.Costs.cr3_write;
+      Tlb.cr3_flush tlb ~pcid:(Percpu.user_pcid pcpu.Percpu.curr_asid)
+    end
+    else pcpu.Percpu.pending_user <- Percpu.Full_flush
+  end
 
 let flush_tlb_func_impl m ~cpu ~user (info : Flush_info.t) =
   let opts = m.Machine.opts and costs = m.Machine.costs and stats = m.Machine.stats in
@@ -236,10 +244,60 @@ let select_targets m ~from ~mm (info : Flush_info.t) =
       else true)
     candidates
 
+(* The conservative-oracle responder: ignore generations and ranges, drop
+   the whole TLB (every PCID, globals included) for every request. *)
+let oracle_ipi_handler m ~me (_ : Cpu.t) =
+  let pcpu = Machine.percpu m me in
+  let tlb = Cpu.tlb (Machine.cpu m me) in
+  Smp.drain_queue m ~me ~run:(fun cfd ->
+      let info = cfd.Percpu.cfd_info in
+      Machine.delay m m.Machine.costs.Costs.cr3_write;
+      Tlb.flush_all tlb;
+      (* The flush covered whatever a deferred user flush would have. *)
+      pcpu.Percpu.pending_user <- Percpu.No_flush;
+      Array.iter
+        (fun slot ->
+          if slot.Percpu.slot_mm = info.Flush_info.mm_id then
+            slot.Percpu.gen_seen <-
+              Stdlib.max slot.Percpu.gen_seen info.Flush_info.new_tlb_gen)
+        pcpu.Percpu.asids;
+      cfd.Percpu.cfd_executed <- true;
+      Smp.ack m ~me cfd);
+  if Cpu.irq_from_user (Machine.cpu m me) then flush_pending_user m ~cpu:me ~has_stack:true
+
+(* The conservative oracle (differential-fuzzing reference): one synchronous
+   whole-TLB flush on every CPU per request. No target filtering (lazy and
+   batched CPUs are IPI'd too), no early ack, no local/remote overlap, no
+   deferral of the user PCID — trivially correct by construction. *)
+let oracle_perform m ~from (info : Flush_info.t) token =
+  let stats = m.Machine.stats in
+  let pcpu = Machine.percpu m from in
+  let tlb = Cpu.tlb (Machine.cpu m from) in
+  Machine.delay m m.Machine.costs.Costs.cr3_write;
+  Tlb.flush_all tlb;
+  pcpu.Percpu.pending_user <- Percpu.No_flush;
+  Array.iter
+    (fun slot ->
+      if slot.Percpu.slot_mm = info.Flush_info.mm_id then
+        slot.Percpu.gen_seen <-
+          Stdlib.max slot.Percpu.gen_seen info.Flush_info.new_tlb_gen)
+    pcpu.Percpu.asids;
+  let targets = List.filter (fun c -> c <> from) (List.init (Machine.n_cpus m) Fun.id) in
+  if targets = [] then stats.Machine.local_only_flushes <- stats.Machine.local_only_flushes + 1
+  else begin
+    stats.Machine.shootdowns <- stats.Machine.shootdowns + 1;
+    let cfds = Smp.enqueue_work m ~from ~targets ~info ~early_ack:false in
+    Smp.send_ipis m ~from ~targets ~handler:(fun cpu ->
+        oracle_ipi_handler m ~me:(Cpu.id cpu) cpu);
+    Smp.wait_for_acks m ~from cfds ()
+  end;
+  Machine.end_window m ~cpu:from ~mm_id:info.Flush_info.mm_id token
+
 (* One complete shootdown for [info], generation already bumped. *)
 let perform m ~from ~mm (info : Flush_info.t) token =
   let opts = m.Machine.opts and costs = m.Machine.costs and stats = m.Machine.stats in
-  if opts.Opts.unsafe_lazy_batching then begin
+  if opts.Opts.oracle_flush then oracle_perform m ~from info token
+  else if opts.Opts.unsafe_lazy_batching then begin
     (* LATR-style strawman: flush locally, never notify remote CPUs, and
        return as if the flush were complete. The Checker flags the stale
        accesses this permits. *)
@@ -313,7 +371,10 @@ let perform m ~from ~mm (info : Flush_info.t) token =
   end
 
 let make_info m ~mm ~start_vpn ~pages ~stride ~freed_tables ~new_tlb_gen =
-  if pages > m.Machine.opts.Opts.full_flush_threshold then
+  if m.Machine.opts.Opts.oracle_flush then
+    (* The oracle never sends ranged flushes: full, always. *)
+    Flush_info.full ~mm_id:(Mm_struct.id mm) ~freed_tables ~new_tlb_gen ()
+  else if pages > m.Machine.opts.Opts.full_flush_threshold then
     Flush_info.full ~mm_id:(Mm_struct.id mm) ~freed_tables ~new_tlb_gen ()
   else
     Flush_info.ranged ~mm_id:(Mm_struct.id mm) ~start_vpn ~pages ~stride ~freed_tables
@@ -331,7 +392,10 @@ let flush_tlb_mm_range m ~from ~mm ~start_vpn ~pages ?(stride = Tlb.Four_k)
       (Trace.Gen_bump { mm_id = Mm_struct.id mm; gen = new_tlb_gen });
   let info = make_info m ~mm ~start_vpn ~pages ~stride ~freed_tables ~new_tlb_gen in
   let token = Machine.begin_window m ~cpu:from info in
-  if opts.Opts.userspace_batching && pcpu.Percpu.batched_mode && not freed_tables then begin
+  if
+    opts.Opts.userspace_batching && pcpu.Percpu.batched_mode && (not freed_tables)
+    && not opts.Opts.oracle_flush
+  then begin
     (* §4.2: defer the flush to the mmap_sem-release barrier. Flushes that
        free page tables are never deferred: the tables must be gone from
        every TLB before their pages are recycled. Only batch_slots (4)
@@ -356,8 +420,8 @@ let flush_tlb_page_cow m ~from ~mm ~vpn ~executable =
   let opts = m.Machine.opts and costs = m.Machine.costs and stats = m.Machine.stats in
   (* The instruction TLB is not affected by data accesses, so the trick is
      unusable for executable mappings (§4.1). *)
-  if not (opts.Opts.cow_avoid_flush && not executable) then
-    flush_tlb_page m ~from ~mm ~vpn
+  if not (opts.Opts.cow_avoid_flush && (not executable) && not opts.Opts.oracle_flush)
+  then flush_tlb_page m ~from ~mm ~vpn
   else begin
     Machine.charge_atomic m (Mm_struct.line mm) ~by:from;
     let new_tlb_gen = Mm_struct.bump_tlb_gen mm in

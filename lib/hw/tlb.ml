@@ -56,7 +56,14 @@ type t = {
   cap : int;
   table : entry Itbl.t;
   globals : entry Itbl.t;
-  order : int Queue.t; (* FIFO eviction order for the non-global table *)
+  order : (int * int) Queue.t;
+      (* FIFO eviction order for the non-global table: (key, stamp) pairs.
+         A key's queue slot is live only while [stamps] still maps it to
+         that stamp; invalidation drops the stamp, so a later re-insert of
+         the same key gets a fresh stamp and a fresh tail position instead
+         of inheriting the dead slot near the head. *)
+  stamps : int Itbl.t; (* key -> stamp of its live queue slot *)
+  mutable next_stamp : int;
   mutable s_hits : int;
   mutable s_misses : int;
   mutable s_insertions : int;
@@ -76,6 +83,8 @@ let create ?(capacity = 1536) () =
     table = Itbl.create 1024;
     globals = Itbl.create 64;
     order = Queue.create ();
+    stamps = Itbl.create 1024;
+    next_stamp = 0;
     s_hits = 0;
     s_misses = 0;
     s_insertions = 0;
@@ -114,34 +123,39 @@ let lookup t ~pcid ~vpn =
 
 let mem t ~pcid ~vpn = Option.is_some (find t ~pcid ~vpn)
 
-(* Evict FIFO until under capacity; queue entries may be stale (flushed
-   already), in which case they are skipped for free. *)
+(* A queue slot is live iff [stamps] still maps its key to its stamp.
+   Invalidation paths remove the stamp, so slots left behind by selective
+   flushes — and the older slot of a key that was invalidated and then
+   re-inserted — are skipped for free instead of evicting the wrong
+   (newer) incarnation of the key. *)
+let slot_live t key stamp =
+  match Itbl.find_opt t.stamps key with
+  | Some s -> s = stamp
+  | None -> false
+
+(* Evict FIFO until under capacity, skipping dead queue slots. *)
 let rec make_room t =
   if Itbl.length t.table >= t.cap then begin
     match Queue.take_opt t.order with
     | None -> ()
-    | Some key ->
-        if Itbl.mem t.table key then begin
+    | Some (key, stamp) ->
+        if slot_live t key stamp then begin
           Itbl.remove t.table key;
+          Itbl.remove t.stamps key;
           t.s_evictions <- t.s_evictions + 1
         end;
         make_room t
   end
 
-(* Selective flushes leave their keys behind in [order]; under a
+(* Selective flushes leave dead slots behind in [order]; under a
    drop-selective-heavy workload the queue would grow without bound. Once
-   stale slots dominate, rebuild it keeping only the first occurrence of
-   each live key — exactly the slot [make_room] would honour, so eviction
-   order is unchanged. *)
+   dead slots dominate, rebuild it keeping only live slots (each key has at
+   most one), preserving their relative order — eviction order is
+   unchanged. *)
 let compact_order t =
-  let seen = Itbl.create (Itbl.length t.table) in
   let fresh = Queue.create () in
   Queue.iter
-    (fun k ->
-      if Itbl.mem t.table k && not (Itbl.mem seen k) then begin
-        Itbl.replace seen k ();
-        Queue.push k fresh
-      end)
+    (fun (k, s) -> if slot_live t k s then Queue.push (k, s) fresh)
     t.order;
   Queue.clear t.order;
   Queue.transfer fresh t.order
@@ -152,16 +166,24 @@ let insert t e =
   if e.fractured then t.fracture <- true;
   if e.global then Itbl.replace t.globals (gkey ~tag:(tag_of e.vpn e.size) e.size) e
   else begin
-    if Queue.length t.order > (2 * Itbl.length t.table) + 64 then compact_order t;
-    make_room t;
     let key = key ~pcid:e.pcid ~tag:(tag_of e.vpn e.size) e.size in
-    if not (Itbl.mem t.table key) then Queue.push key t.order;
+    (* Overwriting a resident key keeps its queue slot (FIFO, not LRU) and
+       must not evict anything — only a genuinely new key needs room. *)
+    if not (Itbl.mem t.table key) then begin
+      if Queue.length t.order > (2 * Itbl.length t.table) + 64 then compact_order t;
+      make_room t;
+      let stamp = t.next_stamp in
+      t.next_stamp <- stamp + 1;
+      Itbl.replace t.stamps key stamp;
+      Queue.push (key, stamp) t.order
+    end;
     Itbl.replace t.table key e
   end
 
 let full_flush_internal t =
   Itbl.reset t.table;
   Itbl.reset t.globals;
+  Itbl.reset t.stamps;
   Queue.clear t.order;
   t.pwc <- false;
   t.fracture <- false
@@ -175,9 +197,13 @@ let fracture_promote t =
   t.s_fracture_full <- t.s_fracture_full + 1;
   full_flush_internal t
 
+let remove_key t key =
+  Itbl.remove t.table key;
+  Itbl.remove t.stamps key
+
 let drop_selective t ~pcid ~vpn ~drop_globals =
-  Itbl.remove t.table (key ~pcid ~tag:vpn Four_k);
-  Itbl.remove t.table (key ~pcid ~tag:(vpn lsr 9) Two_m);
+  remove_key t (key ~pcid ~tag:vpn Four_k);
+  remove_key t (key ~pcid ~tag:(vpn lsr 9) Two_m);
   if drop_globals then begin
     Itbl.remove t.globals (gkey ~tag:vpn Four_k);
     Itbl.remove t.globals (gkey ~tag:(vpn lsr 9) Two_m)
@@ -202,7 +228,7 @@ let drop_pcid t ~pcid =
   let doomed =
     Itbl.fold (fun key _ acc -> if key_pcid key = pcid then key :: acc else acc) t.table []
   in
-  List.iter (Itbl.remove t.table) doomed
+  List.iter (remove_key t) doomed
 
 let flush_pcid t ~pcid =
   t.s_invpcid <- t.s_invpcid + 1;

@@ -243,6 +243,15 @@ let clear_chooser t =
    as they are scheduled. *)
 let renumber t =
   drain_ring_to_push t (push t);
+  (* The renumbered seqs are 0..size-1 and the next fresh seq is [size];
+     with [size >= seq_mask] those would overflow into the time bits of the
+     packed key, silently corrupting heap order. Unreachable below ~33M
+     simultaneously-pending events, but fail loudly rather than corrupt. *)
+  if t.size >= seq_mask then
+    invalid_arg
+      (Printf.sprintf
+         "Engine: %d pending events exceed the %d-bit sequence field" t.size
+         seq_bits);
   let live = Array.sub t.data 0 t.size in
   Array.sort (fun a b -> Int.compare a.key b.key) live;
   Array.iteri
@@ -277,7 +286,13 @@ let try_advance t ~cycles =
   match t.chooser with
   | Some _ -> false
   | None ->
-      if peek_time t > t.now + cycles then begin
+      if cycles < 0 then invalid_arg "Engine.try_advance: negative cycles";
+      (* [cycles <= max_time - t.now] (overflow-safe: both sides are
+         non-negative ints) keeps [now] inside the packed key's time field.
+         Past that, decline the fast path so the slow path's [schedule_at]
+         reports the clock overflow instead of [now] silently wrapping into
+         the seq bits. *)
+      if cycles <= max_time - t.now && peek_time t > t.now + cycles then begin
         t.now <- t.now + cycles;
         t.advances <- t.advances + 1;
         true
@@ -362,6 +377,8 @@ let run t =
   done
 
 let run_until t ~time =
+  if time > max_time then
+    invalid_arg (Printf.sprintf "Engine.run_until: time %d overflows the clock" time);
   let continue = ref true in
   while !continue do
     if peek_time t > time then continue := false else ignore (step t)

@@ -16,6 +16,12 @@ val create : unit -> t
 (** Current simulated time in cycles. *)
 val now : t -> int
 
+(** Largest representable simulated time ([2^38 - 1] cycles with the
+    current packing). [schedule]/[schedule_at] reject later times, and the
+    [try_advance] fast path declines to move [now] past it, so the packed
+    key's time field can never wrap into the sequence bits. *)
+val max_time : int
+
 (** Number of events executed so far. *)
 val events_run : t -> int
 

@@ -170,6 +170,62 @@ let test_max_recorded_cap () =
 let test_default_cap_is_large () =
   check bool_t "default cap sane" true (Checker.default_max_recorded_violations >= 100)
 
+(* --- window lifecycle --- *)
+
+(* Closing a window must remove it from both the flat windows table and the
+   per-mm index — an entry left behind in either would keep excusing stale
+   hits (or leak) long after the flush completed. The per-mm index entry
+   count must track the open-window count through any interleaving of
+   opens and closes. *)
+let test_window_lifecycle_tables_in_sync () =
+  let c = Checker.create () in
+  let in_sync what =
+    check int_t what (Checker.open_windows c) (Checker.by_mm_entries c)
+  in
+  in_sync "empty";
+  (* Several windows on the same mm, plus one on another mm. *)
+  let w1 = Checker.begin_invalidation c
+      (Flush_info.ranged ~mm_id:1 ~start_vpn:0 ~pages:4 ~new_tlb_gen:2 ()) in
+  let w2 = Checker.begin_invalidation c
+      (Flush_info.ranged ~mm_id:1 ~start_vpn:100 ~pages:4 ~new_tlb_gen:3 ()) in
+  let w3 = Checker.begin_invalidation c (Flush_info.full ~mm_id:2 ~new_tlb_gen:2 ()) in
+  in_sync "three open";
+  (* Close out of order; coverage must shrink exactly with the closes. *)
+  Checker.end_invalidation c w2;
+  in_sync "two open";
+  check bool_t "w1 range still covered" true (Checker.covered c ~mm_id:1 ~vpn:0);
+  check bool_t "w2 range uncovered" false (Checker.covered c ~mm_id:1 ~vpn:100);
+  Checker.end_invalidation c w1;
+  in_sync "one open";
+  check bool_t "mm1 fully uncovered" false (Checker.covered c ~mm_id:1 ~vpn:0);
+  check bool_t "mm2 still covered" true (Checker.covered c ~mm_id:2 ~vpn:7);
+  Checker.end_invalidation c w3;
+  in_sync "all closed";
+  (* Double-close must not go negative or resurrect anything. *)
+  Checker.end_invalidation c w1;
+  Checker.end_invalidation c w3;
+  in_sync "idempotent close";
+  check int_t "no stray per-mm entries" 0 (Checker.by_mm_entries c)
+
+(* Accounting at the recording cap: the total keeps counting, the recorded
+   list stays exactly at the cap, and clear resets both. *)
+let test_cap_accounting_consistency () =
+  let c = Checker.create ~max_recorded:3 () in
+  check int_t "cap accessor" 3 (Checker.max_recorded c);
+  for vpn = 0 to 9 do
+    ignore (stale_hit c ~vpn : Checker.result)
+  done;
+  check int_t "all counted" 10 (Checker.violation_count c);
+  check int_t "recorded at cap" 3 (Checker.recorded_violation_count c);
+  check int_t "list matches recorded count" (Checker.recorded_violation_count c)
+    (List.length (Checker.violations c));
+  Checker.clear c;
+  check int_t "count cleared" 0 (Checker.violation_count c);
+  check int_t "recorded cleared" 0 (Checker.recorded_violation_count c);
+  ignore (stale_hit c : Checker.result);
+  check int_t "counts again" 1 (Checker.violation_count c);
+  check int_t "records again" 1 (Checker.recorded_violation_count c)
+
 let suite =
   [
     Alcotest.test_case "result: clean" `Quick test_clean_result;
@@ -183,4 +239,8 @@ let suite =
     Alcotest.test_case "windows: disabled no-ops" `Quick test_disabled_checker_windows_are_noops;
     Alcotest.test_case "cap: max_recorded" `Quick test_max_recorded_cap;
     Alcotest.test_case "cap: default" `Quick test_default_cap_is_large;
+    Alcotest.test_case "lifecycle: windows and by_mm in sync" `Quick
+      test_window_lifecycle_tables_in_sync;
+    Alcotest.test_case "lifecycle: cap accounting" `Quick
+      test_cap_accounting_consistency;
   ]

@@ -259,6 +259,72 @@ let test_tlb_flush_all () =
   check int_t "empty" 0 (Tlb.occupancy t);
   check int_t "counted" 1 (Tlb.stats t).Tlb.full_flushes
 
+(* Regression: a key invalidated and later re-inserted used to keep its
+   original (now dead) slot near the head of the FIFO queue, so the next
+   eviction removed the brand-new entry instead of the oldest live one. *)
+let test_tlb_reinsert_after_invalidate_is_youngest () =
+  let t = Tlb.create ~capacity:4 () in
+  for i = 1 to 4 do
+    Tlb.insert t (entry ~vpn:i ~pfn:i ())
+  done;
+  Tlb.drop t ~pcid:1 ~vpn:1;
+  Tlb.insert t (entry ~vpn:1 ~pfn:11 ());
+  check int_t "full again" 4 (Tlb.occupancy t);
+  (* Inserting a fifth key must evict vpn 2 (the oldest live entry), not
+     the just-re-inserted vpn 1. *)
+  Tlb.insert t (entry ~vpn:5 ~pfn:5 ());
+  check bool_t "re-inserted key survives" true (Tlb.mem t ~pcid:1 ~vpn:1);
+  check bool_t "oldest live key evicted" false (Tlb.mem t ~pcid:1 ~vpn:2);
+  check bool_t "vpn3 stays" true (Tlb.mem t ~pcid:1 ~vpn:3);
+  check bool_t "vpn4 stays" true (Tlb.mem t ~pcid:1 ~vpn:4);
+  check bool_t "new key present" true (Tlb.mem t ~pcid:1 ~vpn:5);
+  check int_t "exactly one eviction" 1 (Tlb.stats t).Tlb.evictions;
+  check int_t "occupancy exact" 4 (Tlb.occupancy t)
+
+(* Random inserts/overwrites/invalidations/flushes against a reference
+   FIFO model: membership, occupancy and eviction victim must match the
+   model after every operation. *)
+let test_tlb_random_vs_fifo_model () =
+  let cap = 8 in
+  let n_pcids = 2 and n_vpns = 24 in
+  let t = Tlb.create ~capacity:cap () in
+  (* Reference model: live (pcid, vpn) keys, oldest first. Overwriting a
+     live key keeps its position (FIFO, not LRU); inserting a new key at
+     capacity evicts the head. *)
+  let model = ref [] in
+  let r = Rng.create ~seed:0xF1F0L in
+  for step = 1 to 4000 do
+    let pcid = 1 + Rng.int r n_pcids and vpn = Rng.int r n_vpns in
+    (match Rng.int r 12 with
+    | 0 | 1 | 2 | 3 | 4 | 5 | 6 ->
+        if not (List.mem (pcid, vpn) !model) then begin
+          if List.length !model >= cap then model := List.tl !model;
+          model := !model @ [ (pcid, vpn) ]
+        end;
+        Tlb.insert t (entry ~pcid ~vpn ~pfn:vpn ())
+    | 7 | 8 ->
+        model := List.filter (fun k -> k <> (pcid, vpn)) !model;
+        Tlb.drop t ~pcid ~vpn
+    | 9 | 10 ->
+        model := List.filter (fun (p, _) -> p <> pcid) !model;
+        Tlb.flush_pcid t ~pcid
+    | _ ->
+        model := [];
+        Tlb.flush_all t);
+    if Tlb.occupancy t <> List.length !model then
+      Alcotest.failf "step %d: occupancy %d, model %d" step (Tlb.occupancy t)
+        (List.length !model);
+    for p = 1 to n_pcids do
+      for v = 0 to n_vpns - 1 do
+        let expect = List.mem (p, v) !model in
+        if Tlb.mem t ~pcid:p ~vpn:v <> expect then
+          Alcotest.failf "step %d: (%d,%d) %s" step p v
+            (if expect then "missing" else "present")
+      done
+    done
+  done;
+  check bool_t "model agreed for 4000 steps" true true
+
 (* --- Cpu + Apic --- *)
 
 let make_machine_parts () =
@@ -422,6 +488,10 @@ let suite =
     Alcotest.test_case "tlb: fracture promotion" `Quick test_tlb_fracture_promotion;
     Alcotest.test_case "tlb: drop has no side effects" `Quick test_tlb_drop_no_side_effects;
     Alcotest.test_case "tlb: flush_all" `Quick test_tlb_flush_all;
+    Alcotest.test_case "tlb: re-insert after invalidate is youngest" `Quick
+      test_tlb_reinsert_after_invalidate_is_youngest;
+    Alcotest.test_case "tlb: random ops vs FIFO model" `Quick
+      test_tlb_random_vs_fifo_model;
     Alcotest.test_case "cpu: compute accounting" `Quick test_cpu_compute_accounting;
     Alcotest.test_case "cpu+apic: delivery and interruption" `Quick test_ipi_delivery_and_interruption;
     Alcotest.test_case "cpu: masking defers irqs" `Quick test_irq_masking_defers;

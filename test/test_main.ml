@@ -19,5 +19,6 @@ let () =
       ("analysis", Test_analysis.suite);
       ("coverage", Test_coverage.suite);
       ("determinism", Test_determinism.suite);
+      ("fuzz", Test_fuzz.suite);
       ("properties", Test_props.suite);
     ]

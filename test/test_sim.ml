@@ -227,6 +227,74 @@ let test_engine_run_until () =
   check (Alcotest.list int_t) "only up to 20" [ 10; 20 ] (List.rev !fired);
   check int_t "one pending" 1 (Engine.pending e)
 
+(* --- Engine: packed-key boundaries --- *)
+
+(* The priority key packs (time, seq) into one int; [max_time] is the last
+   time the time field can hold. Scheduling past it must be rejected, and
+   landing exactly on it must work. *)
+let test_engine_clock_overflow_rejected () =
+  let e = Engine.create () in
+  check bool_t "max_time is the 38-bit boundary" true
+    (Engine.max_time = max_int lsr 25);
+  Alcotest.check_raises "schedule_at past max_time"
+    (Invalid_argument
+       (Printf.sprintf "Engine.schedule_at: time %d overflows the clock"
+          (Engine.max_time + 1)))
+    (fun () -> Engine.schedule_at e ~time:(Engine.max_time + 1) (fun () -> ()));
+  Alcotest.check_raises "run_until past max_time"
+    (Invalid_argument
+       (Printf.sprintf "Engine.run_until: time %d overflows the clock"
+          (Engine.max_time + 1)))
+    (fun () -> Engine.run_until e ~time:(Engine.max_time + 1));
+  let ran = ref false in
+  Engine.schedule_at e ~time:Engine.max_time (fun () -> ran := true);
+  Engine.run e;
+  check bool_t "boundary event ran" true !ran;
+  check int_t "clock lands on max_time" Engine.max_time (Engine.now e)
+
+(* The suspend-free fast path must refuse to move [now] past [max_time]
+   (the slow path then reports the overflow via [schedule_at]). *)
+let test_engine_try_advance_clock_boundary () =
+  let e = Engine.create () in
+  Engine.schedule_at e ~time:(Engine.max_time - 5) (fun () -> ());
+  Engine.run e;
+  check bool_t "advance inside the bound" true (Engine.try_advance e ~cycles:3);
+  check int_t "advanced" (Engine.max_time - 2) (Engine.now e);
+  check bool_t "advance past the bound declined" false
+    (Engine.try_advance e ~cycles:10);
+  check int_t "clock unchanged on decline" (Engine.max_time - 2) (Engine.now e);
+  check bool_t "advance onto the boundary" true (Engine.try_advance e ~cycles:2);
+  check int_t "at max_time" Engine.max_time (Engine.now e);
+  check bool_t "no advance past max_time" false (Engine.try_advance e ~cycles:1);
+  Alcotest.check_raises "negative cycles"
+    (Invalid_argument "Engine.try_advance: negative cycles") (fun () ->
+      ignore (Engine.try_advance e ~cycles:(-1) : bool))
+
+(* Drive [seq] past its 25-bit field: renumbering must preserve FIFO order
+   for same-time events and keep far-pending events intact. *)
+let test_engine_seq_renumber_preserves_fifo () =
+  let e = Engine.create () in
+  let far = ref false in
+  Engine.schedule e ~delay:1_000_000_000 (fun () -> far := true);
+  let seq_limit = 1 lsl 25 in
+  let ran = ref 0 in
+  let batch = 4096 in
+  let rounds = (seq_limit / batch) + 2 in
+  for _ = 1 to rounds do
+    for _ = 1 to batch do
+      Engine.schedule e ~delay:1 (fun () -> incr ran)
+    done;
+    Engine.run_until e ~time:(Engine.now e + 1)
+  done;
+  check int_t "every event ran across the renumber" (rounds * batch) !ran;
+  let log = ref [] in
+  List.iter
+    (fun i -> Engine.schedule e ~delay:5 (fun () -> log := i :: !log))
+    [ 1; 2; 3 ];
+  Engine.run e;
+  check bool_t "far event survived the renumber" true !far;
+  check (Alcotest.list int_t) "FIFO after renumber" [ 1; 2; 3 ] (List.rev !log)
+
 (* --- Process / Waitq --- *)
 
 let test_process_delay_advances_time () =
@@ -419,6 +487,12 @@ let suite =
     Alcotest.test_case "engine: nested scheduling" `Quick test_engine_nested_scheduling;
     Alcotest.test_case "engine: rejects the past" `Quick test_engine_rejects_past;
     Alcotest.test_case "engine: run_until" `Quick test_engine_run_until;
+    Alcotest.test_case "engine: clock overflow rejected" `Quick
+      test_engine_clock_overflow_rejected;
+    Alcotest.test_case "engine: try_advance clock boundary" `Quick
+      test_engine_try_advance_clock_boundary;
+    Alcotest.test_case "engine: seq renumber preserves FIFO" `Slow
+      test_engine_seq_renumber_preserves_fifo;
     Alcotest.test_case "process: delay advances time" `Quick test_process_delay_advances_time;
     Alcotest.test_case "process: interleaving" `Quick test_process_interleaving;
     Alcotest.test_case "process: failures propagate" `Quick test_process_failure_propagates;
