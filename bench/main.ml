@@ -707,6 +707,31 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* Schema-3 phases block: per-phase shootdown latency percentiles from a
+   small metered Observe sweep, run after the (unmetered) experiments so
+   their timing rows are untouched and the committed baseline stays valid.
+   Rows are keyed ["phase":] — never ["name":] — because perf_gate's row
+   scanner treats every ["name":] occurrence as an experiment row. *)
+let phases_rows ~jobs =
+  let metrics = Observe.collect ~iterations:(if !quick then 50 else 200) ~jobs () in
+  List.filter_map
+    (fun s ->
+      let st = Metrics.stats s in
+      if Stats.count st = 0 then None
+      else
+        let labels =
+          Metrics.series_labels s
+          |> List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v)
+          |> String.concat ","
+        in
+        let id =
+          if labels = "" then Metrics.series_name s
+          else Printf.sprintf "%s{%s}" (Metrics.series_name s) labels
+        in
+        let pct p = Option.value (Stats.percentile_opt st p) ~default:0.0 in
+        Some (id, Stats.count st, pct 50.0, pct 99.0))
+    (Metrics.all metrics)
+
 let perf ~jobs () =
   let t0 = Unix.gettimeofday () in
   let outcomes, pool_gc = execute ~jobs all_tasks in
@@ -740,7 +765,7 @@ let perf ~jobs () =
   let oc = open_out "BENCH_PERF.json" in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
-  out "  \"schema\": 2,\n";
+  out "  \"schema\": 3,\n";
   out "  \"mode\": \"%s\",\n" (if !quick then "quick" else "full");
   out "  \"jobs\": %d,\n" jobs;
   out "  \"experiments\": [\n";
@@ -764,6 +789,16 @@ let perf ~jobs () =
         rate_json m.Shard.minor_words m.Shard.major_words m.Shard.promoted_words
         (if i = n_rows - 1 then "" else ","))
     measures;
+  out "  ],\n";
+  let phases = phases_rows ~jobs in
+  out "  \"phases\": [\n";
+  let n_phases = List.length phases in
+  List.iteri
+    (fun i (id, count, p50, p99) ->
+      out "    {\"phase\": \"%s\", \"count\": %d, \"p50\": %.1f, \"p99\": %.1f}%s\n"
+        (json_escape id) count p50 p99
+        (if i = n_phases - 1 then "" else ","))
+    phases;
   out "  ],\n";
   out
     "  \"total\": {\"wall_s\": %.4f, \"elapsed_s\": %.4f, \"engine_ops\": %d, \

@@ -395,6 +395,34 @@ let fuzz_cmd =
       const run $ count_t $ seed_base_t $ seed_one_t $ replay_t $ inject_bug_t $ max_ops_t
       $ no_shrink_t $ jobs_t)
 
+(* --- stats --- *)
+
+let stats_cmd =
+  let format_t =
+    let doc = "Output format: table, json, or prom (Prometheus text exposition)." in
+    let alist =
+      [ ("table", Observe.Table); ("json", Observe.Json); ("prom", Observe.Prometheus) ]
+    in
+    Arg.(value & opt (enum alist) Observe.Table & info [ "format" ] ~doc)
+  in
+  let jobs_t =
+    let doc = "Domains to shard the sweep over (0 = ask the runtime); output is \
+               byte-identical at any value." in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~doc)
+  in
+  let run format iterations seed jobs =
+    let jobs = if jobs <= 0 then Domain_pool.default_jobs () else jobs in
+    print_string
+      (Observe.run ~iterations ~seed:(Int64.of_int seed) ~jobs format)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Per-shootdown phase-latency breakdown (prep / IPI delivery / flush \
+          execution / ack wait / cacheline transfers) by topology distance and \
+          flush kind, from a metered microbenchmark sweep.")
+    Term.(const run $ format_t $ iters_t $ seed_t $ jobs_t)
+
 let () =
   let info =
     Cmd.info "tlbsim" ~version:"1.0.0"
@@ -415,4 +443,5 @@ let () =
             trace_cmd;
             analyze_cmd;
             fuzz_cmd;
+            stats_cmd;
           ]))

@@ -219,7 +219,7 @@ let analyze_array records =
         | idx :: _ -> add idx
         | [] -> ())
     | None -> ());
-    List.map (fun idx -> (idx, records.(idx))) (List.sort_uniq compare !idxs)
+    List.map (fun idx -> (idx, records.(idx))) (List.sort_uniq Int.compare !idxs)
   in
   let proved = ref 0 and latent = ref 0 and genuine = ref 0 and disagree = ref 0 in
   let findings = ref [] in

@@ -12,6 +12,32 @@ type stats = {
   mutable cow_breaks : int;
 }
 
+(* --- shootdown phase metrics (DESIGN.md §10) ---
+
+   Handles into the machine's Metrics registry, pre-registered at creation
+   in a fixed order so every machine — metered or not — exposes the same
+   series shape and sharded aggregation merges identically-shaped
+   registries. Per-distance arrays are indexed by Topology.distance_rank;
+   [flush] is rank-major over (rank, kind). *)
+
+type phases = {
+  prep : Metrics.series array;  (** initiator prep, by farthest-target rank *)
+  ipi : Metrics.series array;  (** IPI delivery, by sender->target rank *)
+  flush : Metrics.series array;  (** flush execution, (rank, kind) rank-major *)
+  ack : Metrics.series array;  (** initiator ack wait, by farthest-target rank *)
+  line : Metrics.series array;  (** cacheline access cost, by source rank *)
+  tlb_drop_full : Metrics.series;  (** entries dropped per full TLB flush *)
+  tlb_drop_pcid : Metrics.series;  (** entries dropped per PCID drop *)
+}
+
+let flush_kind_invlpg = 0
+let flush_kind_cr3 = 1
+let flush_kind_deferred = 2
+let flush_kind_skipped = 3
+let n_flush_kinds = 4
+let flush_kind_labels = [| "invlpg"; "cr3"; "deferred"; "skipped" |]
+let flush_index ~rank ~kind = (rank * n_flush_kinds) + kind
+
 type t = {
   engine : Engine.t;
   topo : Topology.t;
@@ -30,6 +56,8 @@ type t = {
   checker : Checker.t;
   ipi_mutex : Rwsem.t;
   stats : stats;
+  metrics : Metrics.t;
+  phases : phases;
 }
 
 let fresh_stats () =
@@ -47,8 +75,46 @@ let fresh_stats () =
     cow_breaks = 0;
   }
 
+(* Histogram ranges are sized from Costs.default magnitudes; out-of-range
+   samples are counted explicitly by the histograms, so an unusual Costs.t
+   degrades to visible overflow counts, never silent corruption. *)
+let register_phases metrics =
+  let ranks = Topology.n_distance_ranks in
+  let dist r = ("distance", Topology.distance_label (Topology.distance_of_rank r)) in
+  let by_rank name ~lo ~hi ~buckets =
+    Array.init ranks (fun r ->
+        Metrics.series metrics ~name ~labels:[ dist r ] ~lo ~hi ~buckets ())
+  in
+  let prep = by_rank "shootdown_prep_cycles" ~lo:0.0 ~hi:8000.0 ~buckets:20 in
+  let ipi = by_rank "ipi_delivery_cycles" ~lo:0.0 ~hi:2000.0 ~buckets:20 in
+  let flush =
+    Array.init
+      (ranks * n_flush_kinds)
+      (fun i ->
+        let r = i / n_flush_kinds and k = i mod n_flush_kinds in
+        Metrics.series metrics ~name:"flush_exec_cycles"
+          ~labels:[ dist r; ("kind", flush_kind_labels.(k)) ]
+          ~lo:0.0 ~hi:10000.0 ~buckets:20 ())
+  in
+  let ack = by_rank "ack_wait_cycles" ~lo:0.0 ~hi:20000.0 ~buckets:20 in
+  let line = by_rank "cacheline_transfer_cycles" ~lo:0.0 ~hi:800.0 ~buckets:16 in
+  let drop kind =
+    Metrics.series metrics ~name:"tlb_flush_drop_entries"
+      ~labels:[ ("flush", kind) ] ~lo:0.0 ~hi:1600.0 ~buckets:16 ()
+  in
+  {
+    prep;
+    ipi;
+    flush;
+    ack;
+    line;
+    tlb_drop_full = drop "full";
+    tlb_drop_pcid = drop "pcid";
+  }
+
 let create ?(topo = Topology.paper_machine) ?(costs = Costs.default)
-    ?(frames = 262144) ?(seed = 42L) ?(checker = true) ?tlb_capacity ~opts () =
+    ?(frames = 262144) ?(seed = 42L) ?(checker = true) ?tlb_capacity
+    ?(metering = false) ~opts () =
   let engine = Engine.create () in
   let n = Topology.n_cpus topo in
   let cpus =
@@ -57,6 +123,24 @@ let create ?(topo = Topology.paper_machine) ?(costs = Costs.default)
   in
   let registry = Cache.create_registry topo costs in
   let percpu = Array.map (fun cpu -> Percpu.create cpu registry ~n_cpus:n) cpus in
+  let apic = Apic.create engine topo costs ~cpus in
+  let metrics = Metrics.create ~enabled:metering () in
+  let phases = register_phases metrics in
+  (* The hw hooks are installed only on metered machines: an unmetered
+     machine's cache/IPI/TLB hot paths keep their None-check fast path. *)
+  if metering then begin
+    Apic.set_delivery_meter apic (fun rank cycles ->
+        Metrics.record_cycles phases.ipi.(rank) cycles);
+    Cache.set_transfer_meter registry (fun rank cost ->
+        Metrics.record_cycles phases.line.(rank) cost);
+    Array.iter
+      (fun cpu ->
+        Tlb.set_flush_meter (Cpu.tlb cpu) (fun full dropped ->
+            Metrics.record_cycles
+              (if full then phases.tlb_drop_full else phases.tlb_drop_pcid)
+              dropped))
+      cpus
+  end;
   {
     engine;
     topo;
@@ -67,7 +151,7 @@ let create ?(topo = Topology.paper_machine) ?(costs = Costs.default)
     trace = Trace.create engine;
     rng = Rng.create ~seed;
     cpus;
-    apic = Apic.create engine topo costs ~cpus;
+    apic;
     percpu;
     mms = Hashtbl.create 16;
     next_mm_id = 1;
@@ -75,6 +159,8 @@ let create ?(topo = Topology.paper_machine) ?(costs = Costs.default)
     checker = Checker.create ~enabled:checker ();
     ipi_mutex = Rwsem.create engine;
     stats = fresh_stats ();
+    metrics;
+    phases;
   }
 
 let new_mm t =
@@ -107,6 +193,14 @@ let next_ipi_seq t =
    event *construction* — `if Machine.tracing m then Machine.trace_event …` —
    or they allocate the record even when tracing is off. *)
 let[@inline] tracing t = Trace.enabled t.trace
+
+(* Same guard discipline as [tracing]: hot call sites check this before
+   computing ranks or durations, so an unmetered machine pays one
+   load+branch per site and allocates nothing. *)
+let[@inline] metering t = Metrics.enabled t.metrics
+
+let[@inline] distance_rank t a b =
+  Topology.distance_rank (Topology.distance t.topo a b)
 
 let trace_event t ~cpu ev = if Trace.enabled t.trace then Trace.event t.trace ~cpu ev
 

@@ -15,6 +15,36 @@ type stats = {
   mutable cow_breaks : int;
 }
 
+(** Handles into the machine's {!Sim.Metrics} registry for the shootdown
+    phase-latency breakdown (DESIGN.md §10). Per-distance arrays are
+    indexed by {!Hw.Topology.distance_rank}; [flush] is rank-major over
+    (distance rank, flush kind). Pre-registered on every machine so all
+    machines expose the same series shape; recording only happens when
+    {!metering} is true. *)
+type phases = {
+  prep : Metrics.series array;  (** initiator prep, by farthest-target rank *)
+  ipi : Metrics.series array;  (** IPI delivery, by sender->target rank *)
+  flush : Metrics.series array;  (** flush execution, (rank, kind) rank-major *)
+  ack : Metrics.series array;  (** initiator ack wait, by farthest-target rank *)
+  line : Metrics.series array;  (** cacheline access cost, by source rank *)
+  tlb_drop_full : Metrics.series;  (** entries dropped per full TLB flush *)
+  tlb_drop_pcid : Metrics.series;  (** entries dropped per PCID drop *)
+}
+
+(** Flush-kind indices for {!phases.flush}: how the responder (or the
+    initiator locally) executed the flush. *)
+val flush_kind_invlpg : int
+
+val flush_kind_cr3 : int
+val flush_kind_deferred : int
+val flush_kind_skipped : int
+
+val n_flush_kinds : int
+val flush_kind_labels : string array
+
+(** [flush_index ~rank ~kind] is the {!phases.flush} index. *)
+val flush_index : rank:int -> kind:int -> int
+
 type t = {
   engine : Engine.t;
   topo : Topology.t;
@@ -36,10 +66,16 @@ type t = {
           [Opts.freebsd_protocol] is set, serializing shootdowns
           machine-wide (§3.3's reason for studying the Linux protocol). *)
   stats : stats;
+  metrics : Metrics.t;
+      (** Phase-latency metric registry; enabled iff the machine was
+          created with [~metering:true]. *)
+  phases : phases;
 }
 
 (** [create ~opts ()] builds a machine. Defaults: the paper's 2x14x2
-    topology, {!Costs.default}, 1 GiB of frames, seed 42, checker on. *)
+    topology, {!Costs.default}, 1 GiB of frames, seed 42, checker on,
+    metering off. [~metering:true] enables the phase-latency metrics and
+    installs the hw observer hooks (Apic/Cache/Tlb). *)
 val create :
   ?topo:Topology.t ->
   ?costs:Costs.t ->
@@ -47,6 +83,7 @@ val create :
   ?seed:int64 ->
   ?checker:bool ->
   ?tlb_capacity:int ->
+  ?metering:bool ->
   opts:Opts.t ->
   unit ->
   t
@@ -86,6 +123,14 @@ val tracing : t -> bool
 
 (** Append a typed protocol event when tracing is enabled. *)
 val trace_event : t -> cpu:int -> Trace.event -> unit
+
+(** Is phase metering on? Guard rank/duration computation with this, same
+    discipline as {!tracing}: an unmetered machine pays one load+branch
+    per call site and allocates nothing. *)
+val metering : t -> bool
+
+(** [distance_rank m a b] = rank of [Topology.distance m.topo a b]. *)
+val distance_rank : t -> int -> int -> int
 
 (** Open a checker invalidation window and emit the matching
     {!Sim.Trace.Flush_start} event, so the analyzer sees exactly the

@@ -7,6 +7,7 @@ type asid_slot = {
 type cfd = {
   cfd_seq : int;
   cfd_initiator : int;
+  cfd_target : int;
   cfd_info : Flush_info.t;
   cfd_early_ack : bool;
   mutable cfd_acked : bool;

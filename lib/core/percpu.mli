@@ -24,6 +24,7 @@ type asid_slot = {
 type cfd = {
   cfd_seq : int;  (** machine-wide IPI sequence number, for trace pairing *)
   cfd_initiator : int;
+  cfd_target : int;  (** responder CPU this CFD was queued on *)
   cfd_info : Flush_info.t;
   cfd_early_ack : bool;  (** responder may ack on handler entry *)
   mutable cfd_acked : bool;

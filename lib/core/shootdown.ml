@@ -15,6 +15,19 @@ let tracef m ~cpu fmt =
 (* How the user-PCID half of a flush is handled under PTI. *)
 type user_flush = Eager | Defer | Skip
 
+(* --- phase metering helpers (DESIGN.md §10) --- *)
+
+let kind_of_result = function
+  | `Ranged -> Machine.flush_kind_invlpg
+  | `Full -> Machine.flush_kind_cr3
+  | `Skipped -> Machine.flush_kind_skipped
+
+(* Callers gate on [Machine.metering]. *)
+let record_flush m ~rank ~kind dt =
+  Metrics.record_cycles
+    m.Machine.phases.Machine.flush.(Machine.flush_index ~rank ~kind)
+    dt
+
 (* Full local flush of the kernel PCID; the user PCID full flush is always
    deferred to the next return-to-user CR3 load (stock Linux behaviour).
    The oracle mode flushes the user PCID eagerly instead — it never defers
@@ -128,7 +141,9 @@ let flush_pending_user m ~cpu ~has_stack =
     let pcpu = Machine.percpu m cpu in
     let tlb = Cpu.tlb (Machine.cpu m cpu) in
     let user_pcid = Percpu.user_pcid pcpu.Percpu.curr_asid in
-    match Percpu.take_pending_user pcpu with
+    let pending = Percpu.take_pending_user pcpu in
+    let t0 = Machine.now m in
+    (match pending with
     | Percpu.No_flush -> ()
     | (Percpu.Full_flush | Percpu.Ranged _) when opts.Opts.bug_skip_deferred_flush ->
         (* Injected protocol bug for the race detector: the deferred user
@@ -163,7 +178,15 @@ let flush_pending_user m ~cpu ~has_stack =
           if Machine.tracing m then
             Machine.trace_event m ~cpu
               (Trace.Deferred_flush_exec { full = false; entries = List.length vpns })
-        end
+        end);
+    match pending with
+    | Percpu.No_flush -> ()
+    | Percpu.Full_flush | Percpu.Ranged _ ->
+        (* The §3.4 deferred-to-return execution runs on the deferring CPU
+           itself; a near-zero sample (the free CR3 NOFLUSH-bit skip) is
+           the optimization's whole point and worth seeing in the p50. *)
+        if Machine.metering m then
+          record_flush m ~rank:0 ~kind:Machine.flush_kind_deferred (Machine.now m - t0)
   end
 
 let return_to_user m ~cpu ~has_stack =
@@ -196,7 +219,14 @@ let ipi_handler m ~me (_ : Cpu.t) =
         pcpu.Percpu.inflight_flush <- true;
         Smp.ack m ~me ~early:true cfd
       end;
-      ignore (flush_tlb_func_impl m ~cpu:me ~user:(default_user_policy m info) info);
+      let t0 = Machine.now m in
+      let result =
+        flush_tlb_func_impl m ~cpu:me ~user:(default_user_policy m info) info
+      in
+      if Machine.metering m then
+        record_flush m
+          ~rank:(Machine.distance_rank m cfd.Percpu.cfd_initiator me)
+          ~kind:(kind_of_result result) (Machine.now m - t0);
       cfd.Percpu.cfd_executed <- true;
       pcpu.Percpu.inflight_flush <- false;
       if not cfd.Percpu.cfd_early_ack then Smp.ack m ~me cfd);
@@ -216,7 +246,10 @@ let initiator_local_flush m ~from ~has_remote_targets (info : Flush_info.t) =
     && Flush_info.nr_entries info <= opts.Opts.full_flush_threshold
   in
   let user = if hybrid then Skip else default_user_policy m info in
+  let t0 = Machine.now m in
   let result = flush_tlb_func_impl m ~cpu:from ~user info in
+  if Machine.metering m then
+    record_flush m ~rank:0 ~kind:(kind_of_result result) (Machine.now m - t0);
   if hybrid && result = `Ranged then Flush_info.vpns info else []
 
 (* Select remote targets, paying one line read per candidate. *)
@@ -306,7 +339,9 @@ let perform m ~from ~mm (info : Flush_info.t) token =
     Machine.end_window m ~cpu:from ~mm_id:info.Flush_info.mm_id token
   end
   else begin
+    let sel0 = Machine.now m in
     let targets = select_targets m ~from ~mm info in
+    let sel_dt = Machine.now m - sel0 in
     if targets = [] then begin
       stats.Machine.local_only_flushes <- stats.Machine.local_only_flushes + 1;
       ignore (initiator_local_flush m ~from ~has_remote_targets:false info);
@@ -321,9 +356,23 @@ let perform m ~from ~mm (info : Flush_info.t) token =
       end;
       let early_ack = opts.Opts.early_ack && not info.Flush_info.freed_tables in
       let run_remote () =
+        let t0 = Machine.now m in
         let cfds = Smp.enqueue_work m ~from ~targets ~info ~early_ack in
         Smp.send_ipis m ~from ~targets ~handler:(fun cpu ->
             ipi_handler m ~me:(Cpu.id cpu) cpu);
+        (* Prep = target selection + CFD enqueue + ICR writes, i.e. every
+           initiator-side cycle before the IPIs are in flight; attributed
+           like ack_wait to the farthest target. *)
+        if Machine.metering m then begin
+          let far =
+            List.fold_left
+              (fun acc c -> Stdlib.max acc (Machine.distance_rank m from c))
+              0 targets
+          in
+          Metrics.record_cycles
+            m.Machine.phases.Machine.prep.(far)
+            (sel_dt + (Machine.now m - t0))
+        end;
         cfds
       in
       if opts.Opts.concurrent_flush then begin
@@ -447,6 +496,7 @@ let flush_tlb_page_cow m ~from ~mm ~vpn ~executable =
     stats.Machine.cow_flush_avoided <- stats.Machine.cow_flush_avoided + 1;
     tracef m ~cpu:from "CoW: avoided local flush for vpn %d" vpn;
     (* Remote CPUs sharing the mapping still need the shootdown. *)
+    let sel0 = Machine.now m in
     let targets = select_targets m ~from ~mm info in
     if targets = [] then Machine.end_window m ~cpu:from ~mm_id:(Mm_struct.id mm) token
     else begin
@@ -455,6 +505,14 @@ let flush_tlb_page_cow m ~from ~mm ~vpn ~executable =
       let cfds = Smp.enqueue_work m ~from ~targets ~info ~early_ack in
       Smp.send_ipis m ~from ~targets ~handler:(fun cpu ->
           ipi_handler m ~me:(Cpu.id cpu) cpu);
+      if Machine.metering m then begin
+        let far =
+          List.fold_left
+            (fun acc c -> Stdlib.max acc (Machine.distance_rank m from c))
+            0 targets
+        in
+        Metrics.record_cycles m.Machine.phases.Machine.prep.(far) (Machine.now m - sel0)
+      end;
       Smp.wait_for_acks m ~from cfds ();
       Machine.end_window m ~cpu:from ~mm_id:(Mm_struct.id mm) token
     end

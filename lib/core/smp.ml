@@ -26,6 +26,7 @@ let enqueue_work m ~from ~targets ~info ~early_ack =
         {
           Percpu.cfd_seq = Machine.next_ipi_seq m;
           cfd_initiator = from;
+          cfd_target = target;
           cfd_info = info;
           cfd_early_ack = early_ack;
           cfd_acked = false;
@@ -80,6 +81,7 @@ let ack m ~me ?(early = false) cfd =
 
 let wait_for_acks m ~from cfds ?(while_waiting = fun () -> ()) () =
   let cpu = Machine.cpu m from in
+  let t0 = Machine.now m in
   (* Acks are monotone while we wait, so once a prefix of [cfds] is acked
      it stays acked: keep a cursor instead of rescanning from the head on
      every poll (this loop runs once per spin_poll window per shootdown). *)
@@ -108,4 +110,14 @@ let wait_for_acks m ~from cfds ?(while_waiting = fun () -> ()) () =
   List.iter (fun c -> Machine.charge_read m c.Percpu.cfd_line ~by:from) cfds;
   if cfds <> [] && Machine.tracing m then
     Machine.trace_event m ~cpu:from
-      (Trace.Acks_seen { seqs = List.map (fun c -> c.Percpu.cfd_seq) cfds })
+      (Trace.Acks_seen { seqs = List.map (fun c -> c.Percpu.cfd_seq) cfds });
+  if cfds <> [] && Machine.metering m then begin
+    (* The wait is one span; attribute it to the farthest responder — the
+       ack that structurally arrives last and bounds the span. *)
+    let far =
+      List.fold_left
+        (fun acc c -> Stdlib.max acc (Machine.distance_rank m from c.Percpu.cfd_target))
+        0 cfds
+    in
+    Metrics.record_cycles m.Machine.phases.Machine.ack.(far) (Machine.now m - t0)
+  end

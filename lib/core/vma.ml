@@ -107,7 +107,7 @@ module Set = struct
     in
     let removed =
       List.map (fun vma -> clip vma ~vpn ~stop) affected
-      |> List.sort (fun a b -> compare a.start_vpn b.start_vpn)
+      |> List.sort (fun a b -> Int.compare a.start_vpn b.start_vpn)
     in
     (set, removed)
 

@@ -391,8 +391,8 @@ let execute ~opts program =
                   pte.Pte.writable
                   (match size with Tlb.Four_k -> "4k" | Tlb.Two_m -> "2m")
                 :: !lines);
-          final := List.sort compare !lines @ !final)
-    (List.sort compare mm_ids);
+          final := List.sort String.compare !lines @ !final)
+    (List.sort Int.compare mm_ids);
   final := Printf.sprintf "frames allocated=%d" (Frame_alloc.allocated m.Machine.frames) :: !final;
   let invariants = ref [] in
   Explorer.post_invariants m (fun s -> invariants := s :: !invariants);

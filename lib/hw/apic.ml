@@ -5,12 +5,17 @@ type t = {
   cpus : Cpu.t array;
   mutable n_ipis : int;
   mutable n_icr : int;
+  mutable meter : (int -> int -> unit) option;
+      (* (distance rank, delivery cycles) per IPI; installed by the metrics
+         layer, [None] costs one load+branch per send. *)
 }
 
 let create eng topo cost ~cpus =
   if Array.length cpus <> Topology.n_cpus topo then
     invalid_arg "Apic.create: cpu array does not match topology";
-  { eng; topo; cost; cpus; n_ipis = 0; n_icr = 0 }
+  { eng; topo; cost; cpus; n_ipis = 0; n_icr = 0; meter = None }
+
+let set_delivery_meter t f = t.meter <- Some f
 
 let send_ipi t ~from ~targets ~make_irq =
   List.iter
@@ -29,7 +34,13 @@ let send_ipi t ~from ~targets ~make_irq =
       List.iter
         (fun target ->
           t.n_ipis <- t.n_ipis + 1;
-          let latency = Costs.ipi_latency t.cost (Topology.distance t.topo from target) in
+          let d = Topology.distance t.topo from target in
+          let latency = Costs.ipi_latency t.cost d in
+          (* Delivery = queueing behind earlier ICR writes + flight time;
+             this is what the target experiences from the first ICR write. *)
+          (match t.meter with
+          | Some f -> f (Topology.distance_rank d) (offset + latency)
+          | None -> ());
           let irq = make_irq target in
           Engine.schedule t.eng ~delay:(offset + latency) (fun () ->
               Cpu.post_irq t.cpus.(target) irq))

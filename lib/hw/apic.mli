@@ -9,6 +9,13 @@ type t
 
 val create : Engine.t -> Topology.t -> Costs.t -> cpus:Cpu.t array -> t
 
+(** [set_delivery_meter t f] installs a per-IPI observer: [f rank cycles]
+    is called once per target with the {!Topology.distance_rank} of
+    sender→target and the delivery latency (ICR-write queueing + flight
+    time) that target experiences. Used by the metrics layer; without a
+    meter the send path pays one load+branch. *)
+val set_delivery_meter : t -> (int -> int -> unit) -> unit
+
 (** [send_ipi t ~from ~targets ~make_irq] posts [make_irq target] to every
     target CPU after per-target delivery latency, and returns the cycle cost
     the {e sender} pays (one ICR write per cluster touched). The caller — a

@@ -26,6 +26,9 @@ type registry = {
   mutable t_cross : int;
   mutable t_cycles : int;
   mutable lines : line list;
+  mutable meter : (int -> int -> unit) option;
+      (* (distance rank, cycle cost) per access; installed by the metrics
+         layer, [None] costs one load+branch in [record]. *)
 }
 
 (* Owner and sharers are immediate ints — owner is a cpu id or -1, sharers
@@ -41,11 +44,7 @@ and line = {
   mutable n_transfers : int;
 }
 
-let distance_rank = function
-  | Topology.Self -> 0
-  | Topology.Smt_sibling -> 1
-  | Topology.Same_socket -> 2
-  | Topology.Cross_socket -> 3
+let distance_rank = Topology.distance_rank
 
 (* Inverse of [distance_rank]; ranks are injective on the constructors, so
    storing ranks and mapping back returns the exact same constructor. *)
@@ -77,7 +76,10 @@ let create_registry topo costs =
     t_cross = 0;
     t_cycles = 0;
     lines = [];
+    meter = None;
   }
+
+let set_transfer_meter reg f = reg.meter <- Some f
 
 let create_line reg ~name =
   let l =
@@ -92,6 +94,7 @@ let record l (d : Topology.distance) cost =
   let reg = l.reg in
   l.n_accesses <- l.n_accesses + 1;
   reg.t_cycles <- reg.t_cycles + cost;
+  (match reg.meter with Some f -> f (distance_rank d) cost | None -> ());
   match d with
   | Self -> reg.t_local <- reg.t_local + 1
   | Smt_sibling ->

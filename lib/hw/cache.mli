@@ -23,6 +23,13 @@ type totals = {
 
 val create_registry : Topology.t -> Costs.t -> registry
 
+(** [set_transfer_meter reg f] installs a per-access observer: [f rank cost]
+    is called for every priced access with the {!Topology.distance_rank} of
+    the transfer source (rank 0 = local hit) and its cycle cost. Used by
+    the metrics layer; without a meter the access path pays one
+    load+branch. *)
+val set_transfer_meter : registry -> (int -> int -> unit) -> unit
+
 (** Register a named cacheline; initially unowned (first touch is a cheap
     local fill). *)
 val create_line : registry -> name:string -> line

@@ -74,6 +74,9 @@ type t = {
   mutable s_fracture_full : int;
   mutable pwc : bool;
   mutable fracture : bool;
+  mutable flush_meter : (bool -> int -> unit) option;
+      (* (is_full_flush, entries dropped) per whole-TLB or whole-PCID
+         flush; installed by the metrics layer. *)
 }
 
 let create ?(capacity = 1536) () =
@@ -95,7 +98,10 @@ let create ?(capacity = 1536) () =
     s_fracture_full = 0;
     pwc = false;
     fracture = false;
+    flush_meter = None;
   }
+
+let set_flush_meter t f = t.flush_meter <- Some f
 
 let capacity t = t.cap
 let occupancy t = Itbl.length t.table + Itbl.length t.globals
@@ -181,6 +187,9 @@ let insert t e =
   end
 
 let full_flush_internal t =
+  (match t.flush_meter with
+  | Some f -> f true (Itbl.length t.table + Itbl.length t.globals)
+  | None -> ());
   Itbl.reset t.table;
   Itbl.reset t.globals;
   Itbl.reset t.stamps;
@@ -228,6 +237,9 @@ let drop_pcid t ~pcid =
   let doomed =
     Itbl.fold (fun key _ acc -> if key_pcid key = pcid then key :: acc else acc) t.table []
   in
+  (match t.flush_meter with
+  | Some f -> f false (List.length doomed)
+  | None -> ());
   List.iter (remove_key t) doomed
 
 let flush_pcid t ~pcid =

@@ -51,6 +51,12 @@ val create : ?capacity:int -> unit -> t
 val capacity : t -> int
 val occupancy : t -> int
 
+(** [set_flush_meter t f] installs a flush observer: [f full dropped] is
+    called with the number of entries dropped by each whole-TLB flush
+    ([full = true]: flush_all and fracture promotions) or whole-PCID drop
+    ([full = false]: flush_pcid / cr3_flush). Used by the metrics layer. *)
+val set_flush_meter : t -> (bool -> int -> unit) -> unit
+
 (** [lookup t ~pcid ~vpn] checks the 4 KiB mapping, a covering 2 MiB
     mapping, and global entries. Counts a hit or miss. *)
 val lookup : t -> pcid:int -> vpn:int -> entry option

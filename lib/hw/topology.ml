@@ -72,13 +72,32 @@ let clusters_of_targets t cpus =
       Hashtbl.replace tbl c (cpu :: existing))
     cpus;
   Hashtbl.fold (fun c members acc -> (c, List.rev members) :: acc) tbl []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  (* Int.compare: cluster ids are ints, and the monomorphic compare skips
+     the polymorphic-compare tag dispatch on this per-IPI path. *)
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
-let pp_distance fmt = function
-  | Self -> Format.pp_print_string fmt "self"
-  | Smt_sibling -> Format.pp_print_string fmt "smt-sibling"
-  | Same_socket -> Format.pp_print_string fmt "same-socket"
-  | Cross_socket -> Format.pp_print_string fmt "cross-socket"
+let distance_rank = function
+  | Self -> 0
+  | Smt_sibling -> 1
+  | Same_socket -> 2
+  | Cross_socket -> 3
+
+let n_distance_ranks = 4
+
+let distance_of_rank = function
+  | 0 -> Self
+  | 1 -> Smt_sibling
+  | 2 -> Same_socket
+  | 3 -> Cross_socket
+  | r -> invalid_arg (Printf.sprintf "Topology.distance_of_rank: %d" r)
+
+let distance_label = function
+  | Self -> "self"
+  | Smt_sibling -> "smt-sibling"
+  | Same_socket -> "same-socket"
+  | Cross_socket -> "cross-socket"
+
+let pp_distance fmt d = Format.pp_print_string fmt (distance_label d)
 
 let pp fmt t =
   Format.fprintf fmt "%d socket(s) x %d cores x %d SMT = %d logical CPUs"

@@ -8,6 +8,7 @@ type config = {
   iterations : int;
   warmup : int;
   seed : int64;
+  metering : bool;
 }
 
 let default_config ~opts ~placement ~pte_count =
@@ -19,6 +20,7 @@ let default_config ~opts ~placement ~pte_count =
     iterations = 200;
     warmup = 20;
     seed = 7L;
+    metering = false;
   }
 
 type result = {
@@ -28,6 +30,7 @@ type result = {
   responder_sd : float;
   shootdowns : int;
   engine_ops : int;
+  metrics : Metrics.t;
 }
 
 let placement_label = function
@@ -47,7 +50,10 @@ let responder_cpu topo = function
   | Cross_socket -> Topology.cores_per_socket topo
 
 let run config =
-  let m = Machine.create ~opts:config.opts ~costs:config.costs ~seed:config.seed () in
+  let m =
+    Machine.create ~opts:config.opts ~costs:config.costs ~seed:config.seed
+      ~metering:config.metering ()
+  in
   let topo = m.Machine.topo in
   let initiator = 0 in
   let responder = responder_cpu topo config.placement in
@@ -108,4 +114,5 @@ let run config =
     responder_sd = 0.0;
     shootdowns = !measured_shootdowns;
     engine_ops = Machine.engine_ops m;
+    metrics = m.Machine.metrics;
   }

@@ -17,6 +17,7 @@ type config = {
   iterations : int;
   warmup : int;
   seed : int64;
+  metering : bool;  (** enable the phase-latency metrics (DESIGN.md §10) *)
 }
 
 val default_config : opts:Opts.t -> placement:placement -> pte_count:int -> config
@@ -28,6 +29,9 @@ type result = {
   responder_sd : float;  (** 0 (aggregate accounting); kept for symmetry *)
   shootdowns : int;
   engine_ops : int;  (** engine events + advances spent by this run *)
+  metrics : Metrics.t;
+      (** the run machine's phase-latency registry; populated only when
+          [config.metering] was set (empty-but-shaped otherwise) *)
 }
 
 val run : config -> result

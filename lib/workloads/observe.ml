@@ -1,0 +1,67 @@
+(* The `tlbsim stats` workload: a metered microbench sweep whose merged
+   phase-latency registry is exported as a table, JSON, or Prometheus text.
+
+   Cells are self-contained (config, seed) sim runs — the same contract as
+   the bench harness — executed on the shared Domain_pool and merged in
+   plan order into a fresh registry, so the report is byte-identical at
+   any [-j]. The sweep covers every placement (self/SMT flush-exec rows
+   come from the same-core placement, cross-socket rows from the
+   cross-socket one) and three flush sizes: 1 and 10 PTEs (the paper's
+   ranged flushes) plus 50, which exceeds Linux's 33-entry full-flush
+   ceiling and exercises the CR3 path. *)
+
+type format = Table | Json | Prometheus
+
+let format_of_string = function
+  | "table" -> Some Table
+  | "json" -> Some Json
+  | "prom" | "prometheus" -> Some Prometheus
+  | _ -> None
+
+let pte_counts = [ 1; 10; 50 ]
+
+let configs ~iterations ~seed =
+  List.concat_map
+    (fun placement ->
+      List.map
+        (fun pte_count ->
+          let opts = Opts.all ~safe:true in
+          let base = Microbench.default_config ~opts ~placement ~pte_count in
+          { base with Microbench.iterations; seed; metering = true })
+        pte_counts)
+    Microbench.all_placements
+
+let collect ?(iterations = 200) ?(seed = 7L) ~jobs () =
+  let cells =
+    List.map
+      (fun config ->
+        Shard.cell
+          ~label:
+            (Printf.sprintf "stats/%s/%d"
+               (Microbench.placement_label config.Microbench.placement)
+               config.Microbench.pte_count)
+          ~ops:(fun r -> r.Microbench.engine_ops)
+          ~weight:(float_of_int config.Microbench.pte_count)
+          (fun () -> Microbench.run config))
+      (configs ~iterations ~seed)
+  in
+  let plan =
+    { Shard.name = "stats"; jobs = List.map fst cells; reduce = (fun () -> ()) }
+  in
+  let _outcomes, _gc = Shard.execute ~jobs [ plan ] in
+  (* Plan-order merge into a fresh registry: every cell pre-registered the
+     same series in the same order (Machine.create), so the merged
+     registration order — and each accumulator's sample order — is a pure
+     function of the plan, independent of worker count. *)
+  let merged = Metrics.create ~enabled:false () in
+  List.iter (fun (_, get) -> Metrics.merge_into merged (get ()).Microbench.metrics) cells;
+  merged
+
+let render format metrics =
+  match format with
+  | Json -> Metrics.to_json metrics
+  | Prometheus -> Metrics.to_prometheus metrics
+  | Table -> Format.asprintf "%a" Metrics.pp_table metrics
+
+let run ?iterations ?seed ~jobs format =
+  render format (collect ?iterations ?seed ~jobs ())

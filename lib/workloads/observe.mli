@@ -1,0 +1,19 @@
+(** The [tlbsim stats] workload: a metered microbench sweep (every
+    placement × 1/10/50-PTE flushes, all six optimizations, safe mode)
+    whose per-shootdown phase-latency metrics are merged in plan order —
+    byte-identical output at any [~jobs] — and rendered as an ASCII table,
+    JSON, or Prometheus text exposition. *)
+
+type format = Table | Json | Prometheus
+
+(** ["table"], ["json"], ["prom"]/["prometheus"]. *)
+val format_of_string : string -> format option
+
+(** Run the sweep on [jobs] domains and return the merged registry.
+    Defaults: 200 iterations per cell, seed 7. *)
+val collect : ?iterations:int -> ?seed:int64 -> jobs:int -> unit -> Metrics.t
+
+val render : format -> Metrics.t -> string
+
+(** [collect] + [render]. *)
+val run : ?iterations:int -> ?seed:int64 -> jobs:int -> format -> string

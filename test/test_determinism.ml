@@ -108,6 +108,18 @@ let test_per_run_rng_isolation () =
   check pairf "slot 4 = solo" solo interleaved.(4);
   check Alcotest.bool "different seed differs" true (interleaved.(1) <> solo)
 
+(* The `tlbsim stats` report merges per-cell metric registries in plan
+   order, so every export format must be byte-identical at any -j. Mini
+   iteration count: this runs nine metered sim cells per jobs level. *)
+let test_metrics_report_identical_across_jobs () =
+  let report ~jobs format = Observe.run ~iterations:20 ~seed:7L ~jobs format in
+  List.iter
+    (fun (label, format) ->
+      let j1 = report ~jobs:1 format in
+      check Alcotest.bool (label ^ " non-empty") true (String.length j1 > 0);
+      check Alcotest.string (label ^ ": -j2 = -j1") j1 (report ~jobs:2 format))
+    [ ("table", Observe.Table); ("json", Observe.Json); ("prom", Observe.Prometheus) ]
+
 let suite =
   [
     Alcotest.test_case "microbench repeatable" `Quick test_microbench_repeatable;
@@ -119,4 +131,6 @@ let suite =
     Alcotest.test_case "sharded fig10/fig11: -j2/-j4 = -j1" `Quick
       test_sharded_figures_identical_across_jobs;
     Alcotest.test_case "per-run rng streams isolated" `Quick test_per_run_rng_isolation;
+    Alcotest.test_case "metrics report: -j2 = -j1 (all formats)" `Quick
+      test_metrics_report_identical_across_jobs;
   ]

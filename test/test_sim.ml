@@ -129,13 +129,125 @@ let test_histogram () =
   Stats.Histogram.add h 15.0;
   Stats.Histogram.add h 15.5;
   Stats.Histogram.add h 999.0;
-  (* clamps into last bucket *)
+  (* counted as overflow, not folded into the last bucket *)
   Stats.Histogram.add h (-5.0);
-  (* clamps into first bucket *)
+  (* counted as underflow, not folded into the first bucket *)
   let counts = Stats.Histogram.counts h in
-  check int_t "bucket 0" 2 counts.(0);
+  check int_t "bucket 0" 1 counts.(0);
   check int_t "bucket 1" 2 counts.(1);
-  check int_t "bucket 9" 1 counts.(9)
+  check int_t "bucket 9" 0 counts.(9);
+  check int_t "underflow" 1 (Stats.Histogram.underflow h);
+  check int_t "overflow" 1 (Stats.Histogram.overflow h);
+  check int_t "total" 5 (Stats.Histogram.total h)
+
+let test_stats_empty_options () =
+  let s = Stats.create () in
+  check (Alcotest.option (Alcotest.float 0.0)) "min_opt" None (Stats.min_opt s);
+  check (Alcotest.option (Alcotest.float 0.0)) "max_opt" None (Stats.max_opt s);
+  check
+    (Alcotest.option (Alcotest.float 0.0))
+    "p50_opt" None
+    (Stats.percentile_opt s 50.0);
+  check (Alcotest.option (Alcotest.float 0.0)) "median_opt" None (Stats.median_opt s);
+  check Alcotest.string "pp marks empty" "n=0 (no samples)"
+    (Format.asprintf "%a" Stats.pp s)
+
+(* NaN must not poison min/max or make percentile order unspecified:
+   Float.compare is total, NaN sorts below every number. Infinities pass
+   through as ordinary extremes. *)
+let test_stats_nan_inf () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.0; Float.nan; 3.0 ];
+  check int_t "count includes nan" 3 (Stats.count s);
+  check (Alcotest.float 1e-9) "min ignores nan" 1.0 (Stats.min s);
+  check (Alcotest.float 1e-9) "max ignores nan" 3.0 (Stats.max s);
+  (* sorted = [nan; 1; 3]: deterministic, so p100 = 3 and p50 = 1. *)
+  check (Alcotest.float 1e-9) "p100 with nan present" 3.0 (Stats.percentile s 100.0);
+  check (Alcotest.float 1e-9) "p50 with nan present" 1.0 (Stats.percentile s 50.0);
+  let i = Stats.create () in
+  List.iter (Stats.add i) [ 1.0; Float.infinity ];
+  check Alcotest.bool "mean is +inf" true (Stats.mean i = Float.infinity);
+  check Alcotest.bool "max is +inf" true (Stats.max i = Float.infinity);
+  let h = Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:2 in
+  Stats.Histogram.add h Float.nan;
+  Stats.Histogram.add h Float.infinity;
+  Stats.Histogram.add h Float.neg_infinity;
+  check int_t "hist nan" 1 (Stats.Histogram.nan_count h);
+  check int_t "hist +inf overflows" 1 (Stats.Histogram.overflow h);
+  check int_t "hist -inf underflows" 1 (Stats.Histogram.underflow h);
+  check (Alcotest.array int_t) "bins untouched" [| 0; 0 |] (Stats.Histogram.counts h)
+
+(* Past [cap] retained samples the percentile buffer thins by systematic
+   stride-doubling: bounded memory, still a pure function of the stream. *)
+let test_stats_reservoir_bounded_deterministic () =
+  let fill () =
+    let s = Stats.create ~cap:8 () in
+    for i = 1 to 1000 do
+      Stats.add s (float_of_int i)
+    done;
+    s
+  in
+  let s = fill () in
+  check int_t "count unbounded" 1000 (Stats.count s);
+  check Alcotest.bool "retained bounded" true (Stats.retained s <= 8);
+  check Alcotest.bool "marked subsampled" false (Stats.exact_percentiles s);
+  check (Alcotest.float 1e-9) "moments stay exact: mean" 500.5 (Stats.mean s);
+  check (Alcotest.float 1e-9) "min exact" 1.0 (Stats.min s);
+  check (Alcotest.float 1e-9) "max exact" 1000.0 (Stats.max s);
+  let s' = fill () in
+  check (Alcotest.float 0.0) "same stream, same p50" (Stats.percentile s 50.0)
+    (Stats.percentile s' 50.0);
+  check (Alcotest.float 0.0) "same stream, same p99" (Stats.percentile s 99.0)
+    (Stats.percentile s' 99.0);
+  (* Below the cap nothing is dropped: percentiles stay exact. *)
+  let e = Stats.create ~cap:8 () in
+  List.iter (Stats.add e) [ 4.0; 1.0; 3.0; 2.0 ];
+  check Alcotest.bool "exact below cap" true (Stats.exact_percentiles e);
+  check (Alcotest.float 1e-9) "exact p50" 2.5 (Stats.percentile e 50.0)
+
+(* merge_into must agree with having streamed everything into one
+   accumulator: exact for the moments (Chan's formula) and for the
+   percentiles while both sides are below cap. *)
+let test_stats_merge_matches_single_stream () =
+  let a = Stats.create () and b = Stats.create () and whole = Stats.create () in
+  for i = 1 to 50 do
+    Stats.add a (float_of_int i);
+    Stats.add whole (float_of_int i)
+  done;
+  for i = 51 to 100 do
+    Stats.add b (float_of_int i);
+    Stats.add whole (float_of_int i)
+  done;
+  Stats.merge_into a b;
+  check int_t "count" (Stats.count whole) (Stats.count a);
+  check (Alcotest.float 1e-9) "mean" (Stats.mean whole) (Stats.mean a);
+  check (Alcotest.float 1e-6) "stddev" (Stats.stddev whole) (Stats.stddev a);
+  check (Alcotest.float 0.0) "min" (Stats.min whole) (Stats.min a);
+  check (Alcotest.float 0.0) "max" (Stats.max whole) (Stats.max a);
+  List.iter
+    (fun p ->
+      check (Alcotest.float 1e-9)
+        (Printf.sprintf "p%.0f" p)
+        (Stats.percentile whole p) (Stats.percentile a p))
+    [ 0.0; 25.0; 50.0; 90.0; 99.0; 100.0 ]
+
+let test_histogram_merge () =
+  let a = Stats.Histogram.create ~lo:0.0 ~hi:100.0 ~buckets:10 in
+  let b = Stats.Histogram.create ~lo:0.0 ~hi:100.0 ~buckets:10 in
+  List.iter (Stats.Histogram.add a) [ 5.0; 15.0; -1.0 ];
+  List.iter (Stats.Histogram.add b) [ 5.0; 200.0; Float.nan ];
+  Stats.Histogram.merge_into a b;
+  let counts = Stats.Histogram.counts a in
+  check int_t "bucket 0 summed" 2 counts.(0);
+  check int_t "bucket 1" 1 counts.(1);
+  check int_t "underflow" 1 (Stats.Histogram.underflow a);
+  check int_t "overflow" 1 (Stats.Histogram.overflow a);
+  check int_t "nan" 1 (Stats.Histogram.nan_count a);
+  check int_t "total" 6 (Stats.Histogram.total a);
+  let c = Stats.Histogram.create ~lo:0.0 ~hi:50.0 ~buckets:10 in
+  Alcotest.check_raises "config mismatch rejected"
+    (Invalid_argument "Histogram.merge_into: bucket configurations differ") (fun () ->
+      Stats.Histogram.merge_into a c)
 
 (* --- Heap --- *)
 
@@ -478,6 +590,13 @@ let suite =
     Alcotest.test_case "stats: percentile interpolation" `Quick test_stats_percentile_interpolates;
     Alcotest.test_case "stats: merge" `Quick test_stats_merge;
     Alcotest.test_case "stats: histogram" `Quick test_histogram;
+    Alcotest.test_case "stats: empty-series options" `Quick test_stats_empty_options;
+    Alcotest.test_case "stats: nan/inf samples" `Quick test_stats_nan_inf;
+    Alcotest.test_case "stats: bounded deterministic reservoir" `Quick
+      test_stats_reservoir_bounded_deterministic;
+    Alcotest.test_case "stats: merge = single stream" `Quick
+      test_stats_merge_matches_single_stream;
+    Alcotest.test_case "stats: histogram merge" `Quick test_histogram_merge;
     Alcotest.test_case "heap: pops in order" `Quick test_heap_ordering;
     Alcotest.test_case "heap: peek" `Quick test_heap_peek;
     Alcotest.test_case "heap: random vs sort" `Quick test_heap_random_against_sort;

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Validate `tlbsim stats` output. Stdlib only (CI runners have no jsonschema).
+
+    validate_stats.py --json  bench/stats.schema.json < stats.json
+    validate_stats.py --prom < stats.prom
+
+--json checks the document against a JSON-Schema subset (type, required,
+properties, items, enum, const) and then a few semantic invariants the
+schema language cannot express: count == sum(histogram counts incl.
+under/overflow/nan) and null percentiles exactly when count == 0.
+
+--prom checks the Prometheus text exposition line format: HELP/TYPE
+comments, `name{labels} value` samples, cumulative non-decreasing buckets
+per series, and `le="+Inf"` bucket == `_count`.
+"""
+
+import json
+import re
+import sys
+
+
+def fail(msg):
+    print(f"validate_stats: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check(schema, doc, path="$"):
+    if "const" in schema:
+        if doc != schema["const"]:
+            fail(f"{path}: expected const {schema['const']!r}, got {doc!r}")
+    if "enum" in schema:
+        if doc not in schema["enum"]:
+            fail(f"{path}: {doc!r} not in enum {schema['enum']!r}")
+    if "type" in schema:
+        types = schema["type"] if isinstance(schema["type"], list) else [schema["type"]]
+        pytypes = {
+            "object": dict,
+            "array": list,
+            "string": str,
+            "number": (int, float),
+            "integer": int,
+            "boolean": bool,
+            "null": type(None),
+        }
+        # bool is an int in Python; exclude it from number/integer.
+        ok = any(
+            isinstance(doc, pytypes[t]) and not (t in ("number", "integer") and isinstance(doc, bool))
+            for t in types
+        )
+        if not ok:
+            fail(f"{path}: expected {types}, got {type(doc).__name__} ({doc!r})")
+    if isinstance(doc, dict):
+        for key in schema.get("required", []):
+            if key not in doc:
+                fail(f"{path}: missing required key {key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in doc:
+                check(sub, doc[key], f"{path}.{key}")
+    if isinstance(doc, list) and "items" in schema:
+        for i, item in enumerate(doc):
+            check(schema["items"], item, f"{path}[{i}]")
+
+
+def validate_json(schema_path):
+    schema = json.load(open(schema_path))
+    doc = json.load(sys.stdin)
+    check(schema, doc)
+    for i, s in enumerate(doc["series"]):
+        h = s["histogram"]
+        total = sum(h["counts"]) + h["underflow"] + h["overflow"] + h["nan"]
+        if total != s["count"]:
+            fail(f"series[{i}] {s['metric']}: histogram total {total} != count {s['count']}")
+        empties = [s[k] is None for k in ("min", "p50", "p90", "p99", "max")]
+        if s["count"] == 0 and not all(empties):
+            fail(f"series[{i}] {s['metric']}: empty series must report null percentiles")
+        if s["count"] > 0 and any(empties):
+            fail(f"series[{i}] {s['metric']}: non-empty series reported null percentiles")
+    print(f"validate_stats: JSON ok ({len(doc['series'])} series)")
+
+
+SAMPLE_RE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*")*\})? '
+    r"(-?\d+(\.\d+)?([eE][+-]?\d+)?|NaN|[+-]Inf)$"
+)
+
+
+def validate_prom():
+    buckets = {}  # series key (name + non-le labels) -> list of (le, value)
+    counts = {}
+    n_samples = 0
+    for lineno, line in enumerate(sys.stdin, 1):
+        line = line.rstrip("\n")
+        if not line:
+            continue
+        if line.startswith("#"):
+            if not re.match(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* ", line):
+                fail(f"line {lineno}: malformed comment: {line!r}")
+            continue
+        if not SAMPLE_RE.match(line):
+            fail(f"line {lineno}: malformed sample: {line!r}")
+        n_samples += 1
+        name = line.split("{")[0].split(" ")[0]
+        value = float(line.rsplit(" ", 1)[1])
+        labels = dict(re.findall(r'([a-zA-Z0-9_]+)="([^"]*)"', line))
+        le = labels.pop("le", None)
+        key = (name, tuple(sorted(labels.items())))
+        if name.endswith("_bucket"):
+            if le is None:
+                fail(f"line {lineno}: _bucket sample without le label")
+            buckets.setdefault(key, []).append((le, value))
+        elif name.endswith("_count"):
+            counts[(name[: -len("_count")] + "_bucket", key[1])] = value
+    if n_samples == 0:
+        fail("no samples found")
+    for key, series in buckets.items():
+        values = [v for _, v in series]
+        if values != sorted(values):
+            fail(f"{key}: bucket counts not cumulative")
+        les = [le for le, _ in series]
+        if les[-1] != "+Inf":
+            fail(f"{key}: last bucket is {les[-1]!r}, expected +Inf")
+        expected = counts.get(key)
+        if expected is not None and values[-1] != expected:
+            fail(f"{key}: +Inf bucket {values[-1]} != _count {expected}")
+    print(f"validate_stats: Prometheus ok ({n_samples} samples, {len(buckets)} histograms)")
+
+
+def main():
+    if len(sys.argv) >= 2 and sys.argv[1] == "--json":
+        if len(sys.argv) != 3:
+            fail("usage: validate_stats.py --json <schema.json> < doc.json")
+        validate_json(sys.argv[2])
+    elif len(sys.argv) == 2 and sys.argv[1] == "--prom":
+        validate_prom()
+    else:
+        fail("usage: validate_stats.py (--json <schema.json> | --prom) < input")
+
+
+if __name__ == "__main__":
+    main()
