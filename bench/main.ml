@@ -117,7 +117,7 @@ let table3_plan () =
       let first = snd (List.hd cells) in
       let last = snd (List.nth cells (List.length cells - 1)) in
       let pct baseline v =
-        if baseline = 0.0 then 0.0 else (baseline -. v) /. baseline *. 100.0
+        if Float.equal baseline 0.0 then 0.0 else (baseline -. v) /. baseline *. 100.0
       in
       ( pct first.Microbench.initiator_mean last.Microbench.initiator_mean,
         pct first.Microbench.responder_mean last.Microbench.responder_mean )
@@ -647,12 +647,12 @@ let bechamel () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
   print_endline "\n== Bechamel: harness wall-clock (ns per run) ==";
-  Hashtbl.iter
-    (fun name ols ->
-      match Analyze.OLS.estimates ols with
-      | Some [ est ] -> Printf.printf "  %-32s %12.0f ns/run\n" name est
-      | Some _ | None -> Printf.printf "  %-32s (no estimate)\n" name)
-    results
+  Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (name, ols) ->
+         match Analyze.OLS.estimates ols with
+         | Some [ est ] -> Printf.printf "  %-32s %12.0f ns/run\n" name est
+         | Some _ | None -> Printf.printf "  %-32s (no estimate)\n" name)
 
 (* ----- driver: named experiments, sharded over the domain pool ----- *)
 
@@ -725,7 +725,7 @@ let phases_rows ~jobs =
           |> String.concat ","
         in
         let id =
-          if labels = "" then Metrics.series_name s
+          if String.equal labels "" then Metrics.series_name s
           else Printf.sprintf "%s{%s}" (Metrics.series_name s) labels
         in
         let pct p = Option.value (Stats.percentile_opt st p) ~default:0.0 in
@@ -838,7 +838,7 @@ let () =
     | ("-v" | "--verbose") :: rest ->
         verbose := true;
         parse acc rest
-    | ("-j" | "--jobs") :: n :: rest when int_of_string_opt n <> None ->
+    | ("-j" | "--jobs") :: n :: rest when Option.is_some (int_of_string_opt n) ->
         jobs := int_of_string n;
         parse acc rest
     | [ ("-j" | "--jobs") ] ->
@@ -846,8 +846,9 @@ let () =
         exit 2
     | arg :: rest
       when String.length arg > 2
-           && String.sub arg 0 2 = "-j"
-           && int_of_string_opt (String.sub arg 2 (String.length arg - 2)) <> None ->
+           && String.equal (String.sub arg 0 2) "-j"
+           && Option.is_some (int_of_string_opt (String.sub arg 2 (String.length arg - 2)))
+      ->
         jobs := int_of_string (String.sub arg 2 (String.length arg - 2));
         parse acc rest
     | arg :: rest -> parse (arg :: acc) rest
@@ -861,7 +862,7 @@ let () =
     | "figs5-8" -> Some fig_tasks
     | ("fig5" | "fig6" | "fig7" | "fig8" | "table3" | "fig9" | "fig10" | "fig11"
       | "table2" | "table4") as cmd ->
-        Some (List.filter (fun (n, _) -> n = cmd) all_tasks)
+        Some (List.filter (fun (n, _) -> String.equal n cmd) all_tasks)
     | "ablation" -> Some ablation_tasks
     | "all" -> Some all_tasks
     | _ -> None

@@ -36,7 +36,7 @@ let find_key s ~from ?(until = max_int) key =
   let until = min until slen in
   let rec find i =
     if i + plen > slen || i >= until then None
-    else if String.sub s i plen = pat then Some i
+    else if String.equal (String.sub s i plen) pat then Some i
     else find (i + 1)
   in
   find from
@@ -105,7 +105,7 @@ let rows_of_file path =
             engine_ops = Option.bind (field "engine_ops") int_of_string_opt;
           }
         in
-        if row.wall_s = None then
+        if Option.is_none row.wall_s then
           Printf.eprintf "perf_gate: row %s in %s has no usable wall_s\n" row.name
             path;
         collect bound (row :: acc)
@@ -154,7 +154,7 @@ let () =
   in
   let baseline = rows_of_file baseline_path in
   let current = rows_of_file current_path in
-  if baseline = [] then begin
+  if List.is_empty baseline then begin
     Printf.eprintf "perf_gate: no experiment rows in %s\n" baseline_path;
     exit 2
   end;
@@ -162,7 +162,7 @@ let () =
   let failed = ref 0 in
   List.iter
     (fun b ->
-      match List.find_opt (fun c -> c.name = b.name) current with
+      match List.find_opt (fun c -> String.equal c.name b.name) current with
       | None ->
           Printf.printf "FAIL %-12s missing from current run\n" b.name;
           incr failed

@@ -40,13 +40,13 @@ let opts_t =
      'none'."
   in
   let parse s =
-    if s = "none" then Ok `None
-    else if s = "all" then Ok `All
-    else if s = "general" then Ok `General
+    if String.equal s "none" then Ok `None
+    else if String.equal s "all" then Ok `All
+    else if String.equal s "general" then Ok `General
     else begin
       let names = String.split_on_char ',' s in
       let unknown = List.filter (fun n -> not (List.mem_assoc n opt_names)) names in
-      if unknown = [] then Ok (`List names)
+      if List.is_empty unknown then Ok (`List names)
       else Error (`Msg (Printf.sprintf "unknown optimization(s): %s" (String.concat ", " unknown)))
     end
   in
@@ -265,7 +265,9 @@ let analyze_cmd =
   in
   let run safe spec inject_bug explore rounds seed jobs =
     let opts = make_opts ~safe spec in
-    let opts = if spec = `None && not explore then Opts.all_general ~safe else opts in
+    let opts =
+      match spec with `None when not explore -> Opts.all_general ~safe | _ -> opts
+    in
     if inject_bug then opts.Opts.bug_skip_deferred_flush <- true;
     if explore then begin
       (* Sweep every subset of the four general optimizations on the
@@ -383,7 +385,7 @@ let fuzz_cmd =
         Printf.printf "fuzz: %d/%d seeds diverged (seeds %d..%d)\n"
           (List.length report.Fuzz.failures) report.Fuzz.tested seed_base
           (seed_base + count - 1);
-        if report.Fuzz.failures <> [] then exit 1
+        if not (List.is_empty report.Fuzz.failures) then exit 1
   in
   Cmd.v
     (Cmd.info "fuzz"

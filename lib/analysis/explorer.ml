@@ -46,7 +46,7 @@ let probe m add_failure =
     let cpu_t = Machine.cpu m cpu in
     (* §3.4: a CPU executing user code must have no deferred user flush
        outstanding — return_to_user is obliged to drain it. *)
-    if Cpu.in_user cpu_t && pcpu.Percpu.pending_user <> Percpu.No_flush then
+    if Cpu.in_user cpu_t && not (Percpu.no_pending_user pcpu.Percpu.pending_user) then
       add_failure (Printf.sprintf "cpu%d runs user code with a deferred user flush pending" cpu);
     (* §3.2: whenever nmi_uaccess_okay claims an NMI may touch user memory,
        the translations that NMI would use must hold nothing stale that is
@@ -90,13 +90,13 @@ let post_invariants m add_failure =
   if w > 0 then add_failure (Printf.sprintf "%d invalidation window(s) open at quiescence" w);
   for cpu = 0 to Machine.n_cpus m - 1 do
     let pcpu = Machine.percpu m cpu in
-    if pcpu.Percpu.pending_user <> Percpu.No_flush then
+    if not (Percpu.no_pending_user pcpu.Percpu.pending_user) then
       add_failure (Printf.sprintf "cpu%d: deferred user flush survives quiescence" cpu);
     if not (Queue.is_empty pcpu.Percpu.csq) then
       add_failure (Printf.sprintf "cpu%d: undrained call queue at quiescence" cpu);
     if pcpu.Percpu.inflight_flush then
       add_failure (Printf.sprintf "cpu%d: inflight-flush flag stuck at quiescence" cpu);
-    if pcpu.Percpu.batch <> [] then
+    if not (List.is_empty pcpu.Percpu.batch) then
       add_failure (Printf.sprintf "cpu%d: unflushed batched shootdowns at quiescence" cpu)
   done
 

@@ -108,16 +108,21 @@ let analyze_array records =
           Hashtbl.replace send_idx seq i;
           (* The send belongs to every window its initiator currently holds
              open (the syscall's outer window and the flush's own). *)
-          Hashtbl.iter
-            (fun _ w -> if w.w_opener = c then w.w_seqs <- seq :: w.w_seqs)
-            open_windows
+          (* tlblint R2 suppressed: each window is updated independently and
+             at most once per event, so per-window [w_seqs] order is event
+             order — hash order never reaches the analysis. *)
+          (Hashtbl.iter
+             (fun _ w -> if w.w_opener = c then w.w_seqs <- seq :: w.w_seqs)
+             open_windows [@tlblint.allow "R2"])
       | Trace.Ipi_begin { seq; _ } ->
           Hashtbl.replace begin_idx seq i;
-          Hashtbl.iter
-            (fun _ w ->
-              if List.mem seq w.w_seqs && not (Hashtbl.mem w.w_handled c) then
-                Hashtbl.replace w.w_handled c i)
-            open_windows
+          (* tlblint R2 suppressed: keyed per-window/per-cpu first-write-wins
+             update — independent across windows, so order cannot leak. *)
+          (Hashtbl.iter
+             (fun _ w ->
+               if List.mem seq w.w_seqs && not (Hashtbl.mem w.w_handled c) then
+                 Hashtbl.replace w.w_handled c i)
+             open_windows [@tlblint.allow "R2"])
       | Trace.Ipi_ack { seq; _ } ->
           Hashtbl.replace ack_vc seq stamp;
           Hashtbl.replace ack_idx seq i
@@ -244,7 +249,7 @@ let analyze_array records =
         (* For the chain prefer a closed covering window: it exhibits the
            completed flush the hit should have been ordered after. *)
         let w =
-          let closed = List.filter (fun w -> w.w_close_idx <> None) covering in
+          let closed = List.filter (fun w -> Option.is_some w.w_close_idx) covering in
           match (List.rev closed, List.rev covering) with
           | w :: _, _ -> Some w
           | [], w :: _ -> Some w

@@ -1,3 +1,6 @@
+(* tlblint: proven-bounds — every Array.unsafe_get/set on the pagecache and
+   dirty tables is dominated by [check t index], which rejects indices
+   outside [0, size); the tables are allocated with exactly [size] slots. *)
 (* Page indices are dense (0 .. size_pages-1), so the pagecache and dirty
    set are flat per-page tables rather than hashtables: mmap-heavy
    workloads (Apache serves every request out of [frame_of_page]) hit

@@ -64,7 +64,8 @@ let dedup_range m ~cpu ~mm ~vpn ~pages =
   for v = vpn to vpn + pages - 1 do
     match !keep with
     | None ->
-        if anonymous_4k mm ~vpn:v && Page_table.walk (Mm_struct.page_table mm) ~vpn:v <> None
+        if anonymous_4k mm ~vpn:v
+           && Option.is_some (Page_table.walk (Mm_struct.page_table mm) ~vpn:v)
         then keep := Some v
     | Some k -> begin
         match merge_pages m ~cpu ~mm ~keep:k ~dup:v with

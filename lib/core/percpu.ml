@@ -18,6 +18,10 @@ type cfd = {
 
 type pending_user = No_flush | Ranged of Flush_info.t | Full_flush
 
+(* Monomorphic test used wherever a [pending_user = No_flush] compare would
+   drag in the polymorphic-equality runtime (tlblint R1). *)
+let no_pending_user = function No_flush -> true | Ranged _ | Full_flush -> false
+
 type t = {
   cpu : Cpu.t;
   asids : asid_slot array;
@@ -70,7 +74,7 @@ let current_user_pcid t = user_pcid t.curr_asid
 let find_slot t ~mm_id =
   let found = ref None in
   Array.iteri
-    (fun i slot -> if slot.slot_mm = mm_id && !found = None then found := Some i)
+    (fun i slot -> if slot.slot_mm = mm_id && Option.is_none !found then found := Some i)
     t.asids;
   !found
 

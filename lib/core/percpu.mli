@@ -36,6 +36,9 @@ type cfd = {
 (** Deferred user-address-space flush state (in-context flushing, §3.4). *)
 type pending_user = No_flush | Ranged of Flush_info.t | Full_flush
 
+(** [no_pending_user p] is [p = No_flush] without polymorphic equality. *)
+val no_pending_user : pending_user -> bool
+
 type t = {
   cpu : Cpu.t;
   asids : asid_slot array;

@@ -316,15 +316,17 @@ let oracle_perform m ~from (info : Flush_info.t) token =
           Stdlib.max slot.Percpu.gen_seen info.Flush_info.new_tlb_gen)
     pcpu.Percpu.asids;
   let targets = List.filter (fun c -> c <> from) (List.init (Machine.n_cpus m) Fun.id) in
-  if targets = [] then stats.Machine.local_only_flushes <- stats.Machine.local_only_flushes + 1
-  else begin
-    stats.Machine.shootdowns <- stats.Machine.shootdowns + 1;
-    let cfds = Smp.enqueue_work m ~from ~targets ~info ~early_ack:false in
-    Smp.send_ipis m ~from ~targets ~handler:(fun cpu ->
-        oracle_ipi_handler m ~me:(Cpu.id cpu) cpu);
-    Smp.wait_for_acks m ~from cfds ()
-  end;
-  Machine.end_window m ~cpu:from ~mm_id:info.Flush_info.mm_id token
+  match targets with
+  | [] ->
+      stats.Machine.local_only_flushes <- stats.Machine.local_only_flushes + 1;
+      Machine.end_window m ~cpu:from ~mm_id:info.Flush_info.mm_id token
+  | _ :: _ ->
+      stats.Machine.shootdowns <- stats.Machine.shootdowns + 1;
+      let cfds = Smp.enqueue_work m ~from ~targets ~info ~early_ack:false in
+      Smp.send_ipis m ~from ~targets ~handler:(fun cpu ->
+          oracle_ipi_handler m ~me:(Cpu.id cpu) cpu);
+      Smp.wait_for_acks m ~from cfds ();
+      Machine.end_window m ~cpu:from ~mm_id:info.Flush_info.mm_id token
 
 (* One complete shootdown for [info], generation already bumped. *)
 let perform m ~from ~mm (info : Flush_info.t) token =
@@ -342,12 +344,12 @@ let perform m ~from ~mm (info : Flush_info.t) token =
     let sel0 = Machine.now m in
     let targets = select_targets m ~from ~mm info in
     let sel_dt = Machine.now m - sel0 in
-    if targets = [] then begin
-      stats.Machine.local_only_flushes <- stats.Machine.local_only_flushes + 1;
-      ignore (initiator_local_flush m ~from ~has_remote_targets:false info);
-      Machine.end_window m ~cpu:from ~mm_id:info.Flush_info.mm_id token
-    end
-    else begin
+    match targets with
+    | [] ->
+        stats.Machine.local_only_flushes <- stats.Machine.local_only_flushes + 1;
+        ignore (initiator_local_flush m ~from ~has_remote_targets:false info);
+        Machine.end_window m ~cpu:from ~mm_id:info.Flush_info.mm_id token
+    | _ :: _ -> begin
       stats.Machine.shootdowns <- stats.Machine.shootdowns + 1;
       (* FreeBSD comparator: one machine-wide shootdown at a time. *)
       if opts.Opts.freebsd_protocol then begin
@@ -498,8 +500,9 @@ let flush_tlb_page_cow m ~from ~mm ~vpn ~executable =
     (* Remote CPUs sharing the mapping still need the shootdown. *)
     let sel0 = Machine.now m in
     let targets = select_targets m ~from ~mm info in
-    if targets = [] then Machine.end_window m ~cpu:from ~mm_id:(Mm_struct.id mm) token
-    else begin
+    match targets with
+    | [] -> Machine.end_window m ~cpu:from ~mm_id:(Mm_struct.id mm) token
+    | _ :: _ -> begin
       stats.Machine.shootdowns <- stats.Machine.shootdowns + 1;
       let early_ack = opts.Opts.early_ack in
       let cfds = Smp.enqueue_work m ~from ~targets ~info ~early_ack in
@@ -550,7 +553,7 @@ let nmi_uaccess_okay m ~cpu =
   && (not pcpu.Percpu.batched_mode)
   && (not pcpu.Percpu.inflight_flush)
   && Queue.is_empty pcpu.Percpu.csq
-  && pcpu.Percpu.pending_user = Percpu.No_flush
+  && Percpu.no_pending_user pcpu.Percpu.pending_user
 
 let check_and_sync_tlb m ~cpu =
   let pcpu = Machine.percpu m cpu in

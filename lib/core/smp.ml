@@ -92,7 +92,7 @@ let wait_for_acks m ~from cfds ?(while_waiting = fun () -> ()) () =
   in
   let all_acked () =
     remaining := skip_acked !remaining;
-    !remaining == []
+    match !remaining with [] -> true | _ :: _ -> false
   in
   (* Spin with IRQ servicing; between polls give the §3.4 interplay a
      chance to flush user PTEs in the otherwise-dead time. *)
@@ -108,10 +108,10 @@ let wait_for_acks m ~from cfds ?(while_waiting = fun () -> ()) () =
   loop ();
   (* Observing each ack pulls the responder-written CSD line back. *)
   List.iter (fun c -> Machine.charge_read m c.Percpu.cfd_line ~by:from) cfds;
-  if cfds <> [] && Machine.tracing m then
+  if (not (List.is_empty cfds)) && Machine.tracing m then
     Machine.trace_event m ~cpu:from
       (Trace.Acks_seen { seqs = List.map (fun c -> c.Percpu.cfd_seq) cfds });
-  if cfds <> [] && Machine.metering m then begin
+  if (not (List.is_empty cfds)) && Machine.metering m then begin
     (* The wait is one span; attribute it to the farthest responder — the
        ack that structurally arrives last and bounds the span. *)
     let far =

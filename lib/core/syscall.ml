@@ -127,7 +127,7 @@ let munmap m ~cpu ~addr ~pages =
                 Page_table.unmap_range (Mm_struct.page_table mm) ~vpn ~pages
                   ~free_tables:true ()
               in
-              if r.Page_table.removed <> [] then trace_pte_write m ~cpu ~mm ~vpn ~pages;
+              if not (List.is_empty r.Page_table.removed) then trace_pte_write m ~cpu ~mm ~vpn ~pages;
               Machine.delay m
                 (m.Machine.costs.Costs.zap_pte * List.length r.Page_table.removed);
               let vma_of v =
@@ -136,7 +136,7 @@ let munmap m ~cpu ~addr ~pages =
               let to_free = private_frames r.Page_table.removed ~vma_of in
               (* Linux batches the whole munmap range into one flush; freed
                  page tables disable early ack and batching deferral. *)
-              if r.Page_table.removed <> [] || r.Page_table.freed_tables then
+              if (not (List.is_empty r.Page_table.removed)) || r.Page_table.freed_tables then
                 Shootdown.flush_tlb_mm_range m ~from:cpu ~mm ~start_vpn:vpn
                   ~pages:(flush_entries ~stride ~pages)
                   ~stride ~freed_tables:r.Page_table.freed_tables ();
@@ -153,12 +153,12 @@ let madvise_dontneed m ~cpu ~addr ~pages =
                 Page_table.unmap_range (Mm_struct.page_table mm) ~vpn ~pages
                   ~free_tables:false ()
               in
-              if r.Page_table.removed <> [] then trace_pte_write m ~cpu ~mm ~vpn ~pages;
+              if not (List.is_empty r.Page_table.removed) then trace_pte_write m ~cpu ~mm ~vpn ~pages;
               Machine.delay m
                 (m.Machine.costs.Costs.zap_pte * Stdlib.max 1 (List.length r.Page_table.removed));
               let vma_of v = Mm_struct.find_vma mm ~vpn:v in
               let to_free = private_frames r.Page_table.removed ~vma_of in
-              if r.Page_table.removed <> [] then
+              if not (List.is_empty r.Page_table.removed) then
                 Shootdown.flush_tlb_mm_range m ~from:cpu ~mm ~start_vpn:vpn
                   ~pages:(flush_entries ~stride ~pages)
                   ~stride ();
@@ -213,7 +213,7 @@ let mremap m ~cpu ~addr ~pages =
               (* Move live PTEs: the frame references move with them. *)
               let pt = Mm_struct.page_table mm in
               let r = Page_table.unmap_range pt ~vpn ~pages ~free_tables:true () in
-              if r.Page_table.removed <> [] then trace_pte_write m ~cpu ~mm ~vpn ~pages;
+              if not (List.is_empty r.Page_table.removed) then trace_pte_write m ~cpu ~mm ~vpn ~pages;
               Machine.delay m
                 (m.Machine.costs.Costs.zap_pte * List.length r.Page_table.removed);
               List.iter
@@ -222,7 +222,7 @@ let mremap m ~cpu ~addr ~pages =
                 r.Page_table.removed;
               (* The old translations must die everywhere before anything
                  reuses the old range; tables were freed, so no early ack. *)
-              if r.Page_table.removed <> [] || r.Page_table.freed_tables then
+              if (not (List.is_empty r.Page_table.removed)) || r.Page_table.freed_tables then
                 Shootdown.flush_tlb_mm_range m ~from:cpu ~mm ~start_vpn:vpn
                   ~pages:(flush_entries ~stride ~pages)
                   ~stride ~freed_tables:r.Page_table.freed_tables ();

@@ -19,8 +19,10 @@ let make ~start_vpn ~pages ?(writable = true) ?(executable = false)
   | Tlb.Two_m ->
       if not (Addr.huge_aligned start_vpn && pages mod Addr.pages_per_huge = 0) then
         invalid_arg "Vma.make: hugepage VMA must be 2MiB-aligned";
-      if backing <> Anonymous then
-        invalid_arg "Vma.make: hugepage VMAs must be anonymous"
+      (match backing with
+      | Anonymous -> ()
+      | File_shared _ | File_private _ ->
+          invalid_arg "Vma.make: hugepage VMAs must be anonymous")
   | Tlb.Four_k -> ());
   { start_vpn; pages; writable; executable; backing; page_size }
 

@@ -320,7 +320,7 @@ let execute ~opts program =
           let target = ref None in
           for k = 0 to n_cpus - 1 do
             let c = (want + k) mod n_cpus in
-            if !target = None && not occupied.(c) then target := Some c
+            if Option.is_none !target && not occupied.(c) then target := Some c
           done;
           (match !target with
           | None -> note i "sched: no free cpu"
@@ -362,22 +362,24 @@ let execute ~opts program =
       (try
          Array.iteri
            (fun i op ->
-             if !crash = None then begin
+             if Option.is_none !crash then begin
                let w = worker_of op mod nw in
                cmd.(w) <- Some (i, op);
                let t0 = Machine.now m in
-               while cmd.(w) <> None && Machine.now m - t0 < op_timeout_cycles do
+               while Option.is_some cmd.(w) && Machine.now m - t0 < op_timeout_cycles do
                  Machine.delay m 200
                done;
-               if cmd.(w) <> None then
+               if Option.is_some cmd.(w) then
                  crash := Some (Printf.sprintf "op %d (%s) wedged" i (Format.asprintf "%a" pp_op op))
              end)
            ops
        with e -> crash := Some ("driver EXN " ^ Printexc.to_string e));
       stop := true);
-  (try Kernel.run m with e -> if !crash = None then crash := Some (Printexc.to_string e));
+  (try Kernel.run m with e -> if Option.is_none !crash then crash := Some (Printexc.to_string e));
   let final = ref [] in
-  let mm_ids = Hashtbl.fold (fun id _ acc -> id :: acc) m.Machine.mms [] in
+  let mm_ids =
+    Hashtbl.fold (fun id _ acc -> id :: acc) m.Machine.mms [] |> List.sort Int.compare
+  in
   List.iter
     (fun id ->
       match Machine.mm_by_id m id with
@@ -413,7 +415,8 @@ let first_obs_mismatch a b =
   let n = min (Array.length a.xr_obs) (Array.length b.xr_obs) in
   let rec go i =
     if i >= n then None
-    else if a.xr_obs.(i) <> b.xr_obs.(i) then Some (i, a.xr_obs.(i), b.xr_obs.(i))
+    else if not (String.equal a.xr_obs.(i) b.xr_obs.(i)) then
+      Some (i, a.xr_obs.(i), b.xr_obs.(i))
     else go (i + 1)
   in
   go 0
@@ -426,14 +429,15 @@ let compare_runs ~optimized ~oracle =
   | None, None -> ()
   | Some c, None -> add "optimized run crashed: %s" c
   | None, Some c -> add "oracle run crashed: %s" c
-  | Some a, Some b -> if a <> b then add "both crashed differently: %s / %s" a b);
+  | Some a, Some b ->
+      if not (String.equal a b) then add "both crashed differently: %s / %s" a b);
   List.iter (fun v -> add "checker violation (optimized): %s" v) optimized.xr_violations;
   List.iter (fun v -> add "checker violation (ORACLE -- harness bug?): %s" v) oracle.xr_violations;
   List.iter (fun s -> add "invariant (optimized): %s" s) optimized.xr_invariants;
   (match first_obs_mismatch optimized oracle with
   | Some (i, a, b) -> add "op %d observed %S under optimized but %S under oracle" i a b
   | None -> ());
-  if optimized.xr_final <> oracle.xr_final then begin
+  if not (List.equal String.equal optimized.xr_final oracle.xr_final) then begin
     let diff =
       List.filter (fun l -> not (List.mem l oracle.xr_final)) optimized.xr_final
       @ List.filter (fun l -> not (List.mem l optimized.xr_final)) oracle.xr_final
@@ -477,7 +481,7 @@ let shrink_ops ~still_fails ops =
   go ops 2
 
 let shrink_program program =
-  let still_fails ops = run_program { program with p_ops = ops } <> [] in
+  let still_fails ops = not (List.is_empty (run_program { program with p_ops = ops })) in
   shrink_ops ~still_fails program.p_ops
 
 (* ---------- top-level driving ---------- *)

@@ -1,3 +1,5 @@
+(* tlblint: proven-bounds — Bytes.unsafe accesses index the n*n rank matrix
+   with cpu ids already range-checked by Topology; loops run a,b,cpu < n. *)
 type totals = {
   reads : int;
   writes : int;

@@ -1,3 +1,5 @@
+(* tlblint: proven-bounds — [index_at] masks to 9 bits (land 511), the only
+   index ever fed to Array.unsafe_get on the 512-slot node arrays. *)
 (* A node is a real 512-slot table, exactly like the x86-64 structure it
    models: [index_at] produces 9-bit indices, so a flat array replaces the
    hashtable this used — [walk] is the hottest lookup in page-fault-heavy

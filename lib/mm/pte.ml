@@ -36,7 +36,12 @@ let mark_dirty t = { t with dirty = true; accessed = true }
 let write_protect t = { t with writable = false }
 let clean t = { t with dirty = false }
 
-let equal = ( = )
+(* Field-wise: every field is immediate, so this stays allocation-free and
+   off the polymorphic-compare runtime (tlblint R1). *)
+let equal a b =
+  a.pfn = b.pfn && a.present = b.present && a.writable = b.writable
+  && a.user = b.user && a.global = b.global && a.accessed = b.accessed
+  && a.dirty = b.dirty && a.executable = b.executable && a.cow = b.cow
 
 let pp fmt t =
   let flag c b = if b then c else "-" in

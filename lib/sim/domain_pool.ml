@@ -1,3 +1,5 @@
+(* tlblint: proven-bounds — workers read [order] at k in [base, stop] with
+   stop < n = Array.length order, claimed via Atomic.fetch_and_add. *)
 (* Fork-join execution of independent tasks over OCaml 5 domains.
 
    The bench harness uses this to run sim-run tasks in parallel: each task

@@ -1,3 +1,6 @@
+(* tlblint: proven-bounds — every Array.unsafe_get/set below indexes a
+   power-of-two ring (slot = time land (ring_size - 1)) or the heap array
+   within [t.size], both established at the masking/allocation site. *)
 (* The hot core of the simulator. Two representation choices keep the
    per-event cost down:
 

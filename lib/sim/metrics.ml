@@ -54,7 +54,8 @@ let series t ~name ?(labels = []) ~lo ~hi ~buckets () =
   let key = render_key name labels in
   match Hashtbl.find_opt t.tbl key with
   | Some s ->
-      if Stats.Histogram.lo s.hist <> lo || Stats.Histogram.hi s.hist <> hi
+      if (not (Float.equal (Stats.Histogram.lo s.hist) lo))
+         || (not (Float.equal (Stats.Histogram.hi s.hist) hi))
          || Stats.Histogram.buckets s.hist <> buckets
       then invalid_arg ("Metrics.series: conflicting histogram config for " ^ key);
       s

@@ -217,7 +217,8 @@ module Histogram = struct
 
   let merge_into dst src =
     if
-      dst.lo <> src.lo || dst.hi <> src.hi
+      (not (Float.equal dst.lo src.lo))
+      || (not (Float.equal dst.hi src.hi))
       || Array.length dst.bins <> Array.length src.bins
     then invalid_arg "Histogram.merge_into: bucket configurations differ";
     Array.iteri (fun i c -> dst.bins.(i) <- dst.bins.(i) + c) src.bins;

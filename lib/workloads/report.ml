@@ -59,7 +59,7 @@ let cycles c =
 let speedup r = Printf.sprintf "%.3fx" r
 
 let reduction ~baseline v =
-  if baseline = 0.0 then "n/a"
+  if Float.equal baseline 0.0 then "n/a"
   else Printf.sprintf "%.0f%%" ((baseline -. v) /. baseline *. 100.0)
 
 let bar_of ~width ~max value =
@@ -75,7 +75,7 @@ let bars ~title rows =
   let label_width =
     List.fold_left (fun acc (l, _) -> Stdlib.max acc (String.length l)) 0 rows
   in
-  let max_value = List.fold_left (fun acc (_, v) -> Stdlib.max acc v) 0.0 rows in
+  let max_value = List.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 rows in
   List.iter
     (fun (label, value) ->
       out_string

@@ -1,0 +1,22 @@
+; tlblint allowlist — audited grants for intentional rule hits (DESIGN.md §11).
+; Entry forms:
+;   (allow <rule> (module <Modname>) "reason")
+;   (allow <rule> (file <path-suffix>) "reason")
+;   (allow <rule> (file <path-suffix>) (line <n>) "reason")
+; Prefer inline [@tlblint.allow "Rn"] for single sites; use this file for
+; module-level sanctions that are policy, not one-off exceptions.
+
+; R3: the two sanctioned nondeterminism wrappers.  Every stochastic draw in
+; the simulator goes through the seed-deterministic Sim.Rng, and every
+; domain is spawned by Sim.Domain_pool, whose plan-order reduce keeps output
+; byte-identical at any -j.
+(allow R3 (module Rng) "the sanctioned seed-deterministic RNG (splitmix64)")
+(allow R3 (module Domain_pool)
+  "the sanctioned Domain.spawn wrapper; deterministic plan-order reduce")
+
+; R3: wall-clock reads that feed perf *measurements* (BENCH_PERF.json,
+; per-experiment elapsed lines), never simulated state or figure output.
+(allow R3 (file lib/workloads/shard.ml)
+  "Unix.gettimeofday measures wall spans for BENCH_PERF.json only")
+(allow R3 (file bench/main.ml)
+  "harness elapsed-time reporting on stderr; not simulation input")

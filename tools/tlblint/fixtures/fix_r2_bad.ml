@@ -1,0 +1,5 @@
+(* tlblint fixture: hash-order iteration escaping unsorted must fire R2. *)
+
+let keys (tbl : (int, string) Hashtbl.t) = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+
+let dump (tbl : (int, string) Hashtbl.t) = Hashtbl.iter (fun _ v -> print_endline v) tbl

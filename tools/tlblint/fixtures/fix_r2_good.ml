@@ -1,0 +1,8 @@
+(* tlblint fixture: sorted or justified-suppressed iteration — silent. *)
+
+let keys_sorted (tbl : (int, string) Hashtbl.t) =
+  Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort Int.compare
+
+(* Commutative count: hash order cannot leak into the result. *)
+let[@tlblint.allow "R2"] size (tbl : (int, string) Hashtbl.t) =
+  Hashtbl.fold (fun _ _ acc -> acc + 1) tbl 0

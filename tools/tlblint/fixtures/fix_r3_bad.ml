@@ -1,0 +1,7 @@
+(* tlblint fixture: raw nondeterminism sources must fire R3. *)
+
+let roll () = Random.int 6
+
+let now () = Unix.gettimeofday ()
+
+let fork_off f = Domain.spawn f

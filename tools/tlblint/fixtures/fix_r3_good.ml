@@ -1,0 +1,10 @@
+(* tlblint fixture: deterministic state and suppressed wall-clock — silent. *)
+
+let counter = ref 0
+
+let next () =
+  incr counter;
+  !counter
+
+(* Wall-clock measurement only; never feeds simulated state. *)
+let[@tlblint.allow "R3"] wall_clock () = Unix.gettimeofday ()

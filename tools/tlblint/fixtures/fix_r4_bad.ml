@@ -1,0 +1,8 @@
+(* tlblint fixture: unsafe access without a proven-bounds header, and a
+   NaN-hazardous structural float compare — all three fire R4. *)
+
+let first (a : int array) = Array.unsafe_get a 0
+
+let stamp (a : float array) (v : float) = Array.unsafe_set a 0 v
+
+let close_enough (a : float) (b : float) = a = b

@@ -1,0 +1,7 @@
+(* tlblint: proven-bounds — fixture module.  The single unsafe access is
+   dominated by the explicit length check on the same line. *)
+
+let first_opt (a : int array) =
+  if Array.length a > 0 then Some (Array.unsafe_get a 0) else None
+
+let close (a : float) (b : float) = Float.equal a b
