@@ -40,27 +40,27 @@ let verbose = ref false
 let micro_iters () = if !quick then 60 else 200
 let micro_warmup = 20
 
-(* ----- Figures 5-8 / Table 3: shared micro matrices -----
+(* ----- Cross-experiment cell memoization -----
 
-   Figures 5-8 and Table 3 consume the same four matrices (safe x
-   pte_count). Matrix cells are planned once and owned by the FIRST
-   requesting experiment in plan order: in an `all` run each figure owns
-   its matrix and table3 owns nothing (it reduces from the figures'
-   slots); when table3 runs alone it owns all four. Planning is
-   sequential, so a plain assoc list replaces the old mutex'd memo. *)
+   One memo per workload type, keyed on the workload's [config_key]: any
+   two cells with identical (config, seed) run once, owned by the FIRST
+   requesting experiment in plan order. That subsumes the old ad-hoc
+   matrix sharing (figures 5-8 and table 3 consume the same four micro
+   matrices) and extends it to every coincidence: ablation A's baseline is
+   fig6's cross-socket baseline cell, ablation B's x1 rows are matrix
+   cells, and ablations C/E run sysbench at fig10's scale so their
+   overlapping points are fig10 cells. Planning is sequential, so
+   ownership is deterministic; reduced output is a pure function of cell
+   slots either way. *)
 
-let matrix_memo : ((bool * int) * (unit -> Figures.micro_matrix)) list ref = ref []
+let micro_memo : Microbench.result Shard.memo = Shard.create_memo ()
+let sysbench_memo : Sysbench.result Shard.memo = Shard.create_memo ()
+let apache_memo : Apache.result Shard.memo = Shard.create_memo ()
+let cow_memo : Cow_bench.result Shard.memo = Shard.create_memo ()
 
 let micro_matrix_shared ~safe ~pte_count =
-  match List.assoc_opt (safe, pte_count) !matrix_memo with
-  | Some get -> ([], get)
-  | None ->
-      let jobs, get =
-        Figures.micro_matrix_cells ~iterations:(micro_iters ()) ~warmup:micro_warmup
-          ~safe ~pte_count
-      in
-      matrix_memo := ((safe, pte_count), get) :: !matrix_memo;
-      (jobs, get)
+  Figures.micro_matrix_cells ~memo:micro_memo ~iterations:(micro_iters ())
+    ~warmup:micro_warmup ~safe ~pte_count
 
 let print_micro_figure ~fig ~safe ~pte_count matrix =
   let stacks = List.map fst (List.assoc Microbench.Same_core matrix) in
@@ -94,10 +94,11 @@ let print_micro_figure ~fig ~safe ~pte_count matrix =
        (List.assoc Microbench.Cross_socket matrix))
 
 let micro_figure_plan ~fig ~safe ~pte_count () =
-  let jobs, get = micro_matrix_shared ~safe ~pte_count in
+  let jobs, get, reused = micro_matrix_shared ~safe ~pte_count in
   {
     Shard.name = Printf.sprintf "fig%d" fig;
     jobs;
+    reused;
     reduce = (fun () -> print_micro_figure ~fig ~safe ~pte_count (get ()));
   }
 
@@ -109,10 +110,11 @@ let table3_plan () =
       (fun ((safe, pte_count) as key) -> (key, micro_matrix_shared ~safe ~pte_count))
       [ (true, 1); (true, 10); (false, 1); (false, 10) ]
   in
-  let jobs = List.concat_map (fun (_, (jobs, _)) -> jobs) matrices in
+  let jobs = List.concat_map (fun (_, (jobs, _, _)) -> jobs) matrices in
+  let reused = List.fold_left (fun acc (_, (_, _, r)) -> acc + r) 0 matrices in
   let reduce () =
     let cell ~safe ~pte_count =
-      let _, get = List.assoc (safe, pte_count) matrices in
+      let _, get, _ = List.assoc (safe, pte_count) matrices in
       let cells = List.assoc Microbench.Cross_socket (get ()) in
       let first = snd (List.hd cells) in
       let last = snd (List.nth cells (List.length cells - 1)) in
@@ -134,25 +136,27 @@ let table3_plan () =
       ~header:[ ""; "Safe Mode"; "Unsafe Mode" ]
       [ [ "1 PTE"; fmt s1; fmt u1 ]; [ "10 PTEs"; fmt s10; fmt u10 ] ]
   in
-  { Shard.name = "table3"; jobs; reduce }
+  { Shard.name = "table3"; jobs; reused; reduce }
 
 (* ----- Figure 9: CoW fault latency ----- *)
 
 let fig9_plan () =
   let jobs = ref [] in
+  let reused = ref 0 in
   let run_cell ~safe ~label opts =
     let cfg = Cow_bench.default_config ~opts in
     let cfg =
       if !quick then { cfg with Cow_bench.rounds = 4; pages_per_round = 32 } else cfg
     in
-    let job, get =
-      Shard.cell
+    let js, get, fresh =
+      Shard.memo_cell cow_memo ~key:(Cow_bench.config_key cfg)
         ~label:(Printf.sprintf "fig9 %s %s" (if safe then "safe" else "unsafe") label)
         ~ops:(fun r -> r.Cow_bench.engine_ops)
         ~weight:(float_of_int (cfg.Cow_bench.rounds * cfg.Cow_bench.pages_per_round * 12))
         (fun () -> Cow_bench.run cfg)
     in
-    jobs := job :: !jobs;
+    jobs := List.rev_append js !jobs;
+    if not fresh then incr reused;
     fun () ->
       let r = get () in
       ( (if safe then "safe" else "unsafe"),
@@ -183,12 +187,14 @@ let fig9_plan () =
            [ mode; label; Report.cycles mean; Printf.sprintf "%.0f" sd ])
          row_getters)
   in
-  { Shard.name = "fig9"; jobs = List.rev !jobs; reduce }
+  { Shard.name = "fig9"; jobs = List.rev !jobs; reused = !reused; reduce }
 
 (* ----- Figures 10 and 11 (lib/workloads/figures.ml builds the plans) ----- *)
 
-let fig10_plan () = Figures.fig10_plan (Figures.fig10_scale ~quick:!quick)
-let fig11_plan () = Figures.fig11_plan (Figures.fig11_scale ~quick:!quick)
+let fig10_plan () =
+  Figures.fig10_plan ~memo:sysbench_memo (Figures.fig10_scale ~quick:!quick)
+
+let fig11_plan () = Figures.fig11_plan ~memo:apache_memo (Figures.fig11_scale ~quick:!quick)
 
 (* ----- Table 2: lines of code ----- *)
 
@@ -235,7 +241,7 @@ let table2_plan () =
       ~header:[ "Optimization"; "paper LoC"; "this repo (module LoC)" ]
       (get ())
   in
-  { Shard.name = "table2"; jobs = [ job ]; reduce }
+  { Shard.name = "table2"; jobs = [ job ]; reused = 0; reduce }
 
 (* ----- Table 4: page fracturing ----- *)
 
@@ -271,33 +277,41 @@ let table4_plan () =
            ])
          cells)
   in
-  { Shard.name = "table4"; jobs = List.map fst cells; reduce }
+  { Shard.name = "table4"; jobs = List.map fst cells; reused = 0; reduce }
 
 (* ----- Ablations: design choices DESIGN.md calls out ----- *)
 
 let micro_cell_job ~label ~opts ~placement ~pte_count =
   let cfg = Microbench.default_config ~opts ~placement ~pte_count in
   let cfg = { cfg with Microbench.iterations = micro_iters (); warmup = micro_warmup } in
-  Shard.cell ~label
+  Shard.memo_cell micro_memo ~key:(Microbench.config_key cfg) ~label
     ~ops:(fun r -> r.Microbench.engine_ops)
     ~weight:(Figures.micro_weight ~iterations:cfg.Microbench.iterations ~pte_count)
     (fun () -> Microbench.run cfg)
 
 let ablation_single_opt_plan () =
   (* Each optimization alone (non-cumulative), cross-socket, safe, 10 PTEs:
-     isolates each technique's contribution without stacking. *)
+     isolates each technique's contribution without stacking. The baseline
+     coincides with fig6's cross-socket baseline cell, so in an `all` run
+     it is read from the memo rather than recomputed. *)
+  let jobs = ref [] in
+  let reused = ref 0 in
   let cell ~label opts =
-    micro_cell_job ~label:("ablation-A " ^ label) ~opts ~placement:Microbench.Cross_socket
-      ~pte_count:10
+    let js, get, fresh =
+      micro_cell_job ~label:("ablation-A " ^ label) ~opts
+        ~placement:Microbench.Cross_socket ~pte_count:10
+    in
+    jobs := List.rev_append js !jobs;
+    if not fresh then incr reused;
+    get
   in
-  let base_job, base = cell ~label:"baseline" (Opts.baseline ~safe:true) in
+  let base = cell ~label:"baseline" (Opts.baseline ~safe:true) in
   let techniques =
     List.map
       (fun (label, set) ->
         let opts = Opts.baseline ~safe:true in
         set opts;
-        let job, get = cell ~label opts in
-        (label, job, get))
+        (label, cell ~label opts))
       [
         ("concurrent alone", fun o -> o.Opts.concurrent_flush <- true);
         ("early-ack alone", fun o -> o.Opts.early_ack <- true);
@@ -309,7 +323,7 @@ let ablation_single_opt_plan () =
     let base = base () in
     let rows =
       List.map
-        (fun (label, _, get) ->
+        (fun (label, get) ->
           let r = get () in
           [
             label;
@@ -332,11 +346,7 @@ let ablation_single_opt_plan () =
       ~header:[ "technique"; "initiator"; "init cut"; "responder"; "resp cut" ]
       rows
   in
-  {
-    Shard.name = "ablation-A";
-    jobs = base_job :: List.map (fun (_, j, _) -> j) techniques;
-    reduce;
-  }
+  { Shard.name = "ablation-A"; jobs = List.rev !jobs; reused = !reused; reduce }
 
 let ablation_ipi_latency_plan () =
   (* §2.3.2: works evaluated without multicast IPIs saw ~500k-cycle
@@ -352,6 +362,10 @@ let ablation_ipi_latency_plan () =
     }
   in
   let jobs = ref [] in
+  let reused = ref 0 in
+  (* The x1 rows are value-identical to fig6's cross-socket baseline and
+     +in-context matrix cells (scaling by 1 is the default cost model), so
+     the memo reuses them in an `all` run. *)
   let cell ~k ~label opts =
     let cfg =
       Microbench.default_config ~opts ~placement:Microbench.Cross_socket ~pte_count:10
@@ -359,14 +373,15 @@ let ablation_ipi_latency_plan () =
     let cfg =
       { cfg with Microbench.costs = scaled k; iterations = micro_iters () }
     in
-    let job, get =
-      Shard.cell
+    let js, get, fresh =
+      Shard.memo_cell micro_memo ~key:(Microbench.config_key cfg)
         ~label:(Printf.sprintf "ablation-B x%d %s" k label)
         ~ops:(fun r -> r.Microbench.engine_ops)
         ~weight:(Figures.micro_weight ~iterations:cfg.Microbench.iterations ~pte_count:10)
         (fun () -> Microbench.run cfg)
     in
-    jobs := job :: !jobs;
+    jobs := List.rev_append js !jobs;
+    if not fresh then incr reused;
     fun () -> (get ()).Microbench.initiator_mean
   in
   let row_getters =
@@ -398,9 +413,16 @@ let ablation_ipi_latency_plan () =
       ~header:[ "IPI scale"; "baseline"; "all §3"; "reduction" ]
       rows
   in
-  { Shard.name = "ablation-B"; jobs = List.rev !jobs; reduce }
+  { Shard.name = "ablation-B"; jobs = List.rev !jobs; reused = !reused; reduce }
 
 let ablation_batch_slots_plan () =
+  (* Runs at fig10's scale (ops, file pages, first seed) so the slots=4
+     row — the paper's allocation, fig10's +batching config — is the same
+     cell as fig10's 8-thread point and comes from the memo in a full
+     `all` run instead of being recomputed. *)
+  let scale = Figures.fig10_scale ~quick:!quick in
+  let jobs = ref [] in
+  let reused = ref 0 in
   let cells =
     List.map
       (fun slots ->
@@ -408,10 +430,15 @@ let ablation_batch_slots_plan () =
         opts.Opts.batch_slots <- slots;
         let cfg = Sysbench.default_config ~opts ~threads:8 in
         let cfg =
-          { cfg with Sysbench.ops_per_thread = (if !quick then 120 else 240) }
+          {
+            cfg with
+            Sysbench.ops_per_thread = scale.Figures.sys_ops_per_thread;
+            file_pages = scale.Figures.sys_file_pages;
+            seed = List.hd scale.Figures.sys_seeds;
+          }
         in
-        let job, get =
-          Shard.cell
+        let js, get, fresh =
+          Shard.memo_cell sysbench_memo ~key:(Sysbench.config_key cfg)
             ~label:(Printf.sprintf "ablation-C slots=%d" slots)
             ~ops:(fun r -> r.Sysbench.engine_ops)
             ~weight:
@@ -419,13 +446,15 @@ let ablation_batch_slots_plan () =
                  ~ops_per_thread:cfg.Sysbench.ops_per_thread)
             (fun () -> Sysbench.run cfg)
         in
-        (slots, job, get))
+        jobs := List.rev_append js !jobs;
+        if not fresh then incr reused;
+        (slots, get))
       [ 1; 2; 4; 8; 16 ]
   in
   let reduce () =
     let rows =
       List.map
-        (fun (slots, _, get) ->
+        (fun (slots, get) ->
           let r = get () in
           [
             string_of_int slots;
@@ -437,12 +466,12 @@ let ablation_batch_slots_plan () =
     in
     Report.table
       ~title:
-        "Ablation C — §4.2 batch slots (sysbench, 8 threads, safe; the paper \
-         allocates 4)"
+        "Ablation C — §4.2 batch slots (sysbench, 8 threads, safe, fig10 scale; \
+         the paper allocates 4)"
       ~header:[ "slots"; "ops/kcyc"; "shootdowns"; "deferrals" ]
       rows
   in
-  { Shard.name = "ablation-C"; jobs = List.map (fun (_, j, _) -> j) cells; reduce }
+  { Shard.name = "ablation-C"; jobs = List.rev !jobs; reused = !reused; reduce }
 
 let ablation_full_flush_threshold_plan () =
   (* madvise of 24 pages: below the threshold the kernel INVLPGs 24 entries
@@ -450,17 +479,19 @@ let ablation_full_flush_threshold_plan () =
      the flusher, but every other cached translation is collateral (§2.1:
      Linux picks 33, FreeBSD 4096). *)
   let jobs = ref [] in
+  let reused = ref 0 in
   let cell ~threshold ~safe =
     let opts = Opts.all_general ~safe in
     opts.Opts.full_flush_threshold <- threshold;
-    let job, get =
+    let js, get, fresh =
       micro_cell_job
         ~label:
           (Printf.sprintf "ablation-D t=%d %s" threshold
              (if safe then "safe" else "unsafe"))
         ~opts ~placement:Microbench.Cross_socket ~pte_count:24
     in
-    jobs := job :: !jobs;
+    jobs := List.rev_append js !jobs;
+    if not fresh then incr reused;
     fun () ->
       let r = get () in
       (r.Microbench.initiator_mean, r.Microbench.responder_mean)
@@ -497,7 +528,7 @@ let ablation_full_flush_threshold_plan () =
         [ "threshold"; "mode"; "safe init"; "safe resp"; "unsafe init"; "unsafe resp" ]
       rows
   in
-  { Shard.name = "ablation-D"; jobs = List.rev !jobs; reduce }
+  { Shard.name = "ablation-D"; jobs = List.rev !jobs; reused = !reused; reduce }
 
 let ablation_paravirt_fracture_plan () =
   (* §7's proposed mitigation: a host-provided fracturing hint makes the
@@ -522,8 +553,12 @@ let ablation_paravirt_fracture_plan () =
     in
     (instructions, misses)
   in
-  let no_job, get_no = Shard.cell ~label:"paravirt unhinted" ~weight:1000.0 (run ~hint:false) in
-  let yes_job, get_yes = Shard.cell ~label:"paravirt hinted" ~weight:1000.0 (run ~hint:true) in
+  let no_job, get_no =
+    Shard.cell ~label:"paravirt unhinted" ~weight:1000.0 (run ~hint:false)
+  in
+  let yes_job, get_yes =
+    Shard.cell ~label:"paravirt hinted" ~weight:1000.0 (run ~hint:true)
+  in
   let reduce () =
     let i_no, m_no = get_no () in
     let i_yes, m_yes = get_yes () in
@@ -537,12 +572,18 @@ let ablation_paravirt_fracture_plan () =
         [ "1 full flush (hinted)"; string_of_int i_yes; Report.count m_yes ];
       ]
   in
-  { Shard.name = "paravirt"; jobs = [ no_job; yes_job ]; reduce }
+  { Shard.name = "paravirt"; jobs = [ no_job; yes_job ]; reused = 0; reduce }
 
 let ablation_freebsd_plan () =
   (* §3.3 dismisses FreeBSD's scheme because smp_ipi_mtx admits one
      shootdown machine-wide; under concurrent mutators the serialization
-     shows up directly. *)
+     shows up directly. Runs at fig10's scale so the Linux rows (baseline
+     and all-six) coincide with fig10's 2- and 8-thread points and, in a
+     full `all` run, come from the memo; only the FreeBSD rows are new
+     simulation work. *)
+  let scale = Figures.fig10_scale ~quick:!quick in
+  let jobs = ref [] in
+  let reused = ref 0 in
   let cells =
     List.concat_map
       (fun threads ->
@@ -550,10 +591,15 @@ let ablation_freebsd_plan () =
           (fun (label, opts) ->
             let cfg = Sysbench.default_config ~opts ~threads in
             let cfg =
-              { cfg with Sysbench.ops_per_thread = (if !quick then 100 else 200) }
+              {
+                cfg with
+                Sysbench.ops_per_thread = scale.Figures.sys_ops_per_thread;
+                file_pages = scale.Figures.sys_file_pages;
+                seed = List.hd scale.Figures.sys_seeds;
+              }
             in
-            let job, get =
-              Shard.cell
+            let js, get, fresh =
+              Shard.memo_cell sysbench_memo ~key:(Sysbench.config_key cfg)
                 ~label:(Printf.sprintf "ablation-E %s t=%d" label threads)
                 ~ops:(fun r -> r.Sysbench.engine_ops)
                 ~weight:
@@ -561,7 +607,9 @@ let ablation_freebsd_plan () =
                      ~ops_per_thread:cfg.Sysbench.ops_per_thread)
                 (fun () -> Sysbench.run cfg)
             in
-            (label, threads, job, get))
+            jobs := List.rev_append js !jobs;
+            if not fresh then incr reused;
+            (label, threads, get))
           [
             ("Linux baseline", Opts.baseline ~safe:true);
             ("FreeBSD (smp_ipi_mtx)", Opts.freebsd ~safe:true);
@@ -572,19 +620,19 @@ let ablation_freebsd_plan () =
   let reduce () =
     let rows =
       List.map
-        (fun (label, threads, _, get) ->
+        (fun (label, threads, get) ->
           [ label; string_of_int threads; Printf.sprintf "%.3f" (get ()).Sysbench.throughput ])
         cells
     in
     Report.table
       ~title:
-        "Ablation E — protocol comparison on sysbench (safe mode): FreeBSD's \
-         global shootdown mutex vs Linux's concurrent protocol vs the paper's \
-         optimizations"
+        "Ablation E — protocol comparison on sysbench (safe mode, fig10 scale): \
+         FreeBSD's global shootdown mutex vs Linux's concurrent protocol vs the \
+         paper's optimizations"
       ~header:[ "protocol"; "threads"; "ops/kcyc" ]
       rows
   in
-  { Shard.name = "ablation-E"; jobs = List.map (fun (_, _, j, _) -> j) cells; reduce }
+  { Shard.name = "ablation-E"; jobs = List.rev !jobs; reused = !reused; reduce }
 
 let ablation_tasks =
   [
@@ -676,7 +724,7 @@ let all_tasks =
     ]
   @ ablation_tasks
 
-(* Plan every requested experiment (sequential: the matrix memo assigns
+(* Plan every requested experiment (sequential: the cell memos assign
    shared cells to their first requester), execute all cells on one shared
    pool, reduce in order. *)
 let execute ~jobs tasks =
@@ -736,9 +784,13 @@ let perf ~jobs () =
   let t0 = Unix.gettimeofday () in
   let outcomes, pool_gc = execute ~jobs all_tasks in
   let elapsed = Unix.gettimeofday () -. t0 in
-  let measures = List.map (fun o -> (o.Shard.out_name, o.Shard.out_measure)) outcomes in
+  let measures =
+    List.map
+      (fun o -> (o.Shard.out_name, o.Shard.out_measure, o.Shard.out_reused))
+      outcomes
+  in
   List.iter
-    (fun (name, m) ->
+    (fun (name, m, reused) ->
       let ops_s =
         match m.Shard.engine_ops with
         | None -> "n/a"
@@ -749,13 +801,16 @@ let perf ~jobs () =
         | None -> "n/a"
         | Some ops -> Report.cycles (float_of_int ops /. Float.max 1e-9 m.Shard.wall_s)
       in
-      Printf.printf "  %-12s %7.2fs  %11s engine-ops  %8s ops/s  %4d run(s)\n%!" name
-        m.Shard.wall_s ops_s rate m.Shard.runs)
+      Printf.printf "  %-12s %7.2fs  %11s engine-ops  %8s ops/s  %4d run(s)%s\n%!" name
+        m.Shard.wall_s ops_s rate m.Shard.runs
+        (if reused > 0 then Printf.sprintf "  [%d memoized]" reused else ""))
     measures;
-  let total_wall = List.fold_left (fun acc (_, m) -> acc +. m.Shard.wall_s) 0.0 measures in
+  let total_wall =
+    List.fold_left (fun acc (_, m, _) -> acc +. m.Shard.wall_s) 0.0 measures
+  in
   let total_ops =
     List.fold_left
-      (fun acc (_, m) -> acc + Option.value m.Shard.engine_ops ~default:0)
+      (fun acc (_, m, _) -> acc + Option.value m.Shard.engine_ops ~default:0)
       0 measures
   in
   (* Process-lifetime GC totals: after the pool's domains are joined their
@@ -765,13 +820,13 @@ let perf ~jobs () =
   let oc = open_out "BENCH_PERF.json" in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
-  out "  \"schema\": 3,\n";
+  out "  \"schema\": 4,\n";
   out "  \"mode\": \"%s\",\n" (if !quick then "quick" else "full");
   out "  \"jobs\": %d,\n" jobs;
   out "  \"experiments\": [\n";
   let n_rows = List.length measures in
   List.iteri
-    (fun i (name, m) ->
+    (fun i (name, m, reused) ->
       let ops_json =
         match m.Shard.engine_ops with None -> "null" | Some ops -> string_of_int ops
       in
@@ -781,12 +836,22 @@ let perf ~jobs () =
         | Some ops ->
             Printf.sprintf "%.0f" (float_of_int ops /. Float.max 1e-9 m.Shard.wall_s)
       in
+      (* Allocation per engine op is deterministic (unlike wall-clock), so
+         the gate can compare it across machines without normalization. *)
+      let words_per_op_json =
+        match m.Shard.engine_ops with
+        | Some ops when ops > 0 ->
+            Printf.sprintf "%.4f" (m.Shard.minor_words /. float_of_int ops)
+        | Some _ | None -> "null"
+      in
       out
         "    {\"name\": \"%s\", \"wall_s\": %.4f, \"max_run_wall_s\": %.4f, \"runs\": \
          %d, \"engine_ops\": %s, \"engine_ops_per_s\": %s, \"minor_words\": %.0f, \
-         \"major_words\": %.0f, \"promoted_words\": %.0f}%s\n"
+         \"major_words\": %.0f, \"promoted_words\": %.0f, \
+         \"minor_words_per_engine_op\": %s, \"memoized\": %b}%s\n"
         (json_escape name) m.Shard.wall_s m.Shard.max_wall_s m.Shard.runs ops_json
         rate_json m.Shard.minor_words m.Shard.major_words m.Shard.promoted_words
+        words_per_op_json (reused > 0)
         (if i = n_rows - 1 then "" else ","))
     measures;
   out "  ],\n";

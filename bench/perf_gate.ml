@@ -1,19 +1,32 @@
-(* Perf regression gate over BENCH_PERF.json (schema 2).
+(* Perf regression gate over BENCH_PERF.json (schema 4).
 
      perf_gate.exe BASELINE.json CURRENT.json [--threshold 0.25]
 
-   Raw engine_ops_per_s is hardware-dependent — CI runners differ run to
-   run — so the gate compares each experiment's NORMALIZED throughput: its
-   ops/s divided by the whole run's ops/s. That ratio cancels machine
-   speed; it only moves when one experiment slows down (or speeds up)
-   relative to the rest of the bench, which is exactly the signature of a
-   hot-path regression localized to one workload. An experiment fails the
-   gate when its normalized throughput falls more than the threshold below
-   the committed baseline's.
+   Two gates per experiment:
+
+   - Throughput. Raw engine_ops_per_s is hardware-dependent — CI runners
+     differ run to run — so the gate compares each experiment's NORMALIZED
+     throughput: its ops/s divided by the whole run's ops/s. That ratio
+     cancels machine speed; it only moves when one experiment slows down
+     (or speeds up) relative to the rest of the bench, which is exactly
+     the signature of a hot-path regression localized to one workload. An
+     experiment fails when its normalized throughput falls more than the
+     threshold below the committed baseline's.
+
+   - Allocation. minor_words_per_engine_op is a deterministic function of
+     the simulation (same cells → same allocations → same op count), so it
+     needs no normalization at all: the gate fails an experiment whose
+     words/op rises more than the threshold above the baseline's. This is
+     the regression signature of un-pooling an event path or reintroducing
+     per-iteration closures.
 
    Trivial experiments (engine_ops below [min_ops], or null — table2,
    table4, paravirt drive no engine) are reported but never gated: their
-   wall times are noise-dominated.
+   wall times are noise-dominated. Rows marked "memoized": true executed
+   none of their own cells (every cell was owned by an earlier experiment
+   in the same run), so both their wall time and their allocation are
+   bookkeeping noise — they are skipped too, on either side: a row that is
+   memoized in one file but not the other is never compared.
 
    The parser is a minimal scanner for the schema this repo's own perf
    mode emits — not a general JSON reader, and deliberately so: it keeps
@@ -74,7 +87,13 @@ let raw_field s ~from ?until key =
 let unquote v =
   if String.length v >= 2 && v.[0] = '"' then String.sub v 1 (String.length v - 2) else v
 
-type row = { name : string; wall_s : float option; engine_ops : int option }
+type row = {
+  name : string;
+  wall_s : float option;
+  engine_ops : int option;
+  words_per_op : float option;
+  memoized : bool;
+}
 
 (* Experiment rows, in file order: each starts at a ["name":] key inside the
    "experiments" array (total/gc blocks carry no "name"). A row's fields
@@ -103,6 +122,11 @@ let rows_of_file path =
             name = unquote name;
             wall_s = Option.bind (field "wall_s") float_of_string_opt;
             engine_ops = Option.bind (field "engine_ops") int_of_string_opt;
+            words_per_op =
+              Option.bind (field "minor_words_per_engine_op") float_of_string_opt;
+            (* Absent in pre-schema-4 baselines: reads as false, so old
+               baselines gate every row exactly as they used to. *)
+            memoized = field "memoized" = Some "true";
           }
         in
         if Option.is_none row.wall_s then
@@ -117,6 +141,8 @@ let rows_of_file path =
    runs and malformed rows all fall out here instead of poisoning the
    normalization with infinities. *)
 let gateable r =
+  (not r.memoized)
+  &&
   match (r.engine_ops, r.wall_s) with
   | Some o, Some w -> o >= min_ops && w > 0.0
   | _ -> false
@@ -179,9 +205,29 @@ let () =
                 b.name rel (1.0 -. !threshold);
               incr failed
             end
-            else Printf.printf "ok   %-12s normalized ops/s %.2fx of baseline\n" b.name rel
+            else Printf.printf "ok   %-12s normalized ops/s %.2fx of baseline\n" b.name rel;
+            (* Allocation gate: deterministic, so compared raw. Only when
+               both files carry the field — a schema-2 baseline has none. *)
+            match (b.words_per_op, c.words_per_op) with
+            | Some bwo, Some cwo when bwo > 0.0 ->
+                let rel_w = cwo /. bwo in
+                if rel_w > 1.0 +. !threshold then begin
+                  Printf.printf
+                    "FAIL %-12s minor words/op %.2fx of baseline (%.2f vs %.2f, limit %.2fx)\n"
+                    b.name rel_w cwo bwo (1.0 +. !threshold);
+                  incr failed
+                end
+                else
+                  Printf.printf "ok   %-12s minor words/op %.2fx of baseline (%.2f)\n"
+                    b.name rel_w cwo
+            | _ -> ()
           end
-          else Printf.printf "skip %-12s trivial, zero-wall or no engine ops (not gated)\n" b.name)
+          else if b.memoized || c.memoized then
+            Printf.printf "skip %-12s memoized (cells owned by an earlier experiment)\n"
+              b.name
+          else
+            Printf.printf "skip %-12s trivial, zero-wall or no engine ops (not gated)\n"
+              b.name)
     baseline;
   if !failed > 0 then begin
     Printf.printf "%d experiment(s) regressed more than %.0f%%\n" !failed (!threshold *. 100.0);

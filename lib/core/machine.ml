@@ -53,6 +53,11 @@ type t = {
   mms : (int, Mm_struct.t) Hashtbl.t;
   mutable next_mm_id : int;
   mutable next_ipi_seq : int;
+  mutable shootdown_irq_id : int;
+      (* Apic registry ids for the two long-lived shootdown irq records,
+         created by Shootdown at first use (-1 = not yet); per machine so
+         IPI delivery never allocates an irq record or closure. *)
+  mutable oracle_irq_id : int;
   checker : Checker.t;
   ipi_mutex : Rwsem.t;
   stats : stats;
@@ -156,6 +161,8 @@ let create ?(topo = Topology.paper_machine) ?(costs = Costs.default)
     mms = Hashtbl.create 16;
     next_mm_id = 1;
     next_ipi_seq = 0;
+    shootdown_irq_id = -1;
+    oracle_irq_id = -1;
     checker = Checker.create ~enabled:checker ();
     ipi_mutex = Rwsem.create engine;
     stats = fresh_stats ();

@@ -60,6 +60,11 @@ type t = {
   mms : (int, Mm_struct.t) Hashtbl.t;
   mutable next_mm_id : int;
   mutable next_ipi_seq : int;
+  mutable shootdown_irq_id : int;
+      (** Apic registry ids for the two long-lived shootdown irq records,
+          created by [Shootdown] at first use ([-1] = not yet); per machine
+          so IPI delivery never allocates an irq record or closure. *)
+  mutable oracle_irq_id : int;
   checker : Checker.t;
   ipi_mutex : Rwsem.t;
       (** FreeBSD's smp_ipi_mtx: taken (write) around each shootdown when

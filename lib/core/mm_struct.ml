@@ -16,7 +16,7 @@ let create ~engine ~registry ~frames ~n_cpus ~id =
     pt = Page_table.create ();
     mem = frames;
     sem = Rwsem.create engine;
-    mm_line = Cache.create_line registry ~name:(Printf.sprintf "mm%d.gen+cpumask" id);
+    mm_line = Cache.create_line registry ~name:(lazy (Printf.sprintf "mm%d.gen+cpumask" id));
     gen = 1;
     mask = Array.make n_cpus false;
     vma_set = Vma.Set.empty;

@@ -119,6 +119,36 @@ let cumulative_general ~safe = cumulative_stack ~safe ~with_base:true ~with_batc
 
 let cumulative_workload ~safe = cumulative_stack ~safe ~with_base:false ~with_batching:true
 
+(* Canonical value key for the bench harness's cell memoization: every
+   field, in declaration order, so two opts with equal keys are
+   behaviourally identical. The exhaustive record pattern makes adding a
+   field without extending the key a compile error (warning 9), not a
+   silent memoization bug. [%h] prints the float exactly. *)
+let key
+    {
+      safe;
+      concurrent_flush;
+      early_ack;
+      cacheline_consolidation;
+      in_context_flush;
+      cow_avoid_flush;
+      userspace_batching;
+      unsafe_lazy_batching;
+      freebsd_protocol;
+      bug_skip_deferred_flush;
+      oracle_flush;
+      spec_pte_recache_p;
+      full_flush_threshold;
+      batch_slots;
+    } =
+  Printf.sprintf
+    "safe=%b conc=%b eack=%b cline=%b inctx=%b cow=%b ubatch=%b lazy=%b fbsd=%b \
+     bugskip=%b oracle=%b specp=%h fft=%d slots=%d"
+    safe concurrent_flush early_ack cacheline_consolidation in_context_flush
+    cow_avoid_flush userspace_batching unsafe_lazy_batching freebsd_protocol
+    bug_skip_deferred_flush oracle_flush spec_pte_recache_p full_flush_threshold
+    batch_slots
+
 let pp fmt t =
   let flag name b = if b then Some name else None in
   let flags =

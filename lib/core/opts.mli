@@ -71,4 +71,9 @@ val cumulative_general : safe:bool -> (string * t) list
     concurrent, +early ack, +cacheline, (+in-context when safe), +batching. *)
 val cumulative_workload : safe:bool -> (string * t) list
 
+(** Canonical value key over every field: equal keys iff behaviourally
+    identical opts. Used by the bench harness to memoize identical
+    (config, seed) cells across experiments. *)
+val key : t -> string
+
 val pp : Format.formatter -> t -> unit

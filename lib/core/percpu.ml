@@ -56,13 +56,13 @@ let create cpu registry ~n_cpus =
     batch = [];
     batch_overflowed = false;
     csq = Queue.create ();
-    line_tlb = Cache.create_line registry ~name:(Printf.sprintf "cpu%d.tlb_state" id);
-    line_csq = Cache.create_line registry ~name:(Printf.sprintf "cpu%d.csq" id);
+    line_tlb = Cache.create_line registry ~name:(lazy (Printf.sprintf "cpu%d.tlb_state" id));
+    line_csq = Cache.create_line registry ~name:(lazy (Printf.sprintf "cpu%d.csq" id));
     csd_lines =
       Array.init n_cpus (fun dest ->
-          Cache.create_line registry ~name:(Printf.sprintf "cpu%d.csd[%d]" id dest));
+          Cache.create_line registry ~name:(lazy (Printf.sprintf "cpu%d.csd[%d]" id dest)));
     line_stack_info =
-      Cache.create_line registry ~name:(Printf.sprintf "cpu%d.stack_flush_info" id);
+      Cache.create_line registry ~name:(lazy (Printf.sprintf "cpu%d.stack_flush_info" id));
   }
 
 let kernel_pcid slot = slot + 1

@@ -234,6 +234,27 @@ let ipi_handler m ~me (_ : Cpu.t) =
      deferred by §3.4 must complete first. *)
   if Cpu.irq_from_user (Machine.cpu m me) then flush_pending_user m ~cpu:me ~has_stack:true
 
+(* The two shootdown irq records are fixed per machine (the handler depends
+   only on [m]; the responder CPU is recovered from the [Cpu.t] the
+   dispatcher passes in), so register each with the APIC once, at the
+   machine's first shootdown, and send every IPI by id — the send path
+   then allocates neither irq records nor delivery closures. *)
+let shootdown_irq_id m =
+  let id = m.Machine.shootdown_irq_id in
+  if id >= 0 then id
+  else begin
+    let irq =
+      {
+        Cpu.vector = Smp.tlb_shootdown_vector;
+        maskable = true;
+        handler = (fun cpu -> ipi_handler m ~me:(Cpu.id cpu) cpu);
+      }
+    in
+    let id = Apic.register_irq m.Machine.apic irq in
+    m.Machine.shootdown_irq_id <- id;
+    id
+  end
+
 (* Initiator-side local flush. Returns the list of user VPNs left for the
    §3.4/§3.1 interplay to flush during the ack wait (empty otherwise). *)
 let initiator_local_flush m ~from ~has_remote_targets (info : Flush_info.t) =
@@ -298,6 +319,22 @@ let oracle_ipi_handler m ~me (_ : Cpu.t) =
       Smp.ack m ~me cfd);
   if Cpu.irq_from_user (Machine.cpu m me) then flush_pending_user m ~cpu:me ~has_stack:true
 
+let oracle_irq_id m =
+  let id = m.Machine.oracle_irq_id in
+  if id >= 0 then id
+  else begin
+    let irq =
+      {
+        Cpu.vector = Smp.tlb_shootdown_vector;
+        maskable = true;
+        handler = (fun cpu -> oracle_ipi_handler m ~me:(Cpu.id cpu) cpu);
+      }
+    in
+    let id = Apic.register_irq m.Machine.apic irq in
+    m.Machine.oracle_irq_id <- id;
+    id
+  end
+
 (* The conservative oracle (differential-fuzzing reference): one synchronous
    whole-TLB flush on every CPU per request. No target filtering (lazy and
    batched CPUs are IPI'd too), no early ack, no local/remote overlap, no
@@ -323,8 +360,7 @@ let oracle_perform m ~from (info : Flush_info.t) token =
   | _ :: _ ->
       stats.Machine.shootdowns <- stats.Machine.shootdowns + 1;
       let cfds = Smp.enqueue_work m ~from ~targets ~info ~early_ack:false in
-      Smp.send_ipis m ~from ~targets ~handler:(fun cpu ->
-          oracle_ipi_handler m ~me:(Cpu.id cpu) cpu);
+      Smp.send_ipis m ~from ~targets ~irq_id:(oracle_irq_id m);
       Smp.wait_for_acks m ~from cfds ();
       Machine.end_window m ~cpu:from ~mm_id:info.Flush_info.mm_id token
 
@@ -360,8 +396,7 @@ let perform m ~from ~mm (info : Flush_info.t) token =
       let run_remote () =
         let t0 = Machine.now m in
         let cfds = Smp.enqueue_work m ~from ~targets ~info ~early_ack in
-        Smp.send_ipis m ~from ~targets ~handler:(fun cpu ->
-            ipi_handler m ~me:(Cpu.id cpu) cpu);
+        Smp.send_ipis m ~from ~targets ~irq_id:(shootdown_irq_id m);
         (* Prep = target selection + CFD enqueue + ICR writes, i.e. every
            initiator-side cycle before the IPIs are in flight; attributed
            like ack_wait to the farthest target. *)
@@ -397,7 +432,12 @@ let perform m ~from ~mm (info : Flush_info.t) token =
                 leftover := rest
               end
         in
-        Smp.wait_for_acks m ~from cfds ~while_waiting ();
+        (* Same condition [while_waiting] acts on, minus the action: lets
+           the ack wait skip resuming us on poll ticks with nothing to do. *)
+        let waiting_work () =
+          match !leftover with [] -> false | _ :: _ -> not (any_ack ())
+        in
+        Smp.wait_for_acks m ~from cfds ~while_waiting ~waiting_work ();
         (match !leftover with
         | [] -> ()
         | vpn :: _ as rest ->
@@ -506,8 +546,7 @@ let flush_tlb_page_cow m ~from ~mm ~vpn ~executable =
       stats.Machine.shootdowns <- stats.Machine.shootdowns + 1;
       let early_ack = opts.Opts.early_ack in
       let cfds = Smp.enqueue_work m ~from ~targets ~info ~early_ack in
-      Smp.send_ipis m ~from ~targets ~handler:(fun cpu ->
-          ipi_handler m ~me:(Cpu.id cpu) cpu);
+      Smp.send_ipis m ~from ~targets ~irq_id:(shootdown_irq_id m);
       if Machine.metering m then begin
         let far =
           List.fold_left

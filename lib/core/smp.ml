@@ -44,11 +44,8 @@ let enqueue_work m ~from ~targets ~info ~early_ack =
       cfd)
     targets
 
-let send_ipis m ~from ~targets ~handler =
-  let make_irq _target =
-    { Cpu.vector = tlb_shootdown_vector; maskable = true; handler }
-  in
-  let send_cost = Apic.send_ipi m.Machine.apic ~from ~targets ~make_irq in
+let send_ipis m ~from ~targets ~irq_id =
+  let send_cost = Apic.send_ipi_id m.Machine.apic ~from ~targets ~irq_id in
   Machine.delay m send_cost
 
 let drain_queue m ~me ~run =
@@ -79,7 +76,8 @@ let ack m ~me ?(early = false) cfd =
            { seq = cfd.Percpu.cfd_seq; initiator = cfd.Percpu.cfd_initiator; early })
   end
 
-let wait_for_acks m ~from cfds ?(while_waiting = fun () -> ()) () =
+let wait_for_acks m ~from cfds ?(while_waiting = fun () -> ())
+    ?(waiting_work = fun () -> false) () =
   let cpu = Machine.cpu m from in
   let t0 = Machine.now m in
   (* Acks are monotone while we wait, so once a prefix of [cfds] is acked
@@ -95,12 +93,18 @@ let wait_for_acks m ~from cfds ?(while_waiting = fun () -> ()) () =
     match !remaining with [] -> true | _ :: _ -> false
   in
   (* Spin with IRQ servicing; between polls give the §3.4 interplay a
-     chance to flush user PTEs in the otherwise-dead time. *)
+     chance to flush user PTEs in the otherwise-dead time. A poll boundary
+     where nothing changed — no ack landed, no IRQ deliverable, and
+     [waiting_work] says [while_waiting] would be a no-op — is a pure idle
+     tick, so [poll_wait] keeps it inside the engine event instead of
+     resuming this process (the cursor bump in [all_acked] is private
+     state, which [ready] is allowed to touch). *)
+  let ready () = all_acked () || waiting_work () in
   let rec loop () =
     if not (all_acked ()) then begin
       while_waiting ();
       if not (all_acked ()) then begin
-        Cpu.poll cpu;
+        Cpu.poll_wait cpu ready;
         loop ()
       end
     end

@@ -9,6 +9,10 @@
     the flush info in the CSD and colocates the lazy flag with the queue
     head. *)
 
+(** The shootdown IPI vector (CALL_FUNCTION_SINGLE_VECTOR-ish); the vector
+    {!Shootdown} stamps on the irq records it registers with the APIC. *)
+val tlb_shootdown_vector : int
+
 (** Read the "is this CPU lazy / in a batched syscall" state of [target]
     from [from]: one cacheline read whose identity depends on the layout. *)
 val read_remote_tlb_state : Machine.t -> from:int -> target:int -> unit
@@ -24,10 +28,13 @@ val enqueue_work :
   early_ack:bool ->
   Percpu.cfd list
 
-(** Send the shootdown vector to [targets]; [handler] runs on each target
-    when it services the IPI. Pays the sender's ICR-write cost inline. *)
-val send_ipis :
-  Machine.t -> from:int -> targets:int list -> handler:(Cpu.t -> unit) -> unit
+(** Send the shootdown vector to [targets]; the pre-registered irq
+    [irq_id] (see {!Apic.register_irq}) runs on each target when it
+    services the IPI. Pays the sender's ICR-write cost inline. Taking an
+    id instead of a handler keeps the send path allocation-free: the two
+    shootdown handlers are fixed per machine, so {!Shootdown} registers
+    each once and reuses it for every send. *)
+val send_ipis : Machine.t -> from:int -> targets:int list -> irq_id:int -> unit
 
 (** Responder: drain this CPU's call queue, paying the queue and CFD/info
     line reads, invoking [run] on each CFD in FIFO order. *)
@@ -40,7 +47,18 @@ val ack : Machine.t -> me:int -> ?early:bool -> Percpu.cfd -> unit
 (** Initiator: spin until every CFD is acked, servicing our own IRQs while
     spinning. [while_waiting] is called between polls while at least one ack
     is outstanding (used by the in-context/concurrent interplay of §3.4);
-    it must be cheap or advance time itself. Pays one read per CFD to
-    observe the acks. *)
+    it must be cheap or advance time itself. [waiting_work] must report —
+    without observable side effects — whether [while_waiting] would do
+    anything right now: a poll boundary where it is [false], no ack has
+    landed and no IRQ is deliverable is an idle tick the initiator sleeps
+    through without being resumed (the default [fun () -> false] matches
+    the default no-op [while_waiting]). Pays one read per CFD to observe
+    the acks. *)
 val wait_for_acks :
-  Machine.t -> from:int -> Percpu.cfd list -> ?while_waiting:(unit -> unit) -> unit -> unit
+  Machine.t ->
+  from:int ->
+  Percpu.cfd list ->
+  ?while_waiting:(unit -> unit) ->
+  ?waiting_work:(unit -> bool) ->
+  unit ->
+  unit

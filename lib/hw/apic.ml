@@ -3,6 +3,9 @@ type t = {
   topo : Topology.t;
   cost : Costs.t;
   cpus : Cpu.t array;
+  mutable irqs : Cpu.irq array; (* registry for tagged delivery, see below *)
+  mutable n_irqs : int;
+  mutable deliver_tag : int;
   mutable n_ipis : int;
   mutable n_icr : int;
   mutable meter : (int -> int -> unit) option;
@@ -13,15 +16,57 @@ type t = {
 let create eng topo cost ~cpus =
   if Array.length cpus <> Topology.n_cpus topo then
     invalid_arg "Apic.create: cpu array does not match topology";
-  { eng; topo; cost; cpus; n_ipis = 0; n_icr = 0; meter = None }
+  let t =
+    {
+      eng;
+      topo;
+      cost;
+      cpus;
+      irqs = [||];
+      n_irqs = 0;
+      deliver_tag = -1;
+      n_ipis = 0;
+      n_icr = 0;
+      meter = None;
+    }
+  in
+  (* Delivery events are pooled engine events carrying (target cpu, irq
+     registry index) — no per-IPI closure or irq record. *)
+  t.deliver_tag <-
+    Engine.register_handler eng (fun target idx ->
+        Cpu.post_irq t.cpus.(target) t.irqs.(idx));
+  t
 
 let set_delivery_meter t f = t.meter <- Some f
 
-let send_ipi t ~from ~targets ~make_irq =
+(* Register a long-lived irq record for [send_ipi_id]. IRQ records are
+   immutable and may be pending on any number of CPUs at once, so one
+   record per (machine, vector, handler) is enough for every shootdown. *)
+let register_irq t irq =
+  let n = t.n_irqs in
+  if n = Array.length t.irqs then begin
+    let bigger = Array.make (Stdlib.max 4 (2 * n)) irq in
+    Array.blit t.irqs 0 bigger 0 n;
+    t.irqs <- bigger
+  end
+  else t.irqs.(n) <- irq;
+  t.n_irqs <- n + 1;
+  n
+
+let check_targets t ~from targets =
   List.iter
     (fun target ->
-      if target = from then invalid_arg "Apic.send_ipi: self-IPI not supported")
+      if Int.equal target from then invalid_arg "Apic.send_ipi: self-IPI not supported")
     targets;
+  ignore t
+
+(* Shared ICR-write / delivery-latency walk; [deliver target] is called
+   once per target with the computed delivery delay available via
+   [schedule] by the caller. *)
+let send_ipi_id t ~from ~targets ~irq_id =
+  if irq_id < 0 || irq_id >= t.n_irqs then
+    invalid_arg "Apic.send_ipi_id: unregistered irq";
+  check_targets t ~from targets;
   let clusters = Topology.clusters_of_targets t.topo targets in
   t.n_icr <- t.n_icr + List.length clusters;
   let send_cost = ref 0 in
@@ -38,6 +83,31 @@ let send_ipi t ~from ~targets ~make_irq =
           let latency = Costs.ipi_latency t.cost d in
           (* Delivery = queueing behind earlier ICR writes + flight time;
              this is what the target experiences from the first ICR write. *)
+          (match t.meter with
+          | Some f -> f (Topology.distance_rank d) (offset + latency)
+          | None -> ());
+          Engine.schedule_tag t.eng ~delay:(offset + latency) ~tag:t.deliver_tag
+            ~a:target ~b:irq_id)
+        members)
+    clusters;
+  !send_cost
+
+(* Closure-per-target variant for callers whose irq payload genuinely
+   differs per send; the shootdown paths use [send_ipi_id]. *)
+let send_ipi t ~from ~targets ~make_irq =
+  check_targets t ~from targets;
+  let clusters = Topology.clusters_of_targets t.topo targets in
+  t.n_icr <- t.n_icr + List.length clusters;
+  let send_cost = ref 0 in
+  List.iter
+    (fun (_cluster, members) ->
+      send_cost := !send_cost + t.cost.icr_write;
+      let offset = !send_cost in
+      List.iter
+        (fun target ->
+          t.n_ipis <- t.n_ipis + 1;
+          let d = Topology.distance t.topo from target in
+          let latency = Costs.ipi_latency t.cost d in
           (match t.meter with
           | Some f -> f (Topology.distance_rank d) (offset + latency)
           | None -> ());

@@ -28,6 +28,19 @@ val send_ipi :
   make_irq:(Topology.cpu_id -> Cpu.irq) ->
   int
 
+(** [register_irq t irq] stores [irq] in the APIC's registry and returns
+    its id for {!send_ipi_id}. IRQ records are immutable and may be
+    pending on any number of CPUs at once, so a long-lived sender (the
+    shootdown protocol) registers one record per machine at first use
+    instead of allocating per send. *)
+val register_irq : t -> Cpu.irq -> int
+
+(** [send_ipi_id] is {!send_ipi} for a pre-registered irq: delivery events
+    are pooled engine events carrying (target, irq id) — no per-IPI
+    closure or record allocation. *)
+val send_ipi_id :
+  t -> from:Topology.cpu_id -> targets:Topology.cpu_id list -> irq_id:int -> int
+
 (** Total IPIs delivered (one per target). *)
 val ipis_sent : t -> int
 

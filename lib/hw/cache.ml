@@ -39,7 +39,7 @@ type registry = {
    replaces was a measurable share of total bench allocation. *)
 and line = {
   reg : registry;
-  line_name : string;
+  line_name : string Lazy.t;
   mutable owner : int; (* last writer's cpu id, -1 = none *)
   mutable sharers : int; (* bit [c] set iff cpu [c] holds a shared copy *)
   mutable n_accesses : int;
@@ -90,7 +90,7 @@ let create_line reg ~name =
   reg.lines <- l :: reg.lines;
   l
 
-let name l = l.line_name
+let name l = Lazy.force l.line_name
 
 let record l (d : Topology.distance) cost =
   let reg = l.reg in

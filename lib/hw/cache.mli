@@ -32,7 +32,7 @@ val set_transfer_meter : registry -> (int -> int -> unit) -> unit
 
 (** Register a named cacheline; initially unowned (first touch is a cheap
     local fill). *)
-val create_line : registry -> name:string -> line
+val create_line : registry -> name:string Lazy.t -> line
 
 val name : line -> string
 

@@ -89,6 +89,96 @@ let default =
     context_switch = 600;
   }
 
+(* Canonical value key for the bench harness's cell memoization: every
+   field, in declaration order. The exhaustive record pattern makes adding
+   a field without extending the key a compile error (warning 9), not a
+   silent memoization bug. *)
+let key
+    {
+      invlpg;
+      invpcid_single;
+      invpcid_full;
+      cr3_write;
+      lfence;
+      page_walk;
+      page_walk_cold;
+      nested_walk_factor;
+      atomic_op;
+      mem_access;
+      page_copy;
+      page_zero;
+      io_page;
+      fsync_fixed;
+      line_local;
+      line_smt;
+      line_same_socket;
+      line_cross_socket;
+      icr_write;
+      ipi_fixed;
+      ipi_smt;
+      ipi_same_socket;
+      ipi_cross_socket;
+      syscall_entry_unsafe;
+      syscall_exit_unsafe;
+      syscall_entry_safe;
+      syscall_exit_safe;
+      irq_entry_kernel_unsafe;
+      irq_entry_user_unsafe;
+      irq_entry_kernel_safe;
+      irq_entry_user_safe;
+      irq_exit;
+      lock_uncontended;
+      spin_poll;
+      zap_pte;
+      fault_fixed;
+      fault_fixed_safe_extra;
+      vma_op;
+      context_switch;
+    } =
+  String.concat ","
+    (List.map string_of_int
+       [
+         invlpg;
+         invpcid_single;
+         invpcid_full;
+         cr3_write;
+         lfence;
+         page_walk;
+         page_walk_cold;
+         nested_walk_factor;
+         atomic_op;
+         mem_access;
+         page_copy;
+         page_zero;
+         io_page;
+         fsync_fixed;
+         line_local;
+         line_smt;
+         line_same_socket;
+         line_cross_socket;
+         icr_write;
+         ipi_fixed;
+         ipi_smt;
+         ipi_same_socket;
+         ipi_cross_socket;
+         syscall_entry_unsafe;
+         syscall_exit_unsafe;
+         syscall_entry_safe;
+         syscall_exit_safe;
+         irq_entry_kernel_unsafe;
+         irq_entry_user_unsafe;
+         irq_entry_kernel_safe;
+         irq_entry_user_safe;
+         irq_exit;
+         lock_uncontended;
+         spin_poll;
+         zap_pte;
+         fault_fixed;
+         fault_fixed_safe_extra;
+         vma_op;
+         context_switch;
+       ])
+
 let ipi_latency t (d : Topology.distance) =
   match d with
   | Self -> t.ipi_fixed

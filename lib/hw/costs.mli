@@ -60,6 +60,11 @@ type t = {
 
 val default : t
 
+(** Canonical value key over every field: equal keys iff identical cost
+    models. Used by the bench harness to memoize identical (config, seed)
+    cells across experiments. *)
+val key : t -> string
+
 (** IPI delivery latency (send-to-handler-start) for a given distance.
     [Self] never happens (no self-IPI in the shootdown protocol). *)
 val ipi_latency : t -> Topology.distance -> int

@@ -12,6 +12,9 @@ type t = {
          O(1) — an unmaskable IRQ is deliverable regardless of [masked],
          and with IRQs unmasked any pending IRQ is. *)
   dispatch_name : string; (* precomputed: spawned per detached dispatch *)
+  deferred : irq Queue.t;
+      (* scratch for [service_pending]: masked IRQs awaiting re-queue.
+         Empty outside a drain; preallocated so drains allocate nothing. *)
   wake : Waitq.t;
   mutable user : bool;
   mutable draining : bool;
@@ -30,6 +33,16 @@ type t = {
 
 and irq = { vector : int; maskable : bool; handler : t -> unit }
 
+(* Dispatch-process names for the common CPU-id range, interned once at
+   module init: every Machine.create names every CPU's dispatcher, and the
+   string is immutable, so machines (and domains) share one table. *)
+let dispatch_names =
+  Array.init 64 (fun id -> Printf.sprintf "irq-dispatch-cpu%d" id)
+
+let dispatch_name_of id =
+  if id < Array.length dispatch_names then dispatch_names.(id)
+  else Printf.sprintf "irq-dispatch-cpu%d" id
+
 let create eng topo cost ~id ~safe ?tlb_capacity () =
   if id < 0 || id >= Topology.n_cpus topo then
     invalid_arg (Printf.sprintf "Cpu.create: id %d out of range" id);
@@ -43,7 +56,8 @@ let create eng topo cost ~id ~safe ?tlb_capacity () =
     masked = false;
     pending = Queue.create ();
     pending_unmaskable = 0;
-    dispatch_name = Printf.sprintf "irq-dispatch-cpu%d" id;
+    dispatch_name = dispatch_name_of id;
+    deferred = Queue.create ();
     wake = Waitq.create eng;
     user = true;
     draining = false;
@@ -77,6 +91,15 @@ let deliverable t irq = (not irq.maskable) || not t.masked
 let has_deliverable t =
   t.pending_unmaskable > 0 || ((not t.masked) && Queue.length t.pending > 0)
 
+(* Would a [service_pending] call right now actually run handlers? While a
+   drain is in progress (e.g. a detached irq-dispatch interleaved on this
+   CPU is mid-handler), it would be a guarded no-op — so a poll boundary
+   with deliverable IRQs but [draining] set has nothing to do, exactly as
+   the pre-fused loops found when they woke, no-opped and re-slept. Resume
+   conditions for fused ticks use this so such boundaries stay inside the
+   engine handler. *)
+let serviceable t = has_deliverable t && not t.draining
+
 (* Run one IRQ: entry cost depends on mitigation mode and on the privilege
    we are interrupting; handler time is charged to interrupted_cycles. *)
 let run_irq t irq =
@@ -96,30 +119,21 @@ let run_irq t irq =
 let service_pending t =
   if not t.draining then begin
     t.draining <- true;
-    (* The deferred queue is only materialized when something is actually
-       masked: the overwhelmingly common drain delivers everything. An
-       unmaskable IRQ is always deliverable, so deferral never has to put
-       the counter back. *)
-    let deferred = ref None in
+    (* Deferral parks masked IRQs on the preallocated per-CPU [deferred]
+       queue (empty outside this drain), so the overwhelmingly common
+       deliver-everything drain allocates nothing. An unmaskable IRQ is
+       always deliverable, so deferral never has to put the counter back. *)
     (try
        while not (Queue.is_empty t.pending) do
          let irq = Queue.pop t.pending in
          if not irq.maskable then t.pending_unmaskable <- t.pending_unmaskable - 1;
-         if deliverable t irq then run_irq t irq
-         else begin
-           let q =
-             match !deferred with
-             | Some q -> q
-             | None ->
-                 let q = Queue.create () in
-                 deferred := Some q;
-                 q
-           in
-           Queue.push irq q
-         end
+         if deliverable t irq then run_irq t irq else Queue.push irq t.deferred
        done;
-       match !deferred with Some q -> Queue.transfer q t.pending | None -> ()
+       Queue.transfer t.deferred t.pending
      with e ->
+       (* Deferred IRQs (all maskable, so no counter adjustment) go back on
+          [pending] so the field is empty again for the next drain. *)
+       Queue.transfer t.deferred t.pending;
        t.draining <- false;
        raise e);
     t.draining <- false
@@ -182,10 +196,24 @@ let compute t ?(quantum = 200) cycles =
       let remaining = ref cycles in
       while !remaining > 0 do
         if has_deliverable t then service_pending t;
-        let chunk = Stdlib.min quantum !remaining in
-        Process.delay t.eng chunk;
-        t.t_compute <- t.t_compute + chunk;
-        remaining := !remaining - chunk
+        (* One suspension spans every consecutive idle quantum: each
+           boundary is still its own engine event at the old time, but only
+           a boundary with a deliverable IRQ — or the end of the span —
+           resumes the process. Accounting accrues at resume, which is
+           equivalent: the only mid-span observers are IRQ handlers, and
+           those run after resume (at the loop head) here as before. *)
+        let chunk0 = Stdlib.min quantum !remaining in
+        let left = ref (!remaining - chunk0) in
+        Process.tick_sleep t.eng ~first:chunk0 (fun () ->
+            if !left = 0 || serviceable t then 0
+            else begin
+              let c = Stdlib.min quantum !left in
+              left := !left - c;
+              c
+            end);
+        let slept = !remaining - !left in
+        t.t_compute <- t.t_compute + slept;
+        remaining := !left
       done;
       if has_deliverable t then service_pending t)
 
@@ -195,7 +223,8 @@ let spin_until t cond =
         if not (cond ()) then begin
           if has_deliverable t then service_pending t;
           if not (cond ()) then begin
-            Process.delay t.eng t.cost.spin_poll;
+            Process.tick_sleep t.eng ~first:t.cost.spin_poll (fun () ->
+                if cond () || serviceable t then 0 else t.cost.spin_poll);
             loop ()
           end
         end
@@ -210,6 +239,24 @@ let poll t =
   (try
      if has_deliverable t then service_pending t;
      Process.delay t.eng t.cost.spin_poll
+   with e ->
+     t.service_depth <- t.service_depth - 1;
+     raise e);
+  t.service_depth <- t.service_depth - 1
+
+(* [poll] fused across idle windows: one service check, then poll-boundary
+   ticks until [ready ()] holds or an IRQ becomes deliverable at a
+   boundary. Timing-identical to calling [poll] in a loop with the same
+   exit condition between calls, but the idle boundaries never resume the
+   process. The service window stays open for the whole span, as it is
+   across [poll]'s sleep, so IRQs posted mid-span wait for a boundary
+   rather than spawning a detached dispatch. *)
+let poll_wait t ready =
+  t.service_depth <- t.service_depth + 1;
+  (try
+     if has_deliverable t then service_pending t;
+     Process.tick_sleep t.eng ~first:t.cost.spin_poll (fun () ->
+         if ready () || serviceable t then 0 else t.cost.spin_poll)
    with e ->
      t.service_depth <- t.service_depth - 1;
      raise e);

@@ -82,6 +82,14 @@ val spin_until : t -> (unit -> bool) -> unit
     interleave other work between polls. *)
 val poll : t -> unit
 
+(** [poll] fused across idle windows: service deliverable IRQs, then sleep
+    in [Costs.spin_poll] ticks until [ready ()] holds — or an IRQ becomes
+    deliverable — at a tick boundary. Timing-identical to looping over
+    {!poll} with the same exit check between calls, but idle boundaries do
+    not resume the process (see {!Process.tick_sleep}); [ready] must be
+    observably side-effect-free. *)
+val poll_wait : t -> (unit -> bool) -> unit
+
 (** Block until an IRQ is posted (or return immediately if one is pending),
     then service. The idle loop of a core. *)
 val idle_wait : t -> unit

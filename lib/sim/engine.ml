@@ -1,7 +1,12 @@
-(* tlblint: proven-bounds — every Array.unsafe_get/set below indexes a
-   power-of-two ring (slot = time land (ring_size - 1)) or the heap array
-   within [t.size], both established at the masking/allocation site. *)
-(* The hot core of the simulator. Two representation choices keep the
+(* tlblint: proven-bounds — every Array.unsafe_get/set below indexes one
+   of: the event arena at [base + field] with [base] a stride-aligned
+   offset handed out by [alloc] (< [t.cap], and the arena never shrinks);
+   the power-of-two ring (slot = time land (ring_size - 1)); the heap's
+   parallel key/event arrays within [t.size]; the closure registry below
+   its length (slots come from [cls_alloc]); the handler table below
+   [t.n_handlers] (schedule-time range check, and the table never
+   shrinks); or the free-tag stack below [t.n_free_tags]. *)
+(* The hot core of the simulator. Three representation choices keep the
    per-event cost down:
 
    - The priority key is ONE int: [time lsl seq_bits lor seq]. Heap
@@ -9,6 +14,20 @@
      [compare] call on a (time, seq) pair. [seq] preserves FIFO order for
      same-time events; when the 25-bit sequence field would overflow, the
      pending queue is renumbered in place (order-preserving, rare).
+   - Events are not records but rows of a flat int arena, linked by index
+     and recycled through an index free list. A first cut pooled ordinary
+     records, and benchmarked *slower* than allocating fresh ones: a
+     pooled record is promoted to the major heap, so every pointer store
+     into it (free-list link, ring link, closure field) goes through
+     [caml_modify], and at ~9 barriered stores per event the barriers cost
+     more than the minor-GC pressure they saved. Int stores into an int
+     array have no barrier at all, so the flat arena makes scheduling both
+     allocation-free AND barrier-free. Closures (the [schedule] interface)
+     live in a side registry indexed by the event row — one barriered
+     store per closure event instead of several — and hot callers avoid
+     even that with [schedule_tag]: a handler registered once per
+     long-lived object (process, APIC, ...) is dispatched by integer tag
+     with two unboxed int arguments carried in the row.
    - [try_advance] lets a running process skip the whole
      suspend/schedule/pop round-trip when no pending event could fire
      inside the window it wants to sleep across: the clock simply moves
@@ -19,15 +38,23 @@
      Disabled while a chooser is installed, so the interleaving explorer
      sees every decision point. *)
 
-type event = { key : int; run : unit -> unit; mutable next : event }
-(* [next] threads the intrusive per-slot FIFO of the calendar ring below;
-   [nil] (a self-cycle) terminates lists and fills empty slots. *)
-
 let seq_bits = 25
 let seq_limit = 1 lsl seq_bits
 let seq_mask = seq_limit - 1
 let max_time = max_int lsr seq_bits
 let key_time k = k lsr seq_bits
+
+(* Event rows: [stride] ints per event, addressed by base offset. *)
+let f_key = 0 (* packed (time, seq) priority *)
+let f_tag = 1 (* >= 0: handler-table index; -1: closure (f_b = registry slot); -2: cancelled *)
+let f_a = 2 (* first unboxed handler argument *)
+let f_b = 3 (* second unboxed handler argument, or closure-registry slot *)
+let f_gen = 4 (* bumped on release; stamps [handle]s against row reuse *)
+let f_next = 5 (* intrusive FIFO / free-list link: base offset, [nil] = end *)
+let stride = 6
+let nil = -1
+
+type handle = { h_base : int; h_gen : int }
 
 (* Near-future events live in a calendar ring: slot [time land (ring_size -
    1)] holds the FIFO of events at that exact time. An event is ring-eligible
@@ -39,26 +66,40 @@ let key_time k = k lsr seq_bits
    per event, and the sift was the single largest line in bench profiles. *)
 let ring_size = 4096
 
+let no_closure () = invalid_arg "Engine: closure slot dispatched twice"
+
+let no_handler (_ : int) (_ : int) =
+  invalid_arg "Engine: tag dispatched after release_handler"
+
 type t = {
   mutable now : int;
   mutable seq : int;
   mutable events_run : int;
   mutable advances : int; (* fast-path clock advances (skipped suspends) *)
-  mutable data : event array; (* binary min-heap on [key], far/chooser events *)
+  mutable store : int array; (* the event arena, [stride] ints per row *)
+  mutable cap : int; (* ints in [store] handed out so far (arena bump pointer) *)
+  mutable free : int; (* head of the row free list, [nil] = empty *)
+  mutable hkey : int array; (* binary min-heap keys, far/chooser events *)
+  mutable hev : int array; (* heap rows (base offsets), parallel to [hkey] *)
   mutable size : int; (* heap population *)
-  ring : event array; (* slot heads, [nil] = empty *)
-  ring_tail : event array; (* slot tails, meaningful when head <> nil *)
+  ring : int array; (* slot head rows, [nil] = empty *)
+  ring_tail : int array; (* slot tail rows, meaningful when head <> nil *)
   mutable ring_count : int; (* ring population *)
   mutable ring_min : int;
       (* lower bound on the earliest ring event's time: no ring event lives
          in [now, ring_min). Pop scans start here instead of [now]. *)
+  mutable cls : (unit -> unit) array; (* closure registry for [schedule] *)
+  mutable cls_free : int array; (* stack of free registry slots *)
+  mutable n_cls_free : int;
+  mutable n_cls : int; (* registry slots handed out so far *)
+  mutable handlers : (int -> int -> unit) array; (* tag dispatch table *)
+  mutable n_handlers : int;
+  mutable free_tags : int array; (* stack of released handler slots *)
+  mutable n_free_tags : int;
   mutable cur_name : string; (* cooperative-process name, see Process *)
   mutable chooser : (int -> int) option;
   mutable horizon : int;
 }
-
-let rec nil = { key = 0; run = ignore; next = nil }
-let dummy_event = nil
 
 let create () =
   {
@@ -66,12 +107,24 @@ let create () =
     seq = 0;
     events_run = 0;
     advances = 0;
-    data = [||];
+    store = [||];
+    cap = 0;
+    free = nil;
+    hkey = [||];
+    hev = [||];
     size = 0;
     ring = Array.make ring_size nil;
     ring_tail = Array.make ring_size nil;
     ring_count = 0;
     ring_min = 0;
+    cls = [||];
+    cls_free = [||];
+    n_cls_free = 0;
+    n_cls = 0;
+    handlers = [||];
+    n_handlers = 0;
+    free_tags = [||];
+    n_free_tags = 0;
     cur_name = "main";
     chooser = None;
     horizon = 0;
@@ -93,13 +146,132 @@ let pending t = t.size + t.ring_count
 let current_name t = t.cur_name
 let set_current_name t name = t.cur_name <- name
 
+(* ----- event arena ----- *)
+
+(* Reuse a free-listed row or bump the arena pointer. The arena grows to
+   the high-water mark of simultaneously pending events and stays there:
+   after warm-up, scheduling neither allocates nor runs a write barrier
+   (rows are ints). *)
+let alloc t ~key ~tag ~a ~b =
+  let base =
+    let f = t.free in
+    if f >= 0 then begin
+      t.free <- Array.unsafe_get t.store (f + f_next);
+      f
+    end
+    else begin
+      if t.cap = Array.length t.store then begin
+        let bigger = Array.make (Stdlib.max (64 * stride) (2 * t.cap)) 0 in
+        Array.blit t.store 0 bigger 0 t.cap;
+        t.store <- bigger
+      end;
+      let base = t.cap in
+      t.cap <- t.cap + stride;
+      base
+    end
+  in
+  let s = t.store in
+  Array.unsafe_set s (base + f_key) key;
+  Array.unsafe_set s (base + f_tag) tag;
+  Array.unsafe_set s (base + f_a) a;
+  Array.unsafe_set s (base + f_b) b;
+  Array.unsafe_set s (base + f_next) nil;
+  base
+
+(* Return a row to the free list. The [gen] bump invalidates any
+   outstanding [handle] to this row. *)
+let release t base =
+  let s = t.store in
+  Array.unsafe_set s (base + f_gen) (Array.unsafe_get s (base + f_gen) + 1);
+  Array.unsafe_set s (base + f_next) t.free;
+  t.free <- base
+
+(* ----- closure registry -----
+
+   [schedule]'s callbacks are the one pointer payload an event can carry;
+   they live in this side table so the queues stay all-int. A slot is
+   freed (and pointed back at [no_closure], releasing the callback to the
+   GC) before its closure runs, so a callback can recycle its own slot. *)
+
+let cls_alloc t f =
+  let slot =
+    if t.n_cls_free > 0 then begin
+      t.n_cls_free <- t.n_cls_free - 1;
+      Array.unsafe_get t.cls_free t.n_cls_free
+    end
+    else begin
+      if t.n_cls = Array.length t.cls then begin
+        let bigger = Array.make (Stdlib.max 64 (2 * t.n_cls)) no_closure in
+        Array.blit t.cls 0 bigger 0 t.n_cls;
+        t.cls <- bigger
+      end;
+      let slot = t.n_cls in
+      t.n_cls <- slot + 1;
+      slot
+    end
+  in
+  t.cls.(slot) <- f;
+  slot
+
+let cls_take t slot =
+  let f = Array.unsafe_get t.cls slot in
+  Array.unsafe_set t.cls slot no_closure;
+  if t.n_cls_free = Array.length t.cls_free then begin
+    let bigger = Array.make (Stdlib.max 64 (2 * t.n_cls_free)) 0 in
+    Array.blit t.cls_free 0 bigger 0 t.n_cls_free;
+    t.cls_free <- bigger
+  end;
+  Array.unsafe_set t.cls_free t.n_cls_free slot;
+  t.n_cls_free <- t.n_cls_free + 1;
+  f
+
+(* ----- tag dispatch table ----- *)
+
+let register_handler t f =
+  let tag =
+    if t.n_free_tags > 0 then begin
+      t.n_free_tags <- t.n_free_tags - 1;
+      Array.unsafe_get t.free_tags t.n_free_tags
+    end
+    else begin
+      let n = t.n_handlers in
+      if n = Array.length t.handlers then begin
+        let bigger = Array.make (Stdlib.max 8 (2 * n)) no_handler in
+        Array.blit t.handlers 0 bigger 0 n;
+        t.handlers <- bigger
+      end;
+      t.n_handlers <- n + 1;
+      n
+    end
+  in
+  t.handlers.(tag) <- f;
+  tag
+
+(* The caller must not release a tag that still has events in flight:
+   the slot may be reassigned by the next [register_handler] and a stale
+   event would dispatch to the wrong handler. (The in-tree users release
+   only from the owning process's own execution — a process cannot be
+   sleeping while it runs — so no event can be pending on the tag.) *)
+let release_handler t tag =
+  if tag < 0 || tag >= t.n_handlers then
+    invalid_arg "Engine.release_handler: unknown tag";
+  t.handlers.(tag) <- no_handler;
+  if t.n_free_tags = Array.length t.free_tags then begin
+    let bigger = Array.make (Stdlib.max 8 (2 * t.n_free_tags)) 0 in
+    Array.blit t.free_tags 0 bigger 0 t.n_free_tags;
+    t.free_tags <- bigger
+  end;
+  Array.unsafe_set t.free_tags t.n_free_tags tag;
+  t.n_free_tags <- t.n_free_tags + 1
+
 (* ----- calendar ring primitives ----- *)
 
 let ring_append t ~time ev =
   let slot = time land (ring_size - 1) in
   let head = Array.unsafe_get t.ring slot in
-  if head == nil then Array.unsafe_set t.ring slot ev
-  else (Array.unsafe_get t.ring_tail slot).next <- ev;
+  if head = nil then Array.unsafe_set t.ring slot ev
+  else
+    Array.unsafe_set t.store (Array.unsafe_get t.ring_tail slot + f_next) ev;
   Array.unsafe_set t.ring_tail slot ev;
   t.ring_count <- t.ring_count + 1;
   if time < t.ring_min then t.ring_min <- time
@@ -111,7 +283,7 @@ let ring_append t ~time ev =
    event's time is in [now, now + ring_size). *)
 let ring_earliest t =
   let pos = ref (if t.ring_min > t.now then t.ring_min else t.now) in
-  while Array.unsafe_get t.ring (!pos land (ring_size - 1)) == nil do
+  while Array.unsafe_get t.ring (!pos land (ring_size - 1)) = nil do
     incr pos
   done;
   t.ring_min <- !pos;
@@ -121,10 +293,9 @@ let ring_earliest t =
 let ring_pop t pos =
   let slot = pos land (ring_size - 1) in
   let ev = Array.unsafe_get t.ring slot in
-  let nx = ev.next in
+  let nx = Array.unsafe_get t.store (ev + f_next) in
   Array.unsafe_set t.ring slot nx;
-  if nx == nil then Array.unsafe_set t.ring_tail slot nil;
-  ev.next <- nil;
+  if nx = nil then Array.unsafe_set t.ring_tail slot nil;
   t.ring_count <- t.ring_count - 1;
   ev
 
@@ -135,11 +306,11 @@ let drain_ring_to_push t push =
   if t.ring_count > 0 then begin
     for s = 0 to ring_size - 1 do
       let ev = ref (Array.unsafe_get t.ring s) in
-      while !ev != nil do
+      while !ev >= 0 do
         let e = !ev in
-        ev := e.next;
-        e.next <- nil;
-        push e
+        ev := Array.unsafe_get t.store (e + f_next);
+        push e;
+        ()
       done;
       Array.unsafe_set t.ring s nil;
       Array.unsafe_set t.ring_tail s nil
@@ -147,78 +318,94 @@ let drain_ring_to_push t push =
     t.ring_count <- 0
   end
 
-(* ----- heap primitives (monomorphic int-key comparisons) ----- *)
+(* ----- heap primitives (parallel key/row arrays, int comparisons) ----- *)
 
-let rec sift_up data i (ev : event) =
+let rec sift_up hkey hev i key ev =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    let p = Array.unsafe_get data parent in
-    if ev.key < p.key then begin
-      Array.unsafe_set data i p;
-      sift_up data parent ev
+    let pk = Array.unsafe_get hkey parent in
+    if key < pk then begin
+      Array.unsafe_set hkey i pk;
+      Array.unsafe_set hev i (Array.unsafe_get hev parent);
+      sift_up hkey hev parent key ev
     end
-    else Array.unsafe_set data i ev
+    else begin
+      Array.unsafe_set hkey i key;
+      Array.unsafe_set hev i ev
+    end
   end
-  else Array.unsafe_set data i ev
+  else begin
+    Array.unsafe_set hkey i key;
+    Array.unsafe_set hev i ev
+  end
 
-let rec sift_down data size i (ev : event) =
+let rec sift_down hkey hev size i key ev =
   let left = (2 * i) + 1 in
-  if left >= size then Array.unsafe_set data i ev
+  if left >= size then begin
+    Array.unsafe_set hkey i key;
+    Array.unsafe_set hev i ev
+  end
   else begin
     let right = left + 1 in
     let child =
-      if
-        right < size
-        && (Array.unsafe_get data right).key < (Array.unsafe_get data left).key
+      if right < size && Array.unsafe_get hkey right < Array.unsafe_get hkey left
       then right
       else left
     in
-    let c = Array.unsafe_get data child in
-    if c.key < ev.key then begin
-      Array.unsafe_set data i c;
-      sift_down data size child ev
+    let ck = Array.unsafe_get hkey child in
+    if ck < key then begin
+      Array.unsafe_set hkey i ck;
+      Array.unsafe_set hev i (Array.unsafe_get hev child);
+      sift_down hkey hev size child key ev
     end
-    else Array.unsafe_set data i ev
+    else begin
+      Array.unsafe_set hkey i key;
+      Array.unsafe_set hev i ev
+    end
   end
 
 let push t ev =
-  let cap = Array.length t.data in
+  let cap = Array.length t.hkey in
   if t.size = cap then begin
-    let data = Array.make (Stdlib.max 64 (2 * cap)) dummy_event in
-    Array.blit t.data 0 data 0 t.size;
-    t.data <- data
+    let n = Stdlib.max 64 (2 * cap) in
+    let hkey = Array.make n 0 and hev = Array.make n nil in
+    Array.blit t.hkey 0 hkey 0 t.size;
+    Array.blit t.hev 0 hev 0 t.size;
+    t.hkey <- hkey;
+    t.hev <- hev
   end;
   t.size <- t.size + 1;
-  sift_up t.data (t.size - 1) ev
+  sift_up t.hkey t.hev (t.size - 1) (Array.unsafe_get t.store (ev + f_key)) ev
 
 (* Heap-only pop; requires [t.size > 0]. *)
 let heap_pop t =
-  let top = Array.unsafe_get t.data 0 in
+  let top = Array.unsafe_get t.hev 0 in
   t.size <- t.size - 1;
-  let last = Array.unsafe_get t.data t.size in
-  Array.unsafe_set t.data t.size dummy_event;
-  if t.size > 0 then sift_down t.data t.size 0 last;
+  if t.size > 0 then
+    sift_down t.hkey t.hev t.size 0
+      (Array.unsafe_get t.hkey t.size)
+      (Array.unsafe_get t.hev t.size);
   top
 
-(* Merged pop over heap + ring in (time, seq) order. On an equal-time tie
-   the heap event goes first: it was necessarily scheduled at a strictly
-   earlier instant (ring-eligibility is [time - now < ring_size], so for
-   one target time the far/heap push happened at a smaller [now] than any
-   ring push), hence it carries the smaller seq. *)
+(* Merged pop over heap + ring in (time, seq) order; [nil] when empty. On
+   an equal-time tie the heap event goes first: it was necessarily
+   scheduled at a strictly earlier instant (ring-eligibility is [time -
+   now < ring_size], so for one target time the far/heap push happened at
+   a smaller [now] than any ring push), hence it carries the smaller seq. *)
 let pop t =
   if t.ring_count = 0 then begin
-    if t.size = 0 then None else Some (heap_pop t)
+    if t.size = 0 then nil else heap_pop t
   end
-  else if t.size = 0 then Some (ring_pop t (ring_earliest t))
+  else if t.size = 0 then ring_pop t (ring_earliest t)
   else begin
     let rt = ring_earliest t in
-    if key_time (Array.unsafe_get t.data 0).key <= rt then Some (heap_pop t)
-    else Some (ring_pop t rt)
+    if key_time (Array.unsafe_get t.hkey 0) <= rt then heap_pop t
+    else ring_pop t rt
   end
 
 (* Earliest pending time across heap and ring; [max_int] when empty. *)
 let peek_time t =
-  let h = if t.size = 0 then max_int else key_time (Array.unsafe_get t.data 0).key in
+  let h = if t.size = 0 then max_int else key_time (Array.unsafe_get t.hkey 0) in
   if t.ring_count = 0 then h
   else begin
     let rt = ring_earliest t in
@@ -243,7 +430,8 @@ let clear_chooser t =
    saturates, renumber every pending event (ring included) 0..n-1 in key
    order: relative order (hence behaviour) is unchanged, and a sorted array
    is already a valid min-heap. The ring is left empty — events re-enter it
-   as they are scheduled. *)
+   as they are scheduled. Rare (every 33M schedules), so the scratch pair
+   array is allocated freely. *)
 let renumber t =
   drain_ring_to_push t (push t);
   (* The renumbered seqs are 0..size-1 and the next fresh seq is [size];
@@ -255,16 +443,20 @@ let renumber t =
       (Printf.sprintf
          "Engine: %d pending events exceed the %d-bit sequence field" t.size
          seq_bits);
-  let live = Array.sub t.data 0 t.size in
-  Array.sort (fun a b -> Int.compare a.key b.key) live;
+  let live = Array.init t.size (fun i -> (t.hkey.(i), t.hev.(i))) in
+  Array.sort (fun (a, _) (b, _) -> Int.compare a b) live;
   Array.iteri
-    (fun i ev ->
-      live.(i) <- { ev with key = (key_time ev.key lsl seq_bits) lor i })
+    (fun i (key, ev) ->
+      let key = (key_time key lsl seq_bits) lor i in
+      t.store.(ev + f_key) <- key;
+      t.hkey.(i) <- key;
+      t.hev.(i) <- ev)
     live;
-  Array.blit live 0 t.data 0 t.size;
   t.seq <- t.size
 
-let schedule_at t ~time run =
+(* ----- scheduling ----- *)
+
+let fresh_key t ~time =
   if time < t.now then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: time %d is before now %d" time t.now);
@@ -273,14 +465,55 @@ let schedule_at t ~time run =
   if t.seq >= seq_mask then renumber t;
   let key = (time lsl seq_bits) lor t.seq in
   t.seq <- t.seq + 1;
-  let ev = { key; run; next = nil } in
+  key
+
+let enqueue t ~time ev =
   match t.chooser with
   | None when time - t.now < ring_size -> ring_append t ~time ev
   | _ -> push t ev
 
+let schedule_at t ~time run =
+  let key = fresh_key t ~time in
+  enqueue t ~time (alloc t ~key ~tag:(-1) ~a:0 ~b:(cls_alloc t run))
+
 let schedule t ~delay run =
   if delay < 0 then invalid_arg "Engine.schedule: negative delay";
   schedule_at t ~time:(t.now + delay) run
+
+let schedule_tag_at t ~time ~tag ~a ~b =
+  if tag < 0 || tag >= t.n_handlers then
+    invalid_arg "Engine.schedule_tag: unregistered tag";
+  let key = fresh_key t ~time in
+  enqueue t ~time (alloc t ~key ~tag ~a ~b)
+
+let schedule_tag t ~delay ~tag ~a ~b =
+  if delay < 0 then invalid_arg "Engine.schedule_tag: negative delay";
+  schedule_tag_at t ~time:(t.now + delay) ~tag ~a ~b
+
+let schedule_cancellable t ~delay run =
+  if delay < 0 then invalid_arg "Engine.schedule_cancellable: negative delay";
+  let time = t.now + delay in
+  let key = fresh_key t ~time in
+  let ev = alloc t ~key ~tag:(-1) ~a:0 ~b:(cls_alloc t run) in
+  enqueue t ~time ev;
+  { h_base = ev; h_gen = t.store.(ev + f_gen) }
+
+(* A cancelled event keeps its queue slot (timing of everything else is
+   unchanged) but fires as a no-op and is recycled when popped. Stale
+   handles — the event already fired, or fired and its row was recycled —
+   are detected by the generation stamp and refused. *)
+let cancel t h =
+  let base = h.h_base in
+  if t.store.(base + f_gen) <> h.h_gen || t.store.(base + f_tag) = -2 then false
+  else begin
+    (match t.store.(base + f_tag) with
+    | -1 ->
+        let (_ : unit -> unit) = cls_take t t.store.(base + f_b) in
+        ()
+    | _ -> ());
+    t.store.(base + f_tag) <- -2;
+    true
+  end
 
 (* Fast path for Process.delay: advance the clock without a suspend when no
    pending event falls inside the window (strictly — an event at exactly
@@ -302,6 +535,26 @@ let try_advance t ~cycles =
       end
       else false
 
+(* Run one popped event and recycle its row. The release happens before
+   the callback runs: the row is already unlinked from every queue, so the
+   callback is free to schedule (and immediately reuse the row). A
+   cancelled event recycles without running or counting. *)
+let dispatch t base =
+  let s = t.store in
+  let tag = Array.unsafe_get s (base + f_tag) in
+  let a = Array.unsafe_get s (base + f_a) in
+  let b = Array.unsafe_get s (base + f_b) in
+  release t base;
+  if tag >= 0 then begin
+    t.events_run <- t.events_run + 1;
+    (Array.unsafe_get t.handlers tag) a b
+  end
+  else if tag = -1 then begin
+    let f = cls_take t b in
+    t.events_run <- t.events_run + 1;
+    f ()
+  end
+
 (* With a chooser installed, every set of events falling inside the
    concurrency horizon is a scheduling decision point: the chooser picks
    which fires next. Events run in seq order within the chosen one's
@@ -309,52 +562,68 @@ let try_advance t ~cycles =
    one from the window runs "late" at the current time). Without a chooser
    this is the plain deterministic (time, seq) order. *)
 let pop_chosen t choose =
-  match pop t with
-  | None -> None
-  | Some first ->
-      let cutoff = key_time first.key + t.horizon in
-      let buf = ref [| first |] in
-      let n = ref 1 in
-      let continue = ref true in
-      while !continue do
-        if t.size > 0 && key_time t.data.(0).key <= cutoff then begin
-          let ev = Option.get (pop t) in
-          if !n = Array.length !buf then begin
-            let bigger = Array.make (2 * !n) dummy_event in
-            Array.blit !buf 0 bigger 0 !n;
-            buf := bigger
-          end;
-          !buf.(!n) <- ev;
-          incr n
-        end
-        else continue := false
-      done;
-      if !n = 1 then Some first
-      else begin
-        let i = choose !n in
-        let i = if i < 0 || i >= !n then 0 else i in
-        for j = 0 to !n - 1 do
-          if j <> i then push t !buf.(j)
-        done;
-        Some !buf.(i)
+  let first = pop t in
+  if first = nil then nil
+  else begin
+    let cutoff = key_time t.store.(first + f_key) + t.horizon in
+    let buf = ref [| first |] in
+    let n = ref 1 in
+    let continue = ref true in
+    while !continue do
+      if t.size > 0 && key_time t.hkey.(0) <= cutoff then begin
+        let ev = pop t in
+        if !n = Array.length !buf then begin
+          let bigger = Array.make (2 * !n) nil in
+          Array.blit !buf 0 bigger 0 !n;
+          buf := bigger
+        end;
+        !buf.(!n) <- ev;
+        incr n
       end
+      else continue := false
+    done;
+    if !n = 1 then first
+    else begin
+      let i = choose !n in
+      let i = if i < 0 || i >= !n then 0 else i in
+      for j = 0 to !n - 1 do
+        if j <> i then push t !buf.(j)
+      done;
+      !buf.(i)
+    end
+  end
 
 let step t =
-  let next = match t.chooser with None -> pop t | Some choose -> pop_chosen t choose in
-  match next with
-  | None -> false
-  | Some ev ->
-      let time = key_time ev.key in
-      if time > t.now then t.now <- time;
-      t.events_run <- t.events_run + 1;
-      ev.run ();
-      true
+  let ev = match t.chooser with None -> pop t | Some choose -> pop_chosen t choose in
+  if ev = nil then false
+  else begin
+    let time = key_time (Array.unsafe_get t.store (ev + f_key)) in
+    if time > t.now then t.now <- time;
+    dispatch t ev;
+    true
+  end
 
 (* The chooser-free branch drains the queues without going through
-   [step]/[pop]: those box every event in [Some], which at ~500 events per
-   simulated shootdown is a measurable share of minor-GC pressure. The
-   chooser is still consulted per event so installing one mid-run behaves
-   exactly as it did through [step]. *)
+   [step]/[pop]'s per-event branching. When the front of the queue is a
+   ring slot and the heap cannot interleave (its top is strictly later),
+   the whole slot is drained in place — the common "many events this
+   cycle" case pays the ring/heap comparison, the [ring_earliest] scan,
+   and the outer dispatch branch once per cycle instead of once per
+   event. This is order-exact: with no chooser, a schedule issued during
+   the drain targets either this same instant — it lands at the tail of
+   this very slot with a strictly larger seq and is drained in turn — or
+   a strictly later time; and the heap only ever gains later times too (a
+   near-future schedule goes to the ring, a far one is ≥ ring_size cycles
+   away). The two events that can move ring events into the heap
+   mid-drain, [set_chooser] and [renumber], both empty the slot through
+   [drain_ring_to_push], which terminates the inner loop with every count
+   intact. The [t.now = rt] guard covers the one remaining wrinkle: while
+   the slot is non-empty [try_advance] cannot move the clock ([peek_time]
+   = rt = now), but once a callback has emptied the slot it may advance
+   the clock and then schedule an event exactly [ring_size] cycles past
+   [rt] — same slot, later time — which must go back through the outer
+   loop's time bookkeeping. The chooser is still consulted per event so
+   installing one mid-run behaves exactly as it did through [step]. *)
 let run t =
   let continue = ref true in
   while !continue do
@@ -363,19 +632,29 @@ let run t =
     | None ->
         if t.ring_count = 0 && t.size = 0 then continue := false
         else begin
-          let ev =
-            if t.ring_count = 0 then heap_pop t
-            else if t.size = 0 then ring_pop t (ring_earliest t)
-            else begin
-              let rt = ring_earliest t in
-              if key_time (Array.unsafe_get t.data 0).key <= rt then heap_pop t
-              else ring_pop t rt
-            end
+          let use_heap =
+            t.ring_count = 0
+            || t.size > 0
+               && key_time (Array.unsafe_get t.hkey 0) <= ring_earliest t
           in
-          let time = key_time ev.key in
-          if time > t.now then t.now <- time;
-          t.events_run <- t.events_run + 1;
-          ev.run ()
+          if use_heap then begin
+            let ev = heap_pop t in
+            let time = key_time (Array.unsafe_get t.store (ev + f_key)) in
+            if time > t.now then t.now <- time;
+            dispatch t ev
+          end
+          else begin
+            let rt = ring_earliest t in
+            if rt > t.now then t.now <- rt;
+            let slot = rt land (ring_size - 1) in
+            while
+              Array.unsafe_get t.ring slot >= 0
+              && t.now = rt
+              && match t.chooser with None -> true | Some _ -> false
+            do
+              dispatch t (ring_pop t rt)
+            done
+          end
         end
   done
 

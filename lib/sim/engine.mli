@@ -44,6 +44,54 @@ val schedule : t -> delay:int -> (unit -> unit) -> unit
     [Invalid_argument] if [time] is in the past. *)
 val schedule_at : t -> time:int -> (unit -> unit) -> unit
 
+(** {2 Tagged dispatch}
+
+    Event records are pooled and recycled internally, so [schedule] is
+    already allocation-free at steady state apart from its closure. Hot
+    callers that schedule the same logical callback over and over (a
+    process's sleep-resume, APIC IPI delivery, deferred TLB flushes)
+    additionally avoid the closure: register a handler once, then schedule
+    by integer tag with two unboxed [int] arguments stored in the pooled
+    event itself. *)
+
+(** [register_handler t f] installs [f] in the engine's dispatch table and
+    returns its tag. Tags are small dense ints (released tags are reused). *)
+val register_handler : t -> (int -> int -> unit) -> int
+
+(** Release a tag for reuse. The caller must ensure no event carrying the
+    tag is still pending — the slot may be reassigned by the next
+    [register_handler], and a stale event would dispatch to the wrong
+    handler. (Dispatching a released-but-unreassigned tag raises.) *)
+val release_handler : t -> int -> unit
+
+(** [schedule_tag t ~delay ~tag ~a ~b] runs [handler a b] at
+    [now t + delay], where [handler] is the function registered under
+    [tag]. Raises [Invalid_argument] on a negative delay or a tag that was
+    never registered. Allocation-free at steady state. *)
+val schedule_tag : t -> delay:int -> tag:int -> a:int -> b:int -> unit
+
+(** [schedule_tag_at] is [schedule_tag] with an absolute time. *)
+val schedule_tag_at : t -> time:int -> tag:int -> a:int -> b:int -> unit
+
+(** {2 Cancellation} *)
+
+(** A stamped reference to a scheduled event. Handles are generation
+    stamped against the event pool: once the event has fired (or fired and
+    its record was recycled into a new event), the handle goes stale and
+    [cancel] refuses it. *)
+type handle
+
+(** Like [schedule], returning a handle for [cancel]. *)
+val schedule_cancellable : t -> delay:int -> (unit -> unit) -> handle
+
+(** [cancel t h] prevents the event behind [h] from running, returning
+    [true] if it was still pending. A cancelled event keeps its queue slot
+    — no other event's timing changes — but fires as a no-op (not counted
+    in [events_run]) and its record is recycled. Returns [false] for a
+    stale handle or an already-cancelled event; never fires a callback
+    either way. *)
+val cancel : t -> handle -> bool
+
 (** [try_advance t ~cycles] advances the clock by [cycles] and returns
     [true] iff no pending event would fire at or before the new time and no
     chooser is installed. Used by [Process.delay] to skip the

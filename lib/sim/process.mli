@@ -6,6 +6,7 @@
     ack") while the engine interleaves many processes deterministically. *)
 
 exception Process_failure of string * exn
+
 (** A spawned process raised; carries the process name and the exception. *)
 
 (** [spawn engine ~name f] starts [f] as a process at the current time.
@@ -28,6 +29,20 @@ val delay : Engine.t -> int -> unit
 (** Re-enter the event queue at the current instant, letting other events at
     this time run first. *)
 val yield : Engine.t -> unit
+
+(** [tick_sleep engine ~first step] sleeps [first] cycles (> 0), then calls
+    [step ()] at that boundary and at each subsequent one: a return of [0]
+    resumes the process at the current boundary, [d > 0] sleeps [d] more
+    cycles first. Behaviour — event times, event counts and same-cycle
+    ordering — is exactly that of the equivalent chain of {!delay} calls
+    re-checking a condition between sleeps, but a run of idle boundaries
+    costs one effect suspension total instead of one continuation
+    capture/resume (and its allocations) per boundary: idle boundaries are
+    handled inside the engine event, allocation-free. [step] must be free
+    of observable side effects when it returns nonzero (private cursor
+    movement is fine), because the process is not resumed for that
+    boundary. Must only be called from process context. *)
+val tick_sleep : Engine.t -> first:int -> (unit -> int) -> unit
 
 (** Name of the process currently running on [engine] ("main" outside any
     process). Per-engine rather than global so independent machines can run

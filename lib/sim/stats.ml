@@ -8,6 +8,16 @@
 
 let default_cap = 8192
 
+(* The running moments live in one flat float array rather than mutable
+   record fields: this record mixes ints and floats, so its float fields
+   would be boxed and every [add] would allocate a fresh box per updated
+   field. A [float array] stores them unboxed — [add] is allocation-free. *)
+let a_sum = 0
+let a_mean = 1 (* Welford running mean *)
+let a_m2 = 2 (* Welford sum of squared deviations *)
+let a_min = 3
+let a_max = 4
+
 type t = {
   cap : int;
   mutable buf : float array; (* retained samples, insertion order *)
@@ -15,13 +25,15 @@ type t = {
   mutable stride : int; (* keep 1 of every [stride] incoming samples *)
   mutable pending : int; (* samples seen since the last retained one *)
   mutable n : int;
-  mutable sum : float;
-  mutable mean_acc : float;
-  mutable m2 : float;
-  mutable min_v : float;
-  mutable max_v : float;
+  acc : float array; (* unboxed moments, indexed by [a_*] *)
   mutable sorted_cache : float array option;
 }
+
+let fresh_acc () =
+  let acc = Array.make 5 0.0 in
+  acc.(a_min) <- infinity;
+  acc.(a_max) <- neg_infinity;
+  acc
 
 let create ?(cap = default_cap) () =
   if cap < 2 then invalid_arg "Stats.create: cap must be at least 2";
@@ -32,11 +44,7 @@ let create ?(cap = default_cap) () =
     stride = 1;
     pending = 0;
     n = 0;
-    sum = 0.0;
-    mean_acc = 0.0;
-    m2 = 0.0;
-    min_v = infinity;
-    max_v = neg_infinity;
+    acc = fresh_acc ();
     sorted_cache = None;
   }
 
@@ -70,13 +78,14 @@ let retain t x =
 let add t x =
   t.sorted_cache <- None;
   t.n <- t.n + 1;
-  t.sum <- t.sum +. x;
+  let acc = t.acc in
+  acc.(a_sum) <- acc.(a_sum) +. x;
   (* Welford's online variance update. *)
-  let delta = x -. t.mean_acc in
-  t.mean_acc <- t.mean_acc +. (delta /. float_of_int t.n);
-  t.m2 <- t.m2 +. (delta *. (x -. t.mean_acc));
-  if x < t.min_v then t.min_v <- x;
-  if x > t.max_v then t.max_v <- x;
+  let delta = x -. acc.(a_mean) in
+  acc.(a_mean) <- acc.(a_mean) +. (delta /. float_of_int t.n);
+  acc.(a_m2) <- acc.(a_m2) +. (delta *. (x -. acc.(a_mean)));
+  if x < acc.(a_min) then acc.(a_min) <- x;
+  if x > acc.(a_max) then acc.(a_max) <- x;
   t.pending <- t.pending + 1;
   if t.pending >= t.stride then begin
     t.pending <- 0;
@@ -86,13 +95,13 @@ let add t x =
 let count t = t.n
 let retained t = t.len
 let exact_percentiles t = t.stride = 1
-let total t = t.sum
-let mean t = if t.n = 0 then 0.0 else t.mean_acc
-let stddev t = if t.n < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.n - 1))
-let min_opt t = if t.n = 0 then None else Some t.min_v
-let max_opt t = if t.n = 0 then None else Some t.max_v
-let min t = if t.n = 0 then 0.0 else t.min_v
-let max t = if t.n = 0 then 0.0 else t.max_v
+let total t = t.acc.(a_sum)
+let mean t = if t.n = 0 then 0.0 else t.acc.(a_mean)
+let stddev t = if t.n < 2 then 0.0 else sqrt (t.acc.(a_m2) /. float_of_int (t.n - 1))
+let min_opt t = if t.n = 0 then None else Some t.acc.(a_min)
+let max_opt t = if t.n = 0 then None else Some t.acc.(a_max)
+let min t = if t.n = 0 then 0.0 else t.acc.(a_min)
+let max t = if t.n = 0 then 0.0 else t.acc.(a_max)
 
 let sorted t =
   match t.sorted_cache with
@@ -137,15 +146,16 @@ let median t = percentile t 50.0
 let merge_into t other =
   if other.n > 0 then begin
     t.sorted_cache <- None;
+    let acc = t.acc and oacc = other.acc in
     let n1 = float_of_int t.n and n2 = float_of_int other.n in
     let n = n1 +. n2 in
-    let delta = other.mean_acc -. t.mean_acc in
-    t.mean_acc <- t.mean_acc +. (delta *. n2 /. n);
-    t.m2 <- t.m2 +. other.m2 +. (delta *. delta *. n1 *. n2 /. n);
+    let delta = oacc.(a_mean) -. acc.(a_mean) in
+    acc.(a_mean) <- acc.(a_mean) +. (delta *. n2 /. n);
+    acc.(a_m2) <- acc.(a_m2) +. oacc.(a_m2) +. (delta *. delta *. n1 *. n2 /. n);
     t.n <- t.n + other.n;
-    t.sum <- t.sum +. other.sum;
-    if other.min_v < t.min_v then t.min_v <- other.min_v;
-    if other.max_v > t.max_v then t.max_v <- other.max_v;
+    acc.(a_sum) <- acc.(a_sum) +. oacc.(a_sum);
+    if oacc.(a_min) < acc.(a_min) then acc.(a_min) <- oacc.(a_min);
+    if oacc.(a_max) > acc.(a_max) then acc.(a_max) <- oacc.(a_max);
     for i = 0 to other.len - 1 do
       t.pending <- t.pending + 1;
       if t.pending >= t.stride then begin

@@ -19,6 +19,12 @@ let default_config ~opts ~cores =
     seed = 31L;
   }
 
+(* Canonical value key over the whole config: equal keys iff the runs are
+   identical, so the bench harness may share one cell between experiments. *)
+let config_key { opts; cores; requests; file_pages; n_files; request_work; seed } =
+  Printf.sprintf "apache|%s|c=%d req=%d pages=%d files=%d work=%d seed=%Ld"
+    (Opts.key opts) cores requests file_pages n_files request_work seed
+
 type result = {
   requests_done : int;
   cycles : int;

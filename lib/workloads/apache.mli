@@ -19,6 +19,10 @@ type config = {
 
 val default_config : opts:Opts.t -> cores:int -> config
 
+(** Canonical value key over every config field (opts via {!Opts.key}):
+    equal keys iff identical runs. Feeds {!Shard.memo_cell}. *)
+val config_key : config -> string
+
 type result = {
   requests_done : int;
   cycles : int;

@@ -2,6 +2,12 @@ type config = { opts : Opts.t; pages_per_round : int; rounds : int; seed : int64
 
 let default_config ~opts = { opts; pages_per_round = 64; rounds = 10; seed = 11L }
 
+(* Canonical value key over the whole config: equal keys iff the runs are
+   identical, so the bench harness may share one cell between experiments. *)
+let config_key { opts; pages_per_round; rounds; seed } =
+  Printf.sprintf "cow|%s|pages=%d rounds=%d seed=%Ld" (Opts.key opts) pages_per_round
+    rounds seed
+
 type result = {
   write_mean : float;
   write_sd : float;

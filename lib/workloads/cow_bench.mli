@@ -14,6 +14,10 @@ type config = {
 
 val default_config : opts:Opts.t -> config
 
+(** Canonical value key over every config field (opts via {!Opts.key}):
+    equal keys iff identical runs. Feeds {!Shard.memo_cell}. *)
+val config_key : config -> string
+
 type result = {
   write_mean : float;  (** cycles per CoW write, fault included *)
   write_sd : float;

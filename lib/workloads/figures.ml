@@ -24,11 +24,15 @@ let apache_weight ~cores ~requests = float_of_int (requests * (250 + (15 * cores
 
 type micro_matrix = (Microbench.placement * (string * Microbench.result) list) list
 
-(* All stacks for all placements, as cells; the getter rebuilds the
-   (placement, (label, result) list) list shape the table printers eat. *)
-let micro_matrix_cells ~iterations ~warmup ~safe ~pte_count =
+(* All stacks for all placements, as memoized cells; the getter rebuilds
+   the (placement, (label, result) list) list shape the table printers
+   eat. Figures 5-8 and table 3 request the same matrices, and several
+   ablation rows coincide with matrix cells, so the first requester owns
+   each job and later ones only read — [reused] counts the latter. *)
+let micro_matrix_cells ~memo ~iterations ~warmup ~safe ~pte_count =
   let stacks = Opts.cumulative_general ~safe in
   let jobs = ref [] in
+  let reused = ref 0 in
   let rows =
     List.map
       (fun placement ->
@@ -39,8 +43,8 @@ let micro_matrix_cells ~iterations ~warmup ~safe ~pte_count =
                 Microbench.default_config ~opts:(Opts.copy opts) ~placement ~pte_count
               in
               let cfg = { cfg with Microbench.iterations; warmup } in
-              let job, get =
-                Shard.cell
+              let js, get, fresh =
+                Shard.memo_cell memo ~key:(Microbench.config_key cfg)
                   ~label:
                     (Printf.sprintf "micro %s %dpte %s %s"
                        (if safe then "safe" else "unsafe")
@@ -51,7 +55,8 @@ let micro_matrix_cells ~iterations ~warmup ~safe ~pte_count =
                   ~weight:(micro_weight ~iterations ~pte_count)
                   (fun () -> Microbench.run cfg)
               in
-              jobs := job :: !jobs;
+              jobs := List.rev_append js !jobs;
+              if not fresh then incr reused;
               (label, get))
             stacks
         in
@@ -61,7 +66,7 @@ let micro_matrix_cells ~iterations ~warmup ~safe ~pte_count =
   let get () =
     List.map (fun (p, cells) -> (p, List.map (fun (l, g) -> (l, g ())) cells)) rows
   in
-  (List.rev !jobs, get)
+  (List.rev !jobs, get, !reused)
 
 (* ----- Figure 10: Sysbench ----- *)
 
@@ -83,9 +88,10 @@ let fig10_scale ~quick =
       sys_file_pages = 4096;
     }
 
-let fig10_plan scale =
+let fig10_plan ~memo scale =
   let jobs = ref [] in
-  (* One cell per (config, seed); the getter averages the seeds. *)
+  let reused = ref 0 in
+  (* One memoized cell per (config, seed); the getter averages the seeds. *)
   let avg_cell ~tag ~opts ~n =
     let getters =
       List.map
@@ -99,14 +105,15 @@ let fig10_plan scale =
               seed;
             }
           in
-          let job, get =
-            Shard.cell
+          let js, get, fresh =
+            Shard.memo_cell memo ~key:(Sysbench.config_key cfg)
               ~label:(Printf.sprintf "fig10 %s t=%d seed=%Ld" tag n seed)
               ~ops:(fun r -> r.Sysbench.engine_ops)
               ~weight:(sysbench_weight ~threads:n ~ops_per_thread:scale.sys_ops_per_thread)
               (fun () -> Sysbench.run cfg)
           in
-          jobs := job :: !jobs;
+          jobs := List.rev_append js !jobs;
+          if not fresh then incr reused;
           get)
         scale.sys_seeds
     in
@@ -155,7 +162,7 @@ let fig10_plan scale =
           ~header rows)
       sides
   in
-  { Shard.name = "fig10"; jobs = List.rev !jobs; reduce }
+  { Shard.name = "fig10"; jobs = List.rev !jobs; reused = !reused; reduce }
 
 (* ----- Figure 11: Apache ----- *)
 
@@ -174,22 +181,24 @@ let fig11_scale ~quick =
       ap_requests = 660;
     }
 
-let fig11_plan scale =
+let fig11_plan ~memo scale =
   let jobs = ref [] in
+  let reused = ref 0 in
   let avg_cell ~tag ~opts ~n =
     let getters =
       List.map
         (fun seed ->
           let cfg = Apache.default_config ~opts:(Opts.copy opts) ~cores:n in
           let cfg = { cfg with Apache.requests = scale.ap_requests; seed } in
-          let job, get =
-            Shard.cell
+          let js, get, fresh =
+            Shard.memo_cell memo ~key:(Apache.config_key cfg)
               ~label:(Printf.sprintf "fig11 %s c=%d seed=%Ld" tag n seed)
               ~ops:(fun r -> r.Apache.engine_ops)
               ~weight:(apache_weight ~cores:n ~requests:scale.ap_requests)
               (fun () -> Apache.run cfg)
           in
-          jobs := job :: !jobs;
+          jobs := List.rev_append js !jobs;
+          if not fresh then incr reused;
           get)
         scale.ap_seeds
     in
@@ -237,4 +246,4 @@ let fig11_plan scale =
           ~header rows)
       sides
   in
-  { Shard.name = "fig11"; jobs = List.rev !jobs; reduce }
+  { Shard.name = "fig11"; jobs = List.rev !jobs; reused = !reused; reduce }

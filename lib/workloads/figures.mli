@@ -16,14 +16,17 @@ type micro_matrix = (Microbench.placement * (string * Microbench.result) list) l
 
 (** Cells for one Figures-5–8 matrix (all placements × cumulative stacks at
     one (safe, pte_count)); the getter rebuilds the matrix shape the table
-    printers consume. The caller attaches the jobs to whichever plan owns
-    the matrix (figs 5–8 normally; table 3 when it runs alone). *)
+    printers consume. Cells are memoized through [memo]: the first
+    requester of each (config, seed) owns its job (figs 5–8 normally;
+    table 3 when it runs alone), later requesters get only the getter.
+    Also returns how many cells were reused rather than owned. *)
 val micro_matrix_cells :
+  memo:Microbench.result Shard.memo ->
   iterations:int ->
   warmup:int ->
   safe:bool ->
   pte_count:int ->
-  Shard.job list * (unit -> micro_matrix)
+  Shard.job list * (unit -> micro_matrix) * int
 
 type fig10_scale = {
   sys_threads : int list;
@@ -36,10 +39,11 @@ type fig10_scale = {
 val fig10_scale : quick:bool -> fig10_scale
 
 (** Figure 10 as a plan: 2 modes × threads × (baseline + stacks) × seeds
-    sim-run cells, reduced to the two published speedup tables. *)
-val fig10_plan : fig10_scale -> Shard.plan
+    sim-run cells (memoized through [memo], so ablation rows at the same
+    scale reuse them), reduced to the two published speedup tables. *)
+val fig10_plan : memo:Sysbench.result Shard.memo -> fig10_scale -> Shard.plan
 
 type fig11_scale = { ap_cores : int list; ap_seeds : int64 list; ap_requests : int }
 
 val fig11_scale : quick:bool -> fig11_scale
-val fig11_plan : fig11_scale -> Shard.plan
+val fig11_plan : memo:Apache.result Shard.memo -> fig11_scale -> Shard.plan

@@ -40,6 +40,14 @@ let placement_label = function
 
 let all_placements = [ Same_core; Same_socket; Cross_socket ]
 
+(* Canonical value key over the whole config (opts and costs included via
+   their own exhaustive keys): equal keys iff the runs are identical, so
+   the bench harness may share one cell between experiments. *)
+let config_key { opts; costs; placement; pte_count; iterations; warmup; seed; metering } =
+  Printf.sprintf "micro|%s|%s|%s|pte=%d it=%d wu=%d seed=%Ld meter=%b" (Opts.key opts)
+    (Costs.key costs) (placement_label placement) pte_count iterations warmup seed
+    metering
+
 let responder_cpu topo = function
   | Same_core -> begin
       match Topology.smt_sibling_of topo 0 with

@@ -22,6 +22,10 @@ type config = {
 
 val default_config : opts:Opts.t -> placement:placement -> pte_count:int -> config
 
+(** Canonical value key over every config field (opts/costs via their own
+    keys): equal keys iff identical runs. Feeds {!Shard.memo_cell}. *)
+val config_key : config -> string
+
 type result = {
   initiator_mean : float;  (** madvise cycles, mean over iterations *)
   initiator_sd : float;

@@ -46,7 +46,7 @@ let collect ?(iterations = 200) ?(seed = 7L) ~jobs () =
       (configs ~iterations ~seed)
   in
   let plan =
-    { Shard.name = "stats"; jobs = List.map fst cells; reduce = (fun () -> ()) }
+    { Shard.name = "stats"; jobs = List.map fst cells; reused = 0; reduce = (fun () -> ()) }
   in
   let _outcomes, _gc = Shard.execute ~jobs [ plan ] in
   (* Plan-order merge into a fresh registry: every cell pre-registered the

@@ -61,6 +61,7 @@ type job = {
 type plan = {
   name : string;
   jobs : job list;  (** cells this experiment *owns* (pays for, in perf) *)
+  reused : int;  (** cells read from the memo, owned by an earlier plan *)
   reduce : unit -> unit;  (** prints tables via {!Report}; reads cells *)
 }
 
@@ -99,7 +100,33 @@ let cell ?(label = "") ?ops ~weight f =
   in
   ({ label; weight; exec; measure }, get)
 
-type outcome = { out_name : string; output : string; out_measure : measure }
+(* Cross-experiment cell memoization. Identical (config, seed) cells —
+   e.g. an ablation row at the same scale as a fig10 point, or the micro
+   matrices figs 5-8 and table 3 both consume — run once: the first plan
+   to register a key owns the job (and its measure); later registrations
+   get only the getter. Plan construction is sequential and deterministic,
+   so ownership is stable run to run, and reading a shared slot is exactly
+   reading any other cell's slot — reduced output stays byte-identical for
+   every [-j]. Keys come from the workloads' [config_key] serializers,
+   which cover every config field. *)
+type 'a memo = (string, unit -> 'a) Hashtbl.t
+
+let create_memo () : 'a memo = Hashtbl.create 64
+
+let memo_cell memo ~key ?label ?ops ~weight f =
+  match Hashtbl.find_opt memo key with
+  | Some get -> ([], get, false)
+  | None ->
+      let job, get = cell ?label ?ops ~weight f in
+      Hashtbl.add memo key get;
+      ([ job ], get, true)
+
+type outcome = {
+  out_name : string;
+  output : string;
+  out_measure : measure;
+  out_reused : int;
+}
 
 let aggregate jobs ~reduce_wall =
   let m =
@@ -125,7 +152,12 @@ let execute ?(progress = false) ~jobs plans =
         let t0 = Unix.gettimeofday () in
         let output = Report.capture p.reduce in
         let reduce_wall = Unix.gettimeofday () -. t0 in
-        { out_name = p.name; output; out_measure = aggregate p.jobs ~reduce_wall })
+        {
+          out_name = p.name;
+          output;
+          out_measure = aggregate p.jobs ~reduce_wall;
+          out_reused = p.reused;
+        })
       plans
   in
   (outcomes, !gc)

@@ -31,6 +31,11 @@ type plan = {
       (** cells this experiment owns — shared cells (e.g. the micro
           matrices figs 5–8 and table 3 both consume) belong to exactly
           one plan, so perf attribution never double-counts *)
+  reused : int;
+      (** cells this experiment reads from a {!memo} but does not own:
+          they were registered first by an earlier plan. Perf mode marks
+          such experiments [memoized] so the gate knows their measures
+          cover only part of what they print. *)
   reduce : unit -> unit;  (** prints via {!Report}; runs after every cell *)
 }
 
@@ -45,10 +50,32 @@ type plan = {
 val cell :
   ?label:string -> ?ops:('a -> int) -> weight:float -> (unit -> 'a) -> job * (unit -> 'a)
 
+(** Cross-experiment cell memoization: identical (config, seed) cells run
+    once, whatever experiments consume them. *)
+type 'a memo
+
+val create_memo : unit -> 'a memo
+
+(** [memo_cell memo ~key ...] is {!cell}, deduplicated on [key] (a
+    workload [config_key]). The first registration of a key builds the
+    cell and returns [([job], get, true)] — the caller owns the job.
+    Later registrations return [([], get, false)]: the same getter, no
+    job, nothing to pay for. Plan construction is sequential, so
+    ownership is deterministic (first builder in plan order). *)
+val memo_cell :
+  'a memo ->
+  key:string ->
+  ?label:string ->
+  ?ops:('a -> int) ->
+  weight:float ->
+  (unit -> 'a) ->
+  job list * (unit -> 'a) * bool
+
 type outcome = {
   out_name : string;
   output : string;  (** the experiment's captured tables *)
   out_measure : measure;  (** cells summed + reduce wall *)
+  out_reused : int;  (** the plan's [reused] count, for perf reporting *)
 }
 
 (** [execute ~jobs plans] runs every plan's cells on the shared pool

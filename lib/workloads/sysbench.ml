@@ -10,6 +10,13 @@ type config = {
 let default_config ~opts ~threads =
   { opts; threads; ops_per_thread = 400; sync_every = 48; file_pages = 4096; seed = 23L }
 
+(* Canonical value key over the whole config: equal keys iff the runs are
+   identical, so the bench harness may share one cell between experiments
+   (fig10's points double as ablation C/E rows at the same scale). *)
+let config_key { opts; threads; ops_per_thread; sync_every; file_pages; seed } =
+  Printf.sprintf "sysbench|%s|t=%d ops=%d sync=%d pages=%d seed=%Ld" (Opts.key opts)
+    threads ops_per_thread sync_every file_pages seed
+
 type result = {
   ops : int;
   cycles : int;

@@ -75,8 +75,13 @@ let fig10_mini =
 let fig11_mini = { Figures.ap_cores = [ 1; 2 ]; ap_seeds = [ 31L ]; ap_requests = 40 }
 
 let sharded_output ~jobs =
+  (* Fresh memos per call so every jobs level executes its own cells. *)
   let outcomes, _gc =
-    Shard.execute ~jobs [ Figures.fig10_plan fig10_mini; Figures.fig11_plan fig11_mini ]
+    Shard.execute ~jobs
+      [
+        Figures.fig10_plan ~memo:(Shard.create_memo ()) fig10_mini;
+        Figures.fig11_plan ~memo:(Shard.create_memo ()) fig11_mini;
+      ]
   in
   String.concat "" (List.map (fun o -> o.Shard.output) outcomes)
 

@@ -94,13 +94,13 @@ let make_cache () =
 
 let test_cache_first_touch_local () =
   let reg = make_cache () in
-  let l = Cache.create_line reg ~name:"x" in
+  let l = Cache.create_line reg ~name:(lazy "x") in
   check int_t "first read local" Costs.default.Costs.line_local (Cache.read l ~by:0);
   check int_t "second read local" Costs.default.Costs.line_local (Cache.read l ~by:0)
 
 let test_cache_remote_read_costs_transfer () =
   let reg = make_cache () in
-  let l = Cache.create_line reg ~name:"x" in
+  let l = Cache.create_line reg ~name:(lazy "x") in
   ignore (Cache.write l ~by:0);
   check int_t "cross-socket read" Costs.default.Costs.line_cross_socket (Cache.read l ~by:14);
   (* Now shared: reading again is local. *)
@@ -108,7 +108,7 @@ let test_cache_remote_read_costs_transfer () =
 
 let test_cache_write_invalidates_sharers () =
   let reg = make_cache () in
-  let l = Cache.create_line reg ~name:"x" in
+  let l = Cache.create_line reg ~name:(lazy "x") in
   ignore (Cache.write l ~by:0);
   ignore (Cache.read l ~by:14);
   (* A plain store retires through the store buffer: local cost for the
@@ -125,20 +125,20 @@ let test_cache_write_invalidates_sharers () =
 
 let test_cache_exclusive_write_is_local () =
   let reg = make_cache () in
-  let l = Cache.create_line reg ~name:"x" in
+  let l = Cache.create_line reg ~name:(lazy "x") in
   ignore (Cache.write l ~by:5);
   check int_t "exclusive rewrite local" Costs.default.Costs.line_local (Cache.write l ~by:5)
 
 let test_cache_atomic_cost () =
   let reg = make_cache () in
-  let l = Cache.create_line reg ~name:"x" in
+  let l = Cache.create_line reg ~name:(lazy "x") in
   ignore (Cache.write l ~by:0);
   let expected = Costs.default.Costs.line_cross_socket + Costs.default.Costs.atomic_op in
   check int_t "atomic = write + lock" expected (Cache.atomic l ~by:14)
 
 let test_cache_totals () =
   let reg = make_cache () in
-  let l = Cache.create_line reg ~name:"x" in
+  let l = Cache.create_line reg ~name:(lazy "x") in
   ignore (Cache.write l ~by:0);
   ignore (Cache.read l ~by:14);
   ignore (Cache.read l ~by:1);

@@ -572,6 +572,163 @@ let test_trace_ring_buffer_cap () =
   check int_t "clear resets length" 0 (Trace.length t);
   check int_t "clear resets dropped" 0 (Trace.dropped t)
 
+(* --- Event pool model test ---
+
+   Randomized schedule / cancel / fire / recycle sequences against a
+   simple model, checking the pooled-event invariants end to end:
+
+   - every non-cancelled scheduled callback fires exactly once (exact
+     multiset of ids, children included);
+   - fire times are the scheduled times, delivered monotonically, and
+     same-time top-level events keep insertion order;
+   - [cancel] returns [true] iff the model says the event is still
+     pending — including cancels issued from inside running callbacks;
+   - a handle kept across the event's firing (so its pool slot has been
+     recycled by later schedules) is stale: [cancel] returns [false] and
+     the slot's new occupant still fires.
+
+   The rng only drives test-case generation; the engine itself stays
+   deterministic, so a failure reproduces from the fixed seed. *)
+let test_engine_pool_model () =
+  let rng = Rng.create ~seed:0xd15ea5eL in
+  let e = Engine.create () in
+  let scheduled = ref [] (* (id, time) of everything ever scheduled *)
+  and cancelled = ref []
+  and fired = ref [] (* (id, time) in fire order, newest first *)
+  and live = Hashtbl.create 64 (* id -> scheduled fire time, pending only *)
+  and handles = ref [] (* (id, handle) for every cancellable, kept forever *)
+  and top_seq = ref [] (* (time, insertion index, id) of top-level events *)
+  and next_id = ref 0
+  and gop = ref 0 (* global insertion counter, never reset *) in
+  let fresh_id time =
+    let id = !next_id in
+    incr next_id;
+    scheduled := (id, time) :: !scheduled;
+    Hashtbl.replace live id time;
+    id
+  in
+  let fire id =
+    let time = Engine.now e in
+    check bool_t "fires at its scheduled time" true (Hashtbl.find live id = time);
+    Hashtbl.remove live id;
+    fired := (id, time) :: !fired
+  in
+  (* Tagged dispatch: one shared handler, the event's [a] is the model id. *)
+  let tag = Engine.register_handler e (fun a _b -> fire a) in
+  let try_cancel (id, h) =
+    let was_live = Hashtbl.mem live id in
+    check bool_t "cancel true iff pending" was_live (Engine.cancel e h);
+    if was_live then begin
+      Hashtbl.remove live id;
+      cancelled := (id, ()) :: !cancelled
+    end
+  in
+  let n_ops = 400 in
+  for round = 1 to 4 do
+    ignore round;
+    for _op = 1 to n_ops do
+      incr gop;
+      let op = !gop in
+      let now = Engine.now e in
+      match Rng.int rng 10 with
+      | 0 | 1 | 2 ->
+          let d = Rng.int rng 50 in
+          let id = fresh_id (now + d) in
+          top_seq := (now + d, op, id) :: !top_seq;
+          Engine.schedule e ~delay:d (fun () -> fire id)
+      | 3 | 4 ->
+          let d = Rng.int rng 50 in
+          let id = fresh_id (now + d) in
+          top_seq := (now + d, op, id) :: !top_seq;
+          Engine.schedule_tag e ~delay:d ~tag ~a:id ~b:0
+      | 5 | 6 ->
+          let d = Rng.int rng 50 in
+          let id = fresh_id (now + d) in
+          top_seq := (now + d, op, id) :: !top_seq;
+          handles :=
+            (id, Engine.schedule_cancellable e ~delay:d (fun () -> fire id))
+            :: !handles
+      | 7 ->
+          (* A parent whose callback schedules children at fire time —
+             delay 0 children land in the same-cycle batch path. *)
+          let d = Rng.int rng 50 and d1 = Rng.int rng 4 and d2 = Rng.int rng 4 in
+          let id = fresh_id (now + d) in
+          top_seq := (now + d, op, id) :: !top_seq;
+          Engine.schedule e ~delay:d (fun () ->
+              fire id;
+              let c1 = fresh_id (Engine.now e + d1)
+              and c2 = fresh_id (Engine.now e + d2) in
+              Engine.schedule e ~delay:d1 (fun () -> fire c1);
+              Engine.schedule_tag e ~delay:d2 ~tag ~a:c2 ~b:0)
+      | 8 ->
+          (* A callback that cancels a random cancellable when it runs:
+             the in-flight cancel path. Which handle is picked is fixed
+             at schedule time; it may well have fired by then — exactly
+             the staleness the generation stamp must catch. *)
+          let d = Rng.int rng 50 in
+          let id = fresh_id (now + d) in
+          top_seq := (now + d, op, id) :: !top_seq;
+          let victims = !handles in
+          let pick = if victims = [] then None
+            else Some (List.nth victims (Rng.int rng (List.length victims))) in
+          Engine.schedule e ~delay:d (fun () ->
+              fire id;
+              Option.iter try_cancel pick)
+      | _ ->
+          (* Cancel from outside the engine, pending or stale alike. *)
+          (match !handles with
+          | [] -> ()
+          | hs -> try_cancel (List.nth hs (Rng.int rng (List.length hs))))
+    done;
+    Engine.run e;
+    (* Queue drained: recycled records from this round are reused by the
+       next round's schedules, and every handle in [handles] is now
+       stale — the next round's outside-cancels must all answer false. *)
+    check int_t "queue drained" 0 (Engine.pending e)
+  done;
+  (* Every old handle is stale after its event fired or was cancelled. *)
+  List.iter (fun (id, h) ->
+      check bool_t "retained handle is stale" false (Engine.cancel e h);
+      ignore id)
+    !handles;
+  (* Exact multiset: fired = scheduled - cancelled, each exactly once. *)
+  let sorted l = List.sort compare (List.map fst l) in
+  let expected =
+    let cset = Hashtbl.create 64 in
+    List.iter (fun (id, ()) -> Hashtbl.replace cset id ()) !cancelled;
+    List.filter (fun id -> not (Hashtbl.mem cset id)) (sorted !scheduled)
+  in
+  check (Alcotest.list int_t) "fired exactly the live schedule" expected
+    (sorted !fired);
+  check int_t "nothing left pending" 0 (Hashtbl.length live);
+  (* Delivery order: monotone in time... *)
+  let in_order = List.rev !fired in
+  ignore
+    (List.fold_left
+       (fun prev (_, t) ->
+         check bool_t "fire times monotone" true (t >= prev);
+         t)
+       0 in_order);
+  (* ... and same-time top-level events keep insertion order. *)
+  let pos = Hashtbl.create 64 in
+  List.iteri (fun i (id, _) -> Hashtbl.replace pos id i) in_order;
+  let tops = List.sort compare !top_seq in
+  ignore
+    (List.fold_left
+       (fun prev (t, _, id) ->
+         (match Hashtbl.find_opt pos id with
+         | None -> () (* cancelled *)
+         | Some i ->
+             (match prev with
+             | Some (pt, pi) when pt = t ->
+                 check bool_t "FIFO among same-time top-level events" true (pi < i)
+             | _ -> ());
+             ());
+         match Hashtbl.find_opt pos id with
+         | None -> prev
+         | Some i -> Some (t, i))
+       None tops)
+
 let suite =
   [
     Alcotest.test_case "rng: deterministic streams" `Quick test_rng_deterministic;
@@ -612,6 +769,8 @@ let suite =
       test_engine_try_advance_clock_boundary;
     Alcotest.test_case "engine: seq renumber preserves FIFO" `Slow
       test_engine_seq_renumber_preserves_fifo;
+    Alcotest.test_case "engine: randomized pool schedule/cancel/recycle model" `Quick
+      test_engine_pool_model;
     Alcotest.test_case "process: delay advances time" `Quick test_process_delay_advances_time;
     Alcotest.test_case "process: interleaving" `Quick test_process_interleaving;
     Alcotest.test_case "process: failures propagate" `Quick test_process_failure_propagates;
