@@ -57,6 +57,7 @@ let micro_memo : Microbench.result Shard.memo = Shard.create_memo ()
 let sysbench_memo : Sysbench.result Shard.memo = Shard.create_memo ()
 let apache_memo : Apache.result Shard.memo = Shard.create_memo ()
 let cow_memo : Cow_bench.result Shard.memo = Shard.create_memo ()
+let bigmachine_memo : Bigmachine.result Shard.memo = Shard.create_memo ()
 
 let micro_matrix_shared ~safe ~pte_count =
   Figures.micro_matrix_cells ~memo:micro_memo ~iterations:(micro_iters ())
@@ -644,6 +645,66 @@ let ablation_tasks =
     ("paravirt", ablation_paravirt_fracture_plan);
   ]
 
+(* ----- Big-machine scaling (DESIGN.md §12) ----- *)
+
+(* The reduce phase stashes each size's result here so perf mode can emit
+   the schema-5 "bigmachine" rows without re-running the cells; harmless
+   in table-only modes. Keyed rows use ["scale":], never ["name":], so
+   perf_gate's experiment-row scanner does not pick them up. *)
+let bigmachine_results : (int * Bigmachine.result) list ref = ref []
+
+let bigmachine_plan () =
+  let cells =
+    List.map
+      (fun n_cpus ->
+        let cfg = Bigmachine.default_config ~opts:(Opts.all ~safe:true) ~n_cpus in
+        let cfg =
+          if !quick then
+            { cfg with Bigmachine.ops_per_thread = 24; churn_every = 8; churn_pages = 8 }
+          else cfg
+        in
+        let js, get, fresh =
+          Shard.memo_cell bigmachine_memo ~key:(Bigmachine.config_key cfg)
+            ~label:(Printf.sprintf "bigmachine %d" n_cpus)
+            ~ops:(fun r -> r.Bigmachine.engine_ops)
+            (* Same work at every size; the bigger machines only pay more
+               setup, so weight on the op count with a mild size bump. *)
+            ~weight:
+              (float_of_int
+                 (cfg.Bigmachine.tenants * cfg.Bigmachine.threads_per_tenant
+                 * cfg.Bigmachine.ops_per_thread
+                 * 40
+                 + n_cpus * 100))
+            (fun () -> Bigmachine.run cfg)
+        in
+        (n_cpus, js, get, fresh))
+      Bigmachine.sizes
+  in
+  let jobs = List.concat_map (fun (_, js, _, _) -> js) cells in
+  let reused = List.length (List.filter (fun (_, _, _, fresh) -> not fresh) cells) in
+  let reduce () =
+    let results = List.map (fun (n, _, get, _) -> (n, get ())) cells in
+    bigmachine_results := results;
+    Report.table
+      ~title:
+        "Big-machine scaling — identical multi-tenant churn, growing machine \
+         (flat cycles/shootdown = O(active CPUs) hot paths)"
+      ~header:
+        [ "cpus"; "threads"; "shootdowns"; "IPIs"; "ICR writes"; "cycles/shootdown" ]
+      (List.map
+         (fun (n, r) ->
+           [
+             string_of_int n;
+             string_of_int r.Bigmachine.threads;
+             string_of_int r.Bigmachine.shootdowns;
+             string_of_int r.Bigmachine.ipis;
+             string_of_int r.Bigmachine.icr_writes;
+             Printf.sprintf "%.0f" r.Bigmachine.cycles_per_shootdown;
+           ])
+         results)
+  in
+  { Shard.name = "bigmachine"; jobs; reused; reduce }
+
 (* ----- Bechamel: wall-clock self-measurement of the harness ----- *)
 
 let bechamel () =
@@ -723,6 +784,7 @@ let all_tasks =
       ("table4", table4_plan);
     ]
   @ ablation_tasks
+  @ [ ("bigmachine", bigmachine_plan) ]
 
 (* Plan every requested experiment (sequential: the cell memos assign
    shared cells to their first requester), execute all cells on one shared
@@ -820,7 +882,7 @@ let perf ~jobs () =
   let oc = open_out "BENCH_PERF.json" in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
-  out "  \"schema\": 4,\n";
+  out "  \"schema\": 5,\n";
   out "  \"mode\": \"%s\",\n" (if !quick then "quick" else "full");
   out "  \"jobs\": %d,\n" jobs;
   out "  \"experiments\": [\n";
@@ -864,6 +926,25 @@ let perf ~jobs () =
         (json_escape id) count p50 p99
         (if i = n_phases - 1 then "" else ","))
     phases;
+  out "  ],\n";
+  (* Schema-5 scaling rows, filled by the bigmachine plan's reduce during
+     [execute] above. Keyed ["scale":] — never ["name":] — because
+     perf_gate's experiment scanner treats every ["name":] as an
+     experiment row. cycles_per_shootdown is simulated time: identical
+     across hosts and [-j], so the gate compares it raw. *)
+  out "  \"bigmachine\": [\n";
+  let n_bm = List.length !bigmachine_results in
+  List.iteri
+    (fun i (n_cpus, r) ->
+      out
+        "    {\"scale\": \"bigmachine-%d\", \"n_cpus\": %d, \"threads\": %d, \
+         \"ops\": %d, \"shootdowns\": %d, \"ipis\": %d, \"icr_writes\": %d, \
+         \"churns\": %d, \"cycles_per_shootdown\": %.2f, \"engine_ops\": %d}%s\n"
+        n_cpus n_cpus r.Bigmachine.threads r.Bigmachine.ops r.Bigmachine.shootdowns
+        r.Bigmachine.ipis r.Bigmachine.icr_writes r.Bigmachine.churns
+        r.Bigmachine.cycles_per_shootdown r.Bigmachine.engine_ops
+        (if i = n_bm - 1 then "" else ","))
+    !bigmachine_results;
   out "  ],\n";
   out
     "  \"total\": {\"wall_s\": %.4f, \"elapsed_s\": %.4f, \"engine_ops\": %d, \
@@ -926,7 +1007,7 @@ let () =
   let group = function
     | "figs5-8" -> Some fig_tasks
     | ("fig5" | "fig6" | "fig7" | "fig8" | "table3" | "fig9" | "fig10" | "fig11"
-      | "table2" | "table4") as cmd ->
+      | "table2" | "table4" | "bigmachine") as cmd ->
         Some (List.filter (fun (n, _) -> String.equal n cmd) all_tasks)
     | "ablation" -> Some ablation_tasks
     | "all" -> Some all_tasks

@@ -136,6 +136,53 @@ let rows_of_file path =
   in
   collect 0 []
 
+type scale_row = {
+  scale : string;
+  s_cpus : int option;
+  cycles_per_shootdown : float option;
+  shootdowns : int option;
+}
+
+(* Schema-5 "bigmachine" scaling rows, keyed ["scale":] (experiment rows
+   are keyed ["name":], so neither scanner sees the other's rows). A
+   pre-schema-5 file simply yields the empty list and the scaling gates
+   are skipped. *)
+let scale_rows_of_file path =
+  let s = read_file path in
+  let rec collect from acc =
+    match raw_field s ~from "scale" with
+    | None -> List.rev acc
+    | Some (scale, p1) ->
+        let bound =
+          match find_key s ~from:p1 "scale" with
+          | Some k -> k
+          | None -> String.length s
+        in
+        let field key =
+          match raw_field s ~from:p1 ~until:bound key with
+          | Some (v, _) -> Some v
+          | None -> None
+        in
+        let row =
+          {
+            scale = unquote scale;
+            s_cpus = Option.bind (field "n_cpus") int_of_string_opt;
+            cycles_per_shootdown =
+              Option.bind (field "cycles_per_shootdown") float_of_string_opt;
+            shootdowns = Option.bind (field "shootdowns") int_of_string_opt;
+          }
+        in
+        collect bound (row :: acc)
+  in
+  collect 0 []
+
+(* A scaling row is gateable only when it actually performed shootdowns:
+   a zero-shootdown run's cycles_per_shootdown is a placeholder 0. *)
+let scale_gateable r =
+  match (r.cycles_per_shootdown, r.shootdowns) with
+  | Some c, Some n -> c > 0.0 && n > 0
+  | _ -> false
+
 (* A row enters the aggregate (and is gateable) only with a positive wall
    time and a non-trivial op count: [engine_ops: null] rows, zero-wall
    runs and malformed rows all fall out here instead of poisoning the
@@ -229,6 +276,58 @@ let () =
             Printf.printf "skip %-12s trivial, zero-wall or no engine ops (not gated)\n"
               b.name)
     baseline;
+  (* --- schema-5 scaling gates --- *)
+  let base_scales = scale_rows_of_file baseline_path in
+  let cur_scales = scale_rows_of_file current_path in
+  (* Regression gate: cycles_per_shootdown is simulated time, identical
+     across hosts, so it is compared raw like words/op. Only rows present
+     and gateable in both files are compared — an old baseline without
+     bigmachine rows gates nothing. *)
+  List.iter
+    (fun b ->
+      match List.find_opt (fun c -> String.equal c.scale b.scale) cur_scales with
+      | None ->
+          Printf.printf "FAIL %-16s missing from current run\n" b.scale;
+          incr failed
+      | Some c when scale_gateable b && scale_gateable c ->
+          let bc = Option.get b.cycles_per_shootdown
+          and cc = Option.get c.cycles_per_shootdown in
+          let rel = cc /. bc in
+          if rel > 1.0 +. !threshold then begin
+            Printf.printf
+              "FAIL %-16s cycles/shootdown %.2fx of baseline (%.0f vs %.0f, limit \
+               %.2fx)\n"
+              b.scale rel cc bc (1.0 +. !threshold);
+            incr failed
+          end
+          else
+            Printf.printf "ok   %-16s cycles/shootdown %.2fx of baseline (%.0f)\n"
+              b.scale rel cc
+      | Some _ -> Printf.printf "skip %-16s no shootdowns (not gated)\n" b.scale)
+    base_scales;
+  (* In-file scaling bound: the 1024-CPU machine's per-shootdown cost must
+     stay within 2x of the 56-CPU paper machine's on the SAME run — the
+     O(active CPUs) property the cpuset layer exists to provide. Checked
+     whenever the current file carries both rows, whatever the baseline. *)
+  (match
+     ( List.find_opt (fun r -> r.s_cpus = Some 56) cur_scales,
+       List.find_opt (fun r -> r.s_cpus = Some 1024) cur_scales )
+   with
+  | Some small, Some big when scale_gateable small && scale_gateable big ->
+      let cs = Option.get small.cycles_per_shootdown
+      and cb = Option.get big.cycles_per_shootdown in
+      let rel = cb /. cs in
+      if rel > 2.0 then begin
+        Printf.printf
+          "FAIL scaling          1024-CPU cycles/shootdown %.2fx of 56-CPU (%.0f vs \
+           %.0f, limit 2.00x)\n"
+          rel cb cs;
+        incr failed
+      end
+      else
+        Printf.printf "ok   scaling          1024-CPU cycles/shootdown %.2fx of 56-CPU\n"
+          rel
+  | _ -> ());
   if !failed > 0 then begin
     Printf.printf "%d experiment(s) regressed more than %.0f%%\n" !failed (!threshold *. 100.0);
     exit 1

@@ -51,6 +51,10 @@ type t = {
   apic : Apic.t;
   percpu : Percpu.t array;
   mms : (int, Mm_struct.t) Hashtbl.t;
+  all_cpus : Cpuset.t;
+      (* every cpu id; the oracle's flush-all broadcast snapshots this into
+         the initiator's scratch instead of materializing target lists.
+         Never mutated after create. *)
   mutable next_mm_id : int;
   mutable next_ipi_seq : int;
   mutable shootdown_irq_id : int;
@@ -159,6 +163,12 @@ let create ?(topo = Topology.paper_machine) ?(costs = Costs.default)
     apic;
     percpu;
     mms = Hashtbl.create 16;
+    all_cpus =
+      (let s = Cpuset.create ~bits:n in
+       for c = 0 to n - 1 do
+         Cpuset.set s c
+       done;
+       s);
     next_mm_id = 1;
     next_ipi_seq = 0;
     shootdown_irq_id = -1;

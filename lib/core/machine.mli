@@ -58,6 +58,9 @@ type t = {
   apic : Apic.t;
   percpu : Percpu.t array;
   mms : (int, Mm_struct.t) Hashtbl.t;
+  all_cpus : Cpuset.t;
+      (** every cpu id, built once at create; broadcast paths snapshot it
+          into scratch sets. Treat as read-only. *)
   mutable next_mm_id : int;
   mutable next_ipi_seq : int;
   mutable shootdown_irq_id : int;

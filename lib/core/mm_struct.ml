@@ -5,7 +5,7 @@ type t = {
   sem : Rwsem.t;
   mm_line : Cache.line;
   mutable gen : int;
-  mask : bool array;
+  mask : Cpuset.t;
   mutable vma_set : Vma.Set.set;
   mutable next_vpn : int;
 }
@@ -18,7 +18,7 @@ let create ~engine ~registry ~frames ~n_cpus ~id =
     sem = Rwsem.create engine;
     mm_line = Cache.create_line registry ~name:(lazy (Printf.sprintf "mm%d.gen+cpumask" id));
     gen = 1;
-    mask = Array.make n_cpus false;
+    mask = Cpuset.create ~bits:n_cpus;
     vma_set = Vma.Set.empty;
     (* Start user mappings at 4 GiB to keep VPNs comfortably positive. *)
     next_vpn = 1 lsl 20;
@@ -35,16 +35,11 @@ let bump_tlb_gen t =
   t.gen <- t.gen + 1;
   t.gen
 
-let cpumask t =
-  let acc = ref [] in
-  for cpu = Array.length t.mask - 1 downto 0 do
-    if t.mask.(cpu) then acc := cpu :: !acc
-  done;
-  !acc
-
-let cpu_set t ~cpu = t.mask.(cpu) <- true
-let cpu_clear t ~cpu = t.mask.(cpu) <- false
-let cpu_isset t ~cpu = t.mask.(cpu)
+let cpuset t = t.mask
+let cpumask t = Cpuset.to_list t.mask
+let cpu_set t ~cpu = Cpuset.set t.mask cpu
+let cpu_clear t ~cpu = Cpuset.clear t.mask cpu
+let cpu_isset t ~cpu = Cpuset.mem t.mask cpu
 
 let vmas t = t.vma_set
 let add_vma t vma = t.vma_set <- Vma.Set.add t.vma_set vma

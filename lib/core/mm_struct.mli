@@ -34,7 +34,14 @@ val tlb_gen : t -> int
     cacheline cost separately via {!line}). *)
 val bump_tlb_gen : t -> int
 
-(** CPUs on which this address space is (or recently was) active. *)
+(** CPUs on which this address space is (or recently was) active, as the
+    live bitset — what the shootdown paths iterate (snapshotting into a
+    scratch set first; {!Shootdown.select_targets} yields between candidate
+    reads, and the mask may change under it). Callers must not mutate it
+    except through {!cpu_set}/{!cpu_clear}. *)
+val cpuset : t -> Cpuset.t
+
+(** {!cpuset} as an ascending list; allocates — tests and debug only. *)
 val cpumask : t -> int list
 
 val cpu_set : t -> cpu:int -> unit

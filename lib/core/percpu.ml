@@ -24,6 +24,7 @@ let no_pending_user = function No_flush -> true | Ranged _ | Full_flush -> false
 
 type t = {
   cpu : Cpu.t;
+  registry : Cache.registry; (* for lazily creating CSD lines below *)
   asids : asid_slot array;
   mutable curr_asid : int;
   mutable loaded_mm : Mm_struct.t option;
@@ -36,8 +37,18 @@ type t = {
   csq : cfd Queue.t;
   line_tlb : Cache.line;
   line_csq : Cache.line;
-  csd_lines : Cache.line array;
+  csd_lines : Cache.line option array;
+      (* created on first shootdown to that destination via [csd_line]: the
+         full n_cpus^2 matrix of line records (and their lazy-name thunks)
+         was over half of Machine.create's allocation at 56 CPUs and would
+         be ~1M records at 1024, while a workload only ever touches the
+         (initiator, responder) pairs it actually shoots down. *)
   line_stack_info : Cache.line;
+  scratch_targets : Cpuset.t;
+      (* per-initiator shootdown target scratch. Safe to reuse per
+         shootdown without allocation: a CPU runs one initiator at a time
+         (no preemption of a syscall mid-protocol), and nothing that runs
+         from this CPU's IRQ handlers selects targets. *)
 }
 
 let n_asids = 6
@@ -46,6 +57,7 @@ let create cpu registry ~n_cpus =
   let id = Cpu.id cpu in
   {
     cpu;
+    registry;
     asids = Array.init n_asids (fun _ -> { slot_mm = -1; gen_seen = 0; last_used = 0 });
     curr_asid = 0;
     loaded_mm = None;
@@ -58,12 +70,23 @@ let create cpu registry ~n_cpus =
     csq = Queue.create ();
     line_tlb = Cache.create_line registry ~name:(lazy (Printf.sprintf "cpu%d.tlb_state" id));
     line_csq = Cache.create_line registry ~name:(lazy (Printf.sprintf "cpu%d.csq" id));
-    csd_lines =
-      Array.init n_cpus (fun dest ->
-          Cache.create_line registry ~name:(lazy (Printf.sprintf "cpu%d.csd[%d]" id dest)));
+    csd_lines = Array.make n_cpus None;
     line_stack_info =
       Cache.create_line registry ~name:(lazy (Printf.sprintf "cpu%d.stack_flush_info" id));
+    scratch_targets = Cpuset.create ~bits:0;
   }
+
+let csd_line t ~target =
+  match t.csd_lines.(target) with
+  | Some l -> l
+  | None ->
+      let id = Cpu.id t.cpu in
+      let l =
+        Cache.create_line t.registry
+          ~name:(lazy (Printf.sprintf "cpu%d.csd[%d]" id target))
+      in
+      t.csd_lines.(target) <- Some l;
+      l
 
 let kernel_pcid slot = slot + 1
 let user_pcid slot = slot + 1 + 2048

@@ -41,6 +41,7 @@ val no_pending_user : pending_user -> bool
 
 type t = {
   cpu : Cpu.t;
+  registry : Cache.registry;  (** for lazily creating CSD lines *)
   asids : asid_slot array;
   mutable curr_asid : int;
   mutable loaded_mm : Mm_struct.t option;
@@ -56,11 +57,22 @@ type t = {
   csq : cfd Queue.t;
   line_tlb : Cache.line;
   line_csq : Cache.line;
-  csd_lines : Cache.line array;
+  csd_lines : Cache.line option array;
+      (** outbound CSD lines by destination, created on first use by
+          {!csd_line}: materializing all n_cpus² of them up front dominated
+          machine-setup allocation and is hopeless at 1024 CPUs *)
   line_stack_info : Cache.line;
+  scratch_targets : Cpuset.t;
+      (** this CPU's shootdown target scratch set, reused across its
+          shootdowns (one initiator per CPU at a time, and IRQ handlers
+          never select targets) *)
 }
 
 val create : Cpu.t -> Cache.registry -> n_cpus:int -> t
+
+(** The CSD line this CPU uses to shoot down [target], created in the
+    registry on first use. *)
+val csd_line : t -> target:int -> Cache.line
 
 val n_asids : int
 

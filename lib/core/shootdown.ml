@@ -273,18 +273,26 @@ let initiator_local_flush m ~from ~has_remote_targets (info : Flush_info.t) =
     record_flush m ~rank:0 ~kind:(kind_of_result result) (Machine.now m - t0);
   if hybrid && result = `Ranged then Flush_info.vpns info else []
 
-(* Select remote targets, paying one line read per candidate. *)
+(* Select remote targets into the initiator's scratch cpuset, paying one
+   line read per candidate. The mm's cpumask is snapshotted first (the
+   candidate reads yield, and a remote context switch may edit the live
+   mask under us — the list-building version had the same snapshot
+   semantics), then filtered in place: clearing the current bit during
+   [Cpuset.iter] is part of its contract. Returns the scratch set, valid
+   until this CPU's next shootdown. *)
 let select_targets m ~from ~mm (info : Flush_info.t) =
   let opts = m.Machine.opts and stats = m.Machine.stats in
-  let candidates = List.filter (fun c -> c <> from) (Mm_struct.cpumask mm) in
-  List.filter
+  let targets = (Machine.percpu m from).Percpu.scratch_targets in
+  Cpuset.copy_into ~dst:targets ~src:(Mm_struct.cpuset mm);
+  Cpuset.clear targets from;
+  Cpuset.iter
     (fun c ->
       Smp.read_remote_tlb_state m ~from ~target:c;
       let p = Machine.percpu m c in
       if p.Percpu.lazy_mode then begin
         (* Lazy-TLB CPU: it will sync generations before resuming user. *)
         stats.Machine.ipis_skipped_lazy <- stats.Machine.ipis_skipped_lazy + 1;
-        false
+        Cpuset.clear targets c
       end
       else if
         opts.Opts.userspace_batching && p.Percpu.batched_mode
@@ -293,10 +301,10 @@ let select_targets m ~from ~mm (info : Flush_info.t) =
         (* §4.2: the CPU is inside a batching syscall and will sync at its
            mmap_sem-release barrier; no IPI needed. *)
         stats.Machine.ipis_skipped_batched <- stats.Machine.ipis_skipped_batched + 1;
-        false
-      end
-      else true)
-    candidates
+        Cpuset.clear targets c
+      end)
+    targets;
+  targets
 
 (* The conservative-oracle responder: ignore generations and ranges, drop
    the whole TLB (every PCID, globals included) for every request. *)
@@ -352,17 +360,23 @@ let oracle_perform m ~from (info : Flush_info.t) token =
         slot.Percpu.gen_seen <-
           Stdlib.max slot.Percpu.gen_seen info.Flush_info.new_tlb_gen)
     pcpu.Percpu.asids;
-  let targets = List.filter (fun c -> c <> from) (List.init (Machine.n_cpus m) Fun.id) in
-  match targets with
-  | [] ->
-      stats.Machine.local_only_flushes <- stats.Machine.local_only_flushes + 1;
-      Machine.end_window m ~cpu:from ~mm_id:info.Flush_info.mm_id token
-  | _ :: _ ->
-      stats.Machine.shootdowns <- stats.Machine.shootdowns + 1;
-      let cfds = Smp.enqueue_work m ~from ~targets ~info ~early_ack:false in
-      Smp.send_ipis m ~from ~targets ~irq_id:(oracle_irq_id m);
-      Smp.wait_for_acks m ~from cfds ();
-      Machine.end_window m ~cpu:from ~mm_id:info.Flush_info.mm_id token
+  (* Flush-all broadcast: snapshot the machine's all-cpus set into the
+     initiator's scratch instead of building (and filtering) per-broadcast
+     lists — two word-array copies, no allocation. *)
+  let targets = pcpu.Percpu.scratch_targets in
+  Cpuset.copy_into ~dst:targets ~src:m.Machine.all_cpus;
+  Cpuset.clear targets from;
+  if Cpuset.is_empty targets then begin
+    stats.Machine.local_only_flushes <- stats.Machine.local_only_flushes + 1;
+    Machine.end_window m ~cpu:from ~mm_id:info.Flush_info.mm_id token
+  end
+  else begin
+    stats.Machine.shootdowns <- stats.Machine.shootdowns + 1;
+    let cfds = Smp.enqueue_work m ~from ~targets ~info ~early_ack:false in
+    Smp.send_ipis m ~from ~targets ~irq_id:(oracle_irq_id m);
+    Smp.wait_for_acks m ~from cfds ();
+    Machine.end_window m ~cpu:from ~mm_id:info.Flush_info.mm_id token
+  end
 
 (* One complete shootdown for [info], generation already bumped. *)
 let perform m ~from ~mm (info : Flush_info.t) token =
@@ -380,12 +394,12 @@ let perform m ~from ~mm (info : Flush_info.t) token =
     let sel0 = Machine.now m in
     let targets = select_targets m ~from ~mm info in
     let sel_dt = Machine.now m - sel0 in
-    match targets with
-    | [] ->
-        stats.Machine.local_only_flushes <- stats.Machine.local_only_flushes + 1;
-        ignore (initiator_local_flush m ~from ~has_remote_targets:false info);
-        Machine.end_window m ~cpu:from ~mm_id:info.Flush_info.mm_id token
-    | _ :: _ -> begin
+    if Cpuset.is_empty targets then begin
+      stats.Machine.local_only_flushes <- stats.Machine.local_only_flushes + 1;
+      ignore (initiator_local_flush m ~from ~has_remote_targets:false info);
+      Machine.end_window m ~cpu:from ~mm_id:info.Flush_info.mm_id token
+    end
+    else begin
       stats.Machine.shootdowns <- stats.Machine.shootdowns + 1;
       (* FreeBSD comparator: one machine-wide shootdown at a time. *)
       if opts.Opts.freebsd_protocol then begin
@@ -402,7 +416,7 @@ let perform m ~from ~mm (info : Flush_info.t) token =
            like ack_wait to the farthest target. *)
         if Machine.metering m then begin
           let far =
-            List.fold_left
+            Cpuset.fold
               (fun acc c -> Stdlib.max acc (Machine.distance_rank m from c))
               0 targets
           in
@@ -419,7 +433,7 @@ let perform m ~from ~mm (info : Flush_info.t) token =
         let pcpu = Machine.percpu m from in
         let tlb = Cpu.tlb (Machine.cpu m from) in
         let user_pcid = Percpu.user_pcid pcpu.Percpu.curr_asid in
-        let any_ack () = List.exists (fun c -> c.Percpu.cfd_acked) cfds in
+        let any_ack () = Array.exists (fun c -> c.Percpu.cfd_acked) cfds in
         let while_waiting () =
           (* §3.4 interplay: burn the wait on user-PTE INVPCIDs until the
              first ack lands, then defer the rest to kernel exit. *)
@@ -540,16 +554,16 @@ let flush_tlb_page_cow m ~from ~mm ~vpn ~executable =
     (* Remote CPUs sharing the mapping still need the shootdown. *)
     let sel0 = Machine.now m in
     let targets = select_targets m ~from ~mm info in
-    match targets with
-    | [] -> Machine.end_window m ~cpu:from ~mm_id:(Mm_struct.id mm) token
-    | _ :: _ -> begin
+    if Cpuset.is_empty targets then
+      Machine.end_window m ~cpu:from ~mm_id:(Mm_struct.id mm) token
+    else begin
       stats.Machine.shootdowns <- stats.Machine.shootdowns + 1;
       let early_ack = opts.Opts.early_ack in
       let cfds = Smp.enqueue_work m ~from ~targets ~info ~early_ack in
       Smp.send_ipis m ~from ~targets ~irq_id:(shootdown_irq_id m);
       if Machine.metering m then begin
         let far =
-          List.fold_left
+          Cpuset.fold
             (fun acc c -> Stdlib.max acc (Machine.distance_rank m from c))
             0 targets
         in

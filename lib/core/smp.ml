@@ -19,7 +19,12 @@ let enqueue_work m ~from ~targets ~info ~early_ack =
      responder. *)
   if not consolidated then
     Machine.charge_write m me.Percpu.line_stack_info ~by:from;
-  List.map
+  (* Walk the target set in ascending cpu order — cfd_seq assignment order
+     is part of the deterministic output. The accumulator list is the one
+     small allocation left on this path (the cfd records themselves must
+     be allocated per target regardless). *)
+  let acc = ref [] in
+  Cpuset.iter
     (fun target ->
       let pcpu = Machine.percpu m target in
       let cfd =
@@ -31,7 +36,7 @@ let enqueue_work m ~from ~targets ~info ~early_ack =
           cfd_early_ack = early_ack;
           cfd_acked = false;
           cfd_executed = false;
-          cfd_line = me.Percpu.csd_lines.(target);
+          cfd_line = Percpu.csd_line me ~target;
           cfd_info_line = (if consolidated then None else Some me.Percpu.line_stack_info);
         }
       in
@@ -41,8 +46,9 @@ let enqueue_work m ~from ~targets ~info ~early_ack =
       if Machine.tracing m then
         Machine.trace_event m ~cpu:from
           (Trace.Ipi_send { seq = cfd.Percpu.cfd_seq; target });
-      cfd)
-    targets
+      acc := cfd :: !acc)
+    targets;
+  Array.of_list (List.rev !acc)
 
 let send_ipis m ~from ~targets ~irq_id =
   let send_cost = Apic.send_ipi_id m.Machine.apic ~from ~targets ~irq_id in
@@ -80,17 +86,16 @@ let wait_for_acks m ~from cfds ?(while_waiting = fun () -> ())
     ?(waiting_work = fun () -> false) () =
   let cpu = Machine.cpu m from in
   let t0 = Machine.now m in
+  let n = Array.length cfds in
   (* Acks are monotone while we wait, so once a prefix of [cfds] is acked
      it stays acked: keep a cursor instead of rescanning from the head on
      every poll (this loop runs once per spin_poll window per shootdown). *)
-  let remaining = ref cfds in
-  let rec skip_acked = function
-    | c :: rest when c.Percpu.cfd_acked -> skip_acked rest
-    | l -> l
-  in
+  let next = ref 0 in
   let all_acked () =
-    remaining := skip_acked !remaining;
-    match !remaining with [] -> true | _ :: _ -> false
+    while !next < n && cfds.(!next).Percpu.cfd_acked do
+      incr next
+    done;
+    !next = n
   in
   (* Spin with IRQ servicing; between polls give the §3.4 interplay a
      chance to flush user PTEs in the otherwise-dead time. A poll boundary
@@ -111,15 +116,16 @@ let wait_for_acks m ~from cfds ?(while_waiting = fun () -> ())
   in
   loop ();
   (* Observing each ack pulls the responder-written CSD line back. *)
-  List.iter (fun c -> Machine.charge_read m c.Percpu.cfd_line ~by:from) cfds;
-  if (not (List.is_empty cfds)) && Machine.tracing m then
+  Array.iter (fun c -> Machine.charge_read m c.Percpu.cfd_line ~by:from) cfds;
+  if n > 0 && Machine.tracing m then
     Machine.trace_event m ~cpu:from
-      (Trace.Acks_seen { seqs = List.map (fun c -> c.Percpu.cfd_seq) cfds });
-  if (not (List.is_empty cfds)) && Machine.metering m then begin
+      (Trace.Acks_seen
+         { seqs = Array.to_list (Array.map (fun c -> c.Percpu.cfd_seq) cfds) });
+  if n > 0 && Machine.metering m then begin
     (* The wait is one span; attribute it to the farthest responder — the
        ack that structurally arrives last and bounds the span. *)
     let far =
-      List.fold_left
+      Array.fold_left
         (fun acc c -> Stdlib.max acc (Machine.distance_rank m from c.Percpu.cfd_target))
         0 cfds
     in

@@ -17,16 +17,20 @@ val tlb_shootdown_vector : int
     from [from]: one cacheline read whose identity depends on the layout. *)
 val read_remote_tlb_state : Machine.t -> from:int -> target:int -> unit
 
-(** Build and enqueue one CFD per target (pays the CSD writes, the info
-    write under the baseline layout, and the queue-head writes), returning
-    the CFDs in target order. Does not send IPIs. *)
+(** Build and enqueue one CFD per member of the target set (pays the CSD
+    writes, the info write under the baseline layout, and the queue-head
+    writes), returning the CFDs in ascending target order. Does not send
+    IPIs. [targets] is typically the caller's scratch cpuset; it is read
+    before each enqueue and must not change until the matching
+    {!send_ipis} — nothing that runs during the charge-yields selects
+    targets on this CPU. *)
 val enqueue_work :
   Machine.t ->
   from:int ->
-  targets:int list ->
+  targets:Cpuset.t ->
   info:Flush_info.t ->
   early_ack:bool ->
-  Percpu.cfd list
+  Percpu.cfd array
 
 (** Send the shootdown vector to [targets]; the pre-registered irq
     [irq_id] (see {!Apic.register_irq}) runs on each target when it
@@ -34,7 +38,7 @@ val enqueue_work :
     id instead of a handler keeps the send path allocation-free: the two
     shootdown handlers are fixed per machine, so {!Shootdown} registers
     each once and reuses it for every send. *)
-val send_ipis : Machine.t -> from:int -> targets:int list -> irq_id:int -> unit
+val send_ipis : Machine.t -> from:int -> targets:Cpuset.t -> irq_id:int -> unit
 
 (** Responder: drain this CPU's call queue, paying the queue and CFD/info
     line reads, invoking [run] on each CFD in FIFO order. *)
@@ -57,7 +61,7 @@ val ack : Machine.t -> me:int -> ?early:bool -> Percpu.cfd -> unit
 val wait_for_acks :
   Machine.t ->
   from:int ->
-  Percpu.cfd list ->
+  Percpu.cfd array ->
   ?while_waiting:(unit -> unit) ->
   ?waiting_work:(unit -> bool) ->
   unit ->

@@ -35,11 +35,17 @@ val send_ipi :
     instead of allocating per send. *)
 val register_irq : t -> Cpu.irq -> int
 
-(** [send_ipi_id] is {!send_ipi} for a pre-registered irq: delivery events
-    are pooled engine events carrying (target, irq id) — no per-IPI
-    closure or record allocation. *)
+(** [send_ipi_id] is {!send_ipi} for a pre-registered irq and a target
+    {e cpuset}: delivery events are pooled engine events carrying (target,
+    irq id), and the cluster grouping walks precomputed member tables
+    against the set — no per-IPI closure, record, list or hashtable
+    allocation, and a sparse multicast on a 1024-CPU machine costs
+    O(targets + clusters touched). Targets are delivered cluster-major in
+    ascending cluster id, ascending cpu id within a cluster — the same
+    order the sorted grouping of {!send_ipi} produces. [targets] is read
+    synchronously; the caller may reuse its scratch set on return. *)
 val send_ipi_id :
-  t -> from:Topology.cpu_id -> targets:Topology.cpu_id list -> irq_id:int -> int
+  t -> from:Topology.cpu_id -> targets:Cpuset.t -> irq_id:int -> int
 
 (** Total IPIs delivered (one per target). *)
 val ipis_sent : t -> int

@@ -1,5 +1,7 @@
 (* tlblint: proven-bounds — Bytes.unsafe accesses index the n*n rank matrix
-   with cpu ids already range-checked by Topology; loops run a,b,cpu < n. *)
+   with cpu ids already range-checked by Topology; loops run a,b,cpu < n.
+   The sharer-set walk reads Cpuset.raw_words with indices bounded by the
+   word array's own length. *)
 type totals = {
   reads : int;
   writes : int;
@@ -33,15 +35,18 @@ type registry = {
          layer, [None] costs one load+branch in [record]. *)
 }
 
-(* Owner and sharers are immediate ints — owner is a cpu id or -1, sharers
-   a bit set over cpu ids. Coherence bookkeeping runs once per shootdown
-   participant per protocol line, so the persistent-set representation this
-   replaces was a measurable share of total bench allocation. *)
+(* The owner is an immediate int (cpu id or -1); sharers are a Cpuset — a
+   word-array bitset that starts with no storage and only ever grows to the
+   highest sharing cpu's word, so a line touched by two neighbouring CPUs
+   on a 1024-CPU machine costs the same as on the 56-CPU paper machine.
+   Coherence bookkeeping runs once per shootdown participant per protocol
+   line; the single-int mask this replaces capped topologies at
+   [Sys.int_size - 2] CPUs. *)
 and line = {
   reg : registry;
   line_name : string Lazy.t;
   mutable owner : int; (* last writer's cpu id, -1 = none *)
-  mutable sharers : int; (* bit [c] set iff cpu [c] holds a shared copy *)
+  sharers : Cpuset.t; (* cpu [c] present iff it holds a shared copy *)
   mutable n_accesses : int;
   mutable n_transfers : int;
 }
@@ -54,8 +59,6 @@ let distance_of_rank =
   [| Topology.Self; Topology.Smt_sibling; Topology.Same_socket; Topology.Cross_socket |]
 
 let create_registry topo costs =
-  if Topology.n_cpus topo > Sys.int_size - 2 then
-    invalid_arg "Cache.create_registry: too many CPUs for the sharer bit set";
   let n = Topology.n_cpus topo in
   let ranks = Bytes.create (n * n) in
   for a = 0 to n - 1 do
@@ -85,7 +88,14 @@ let set_transfer_meter reg f = reg.meter <- Some f
 
 let create_line reg ~name =
   let l =
-    { reg; line_name = name; owner = -1; sharers = 0; n_accesses = 0; n_transfers = 0 }
+    {
+      reg;
+      line_name = name;
+      owner = -1;
+      sharers = Cpuset.create ~bits:0;
+      n_accesses = 0;
+      n_transfers = 0;
+    }
   in
   reg.lines <- l :: reg.lines;
   l
@@ -109,56 +119,62 @@ let record l (d : Topology.distance) cost =
       l.n_transfers <- l.n_transfers + 1;
       reg.t_cross <- reg.t_cross + 1
 
-(* Everyone holding a copy, minus [by]: the sharers plus the owner. *)
-let holders_mask l ~by =
-  let m = if l.owner >= 0 then l.sharers lor (1 lsl l.owner) else l.sharers in
-  m land lnot (1 lsl by)
-
-(* Best-rank holder distance from [by] over the holder bit set, as a rank
-   (-1 = no holders): the minimum rank when [want_min] (a read fetches
-   from the closest copy), the maximum otherwise (a write is priced by the
-   farthest invalidation). Ranks are injective on the distance
-   constructors, so reducing over ranks and mapping back through
-   [distance_of_rank] picks exactly the constructor the old
-   constructor-fold did. The walk skips zero bytes of the mask (sparse
-   holder sets) and stops as soon as the best achievable rank is reached —
-   [by] itself is never a holder here, so reads stop at [Smt_sibling],
-   writes at [Cross_socket]. Returning the rank keeps this allocation-free
-   (no [Some] boxing on the per-access path). *)
+(* Best-rank holder distance from [by] over the holders (the sharer set
+   plus the owner, minus [by]), as a rank (-1 = no holders): the minimum
+   rank when [want_min] (a read fetches from the closest copy), the
+   maximum otherwise (a write is priced by the farthest invalidation).
+   Ranks are injective on the distance constructors, so reducing over
+   ranks and mapping back through [distance_of_rank] picks exactly the
+   constructor the old constructor-fold did. The owner is ranked first
+   (min/max is insensitive to it also appearing among the sharers); the
+   sharer walk skips zero words, then zero bytes (sparse holder sets), and
+   stops as soon as the best achievable rank is reached — [by] itself is
+   masked out, so reads stop at [Smt_sibling], writes at [Cross_socket].
+   Returning the rank keeps this allocation-free (no [Some] boxing on the
+   per-access path). *)
 let extreme_rank l ~by ~want_min =
-  let mask = holders_mask l ~by in
-  if mask = 0 then -1
-  else begin
-    let reg = l.reg in
-    let base = by * reg.n_cpus in
-    let ideal = if want_min then 1 else 3 in
-    let best = ref (if want_min then 4 else -1) in
-    let m = ref mask in
-    let cpu = ref 0 in
-    while !m <> 0 && !best <> ideal do
-      if !m land 0xff = 0 then begin
-        m := !m lsr 8;
-        cpu := !cpu + 8
-      end
-      else begin
-        if !m land 1 = 1 then begin
-          let r = Char.code (Bytes.unsafe_get reg.ranks (base + !cpu)) in
-          if if want_min then r < !best else r > !best then best := r
-        end;
-        m := !m lsr 1;
-        incr cpu
-      end
-    done;
-    !best
-  end
+  let reg = l.reg in
+  let base = by * reg.n_cpus in
+  let ideal = if want_min then 1 else 3 in
+  let none = if want_min then 4 else -1 in
+  let best = ref none in
+  if l.owner >= 0 && l.owner <> by then
+    best := Char.code (Bytes.unsafe_get reg.ranks (base + l.owner));
+  let words = Cpuset.raw_words l.sharers in
+  let nw = Array.length words in
+  let by_wi = by lsr 5 in
+  let wi = ref 0 in
+  while !wi < nw && !best <> ideal do
+    let w = Array.unsafe_get words !wi in
+    let w = if !wi = by_wi then w land lnot (1 lsl (by land 31)) else w in
+    if w <> 0 then begin
+      let m = ref w in
+      let cpu = ref (!wi lsl 5) in
+      while !m <> 0 && !best <> ideal do
+        if !m land 0xff = 0 then begin
+          m := !m lsr 8;
+          cpu := !cpu + 8
+        end
+        else begin
+          if !m land 1 = 1 then begin
+            let r = Char.code (Bytes.unsafe_get reg.ranks (base + !cpu)) in
+            if if want_min then r < !best else r > !best then best := r
+          end;
+          m := !m lsr 1;
+          incr cpu
+        end
+      done
+    end;
+    incr wi
+  done;
+  if !best = none then -1 else !best
 
 let read l ~by =
   let reg = l.reg in
   reg.t_reads <- reg.t_reads + 1;
-  let bit = 1 lsl by in
-  if l.sharers land bit <> 0 || l.owner = by then begin
+  if Cpuset.mem l.sharers by || l.owner = by then begin
     record l Self reg.costs.line_local;
-    l.sharers <- l.sharers lor bit;
+    Cpuset.set l.sharers by;
     reg.costs.line_local
   end
   else begin
@@ -166,7 +182,7 @@ let read l ~by =
     let d = if r < 0 then Topology.Self else Array.unsafe_get distance_of_rank r in
     let cost = Costs.line_transfer reg.costs d in
     record l d cost;
-    l.sharers <- l.sharers lor bit;
+    Cpuset.set l.sharers by;
     cost
   end
 
@@ -175,12 +191,34 @@ let read l ~by =
    writer's visible cost is local. The invalidation still moves ownership
    — the *next reader* pays the transfer — and is recorded as coherence
    traffic by distance. Atomics, by contrast, stall for the line. *)
+(* No sharer other than (possibly) [by]: the exclusivity half of the
+   "already own it" write fast path. A walk over the words, not a popcount
+   — almost every word is zero on the fast path. *)
+let no_other_sharer l ~by =
+  let words = Cpuset.raw_words l.sharers in
+  let nw = Array.length words in
+  let by_wi = by lsr 5 in
+  let ok = ref true in
+  let wi = ref 0 in
+  while !ok && !wi < nw do
+    let w = Array.unsafe_get words !wi in
+    let w = if !wi = by_wi then w land lnot (1 lsl (by land 31)) else w in
+    if w <> 0 then ok := false;
+    incr wi
+  done;
+  !ok
+
+(* Invalidate every copy and make [by] the sole owner+sharer. *)
+let take_exclusive l ~by =
+  Cpuset.clear_all l.sharers;
+  Cpuset.set l.sharers by;
+  l.owner <- by
+
 let write l ~by =
   let reg = l.reg in
   reg.t_writes <- reg.t_writes + 1;
-  let bit = 1 lsl by in
   let d =
-    let exclusive = l.owner = by && l.sharers land lnot bit = 0 in
+    let exclusive = l.owner = by && no_other_sharer l ~by in
     if exclusive then Topology.Self
     else begin
       let r = extreme_rank l ~by ~want_min:false in
@@ -188,15 +226,13 @@ let write l ~by =
     end
   in
   record l d reg.costs.line_local;
-  l.owner <- by;
-  l.sharers <- bit;
+  take_exclusive l ~by;
   reg.costs.line_local
 
 let stalling_write l ~by =
   let reg = l.reg in
   reg.t_writes <- reg.t_writes + 1;
-  let bit = 1 lsl by in
-  let exclusive = l.owner = by && l.sharers land lnot bit = 0 in
+  let exclusive = l.owner = by && no_other_sharer l ~by in
   let cost, d =
     if exclusive then (reg.costs.line_local, Topology.Self)
     else begin
@@ -209,8 +245,7 @@ let stalling_write l ~by =
     end
   in
   record l d cost;
-  l.owner <- by;
-  l.sharers <- bit;
+  take_exclusive l ~by;
   cost
 
 let atomic l ~by = stalling_write l ~by + l.reg.costs.atomic_op

@@ -145,14 +145,23 @@ let unmap_range t ~vpn ~pages ?(free_tables = false) () =
   done;
   { removed = List.rev !removed; freed_tables = !freed }
 
+(* Like [walk], descends without materializing [find_leaf]'s path — update
+   never prunes, and the path's cons cells were a measurable share of the
+   CoW-break allocation profile (fig9). The slot already holds a leaf, so
+   assigning in place keeps [live] correct without going through [set]. *)
 let update t ~vpn ~f =
-  match find_leaf t vpn with
-  | None -> None
-  | Some (node, idx, pte, size, _) ->
-      let pte' = f pte in
-      set node idx (Leaf (pte', size));
-      t.ver <- t.ver + 1;
-      Some (pte, pte')
+  let rec go node =
+    let idx = index_at ~level:node.level vpn in
+    match Array.unsafe_get node.slots idx with
+    | Empty -> None
+    | Leaf (pte, size) ->
+        let pte' = f pte in
+        node.slots.(idx) <- Leaf (pte', size);
+        t.ver <- t.ver + 1;
+        Some (pte, pte')
+    | Table child -> go child
+  in
+  go t.root
 
 let mapped_count t = t.n_mapped
 let table_pages t = t.n_tables

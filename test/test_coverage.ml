@@ -118,8 +118,11 @@ let test_smp_ack_idempotent () =
       let info =
         Flush_info.ranged ~mm_id:(Mm_struct.id mm) ~start_vpn:0 ~pages:1 ~new_tlb_gen:2 ()
       in
-      match Smp.enqueue_work m ~from:0 ~targets:[ 1 ] ~info ~early_ack:false with
-      | [ cfd ] ->
+      match
+        Smp.enqueue_work m ~from:0 ~targets:(Cpuset.of_list [ 1 ]) ~info
+          ~early_ack:false
+      with
+      | [| cfd |] ->
           Smp.ack m ~me:1 cfd;
           Smp.ack m ~me:1 cfd;
           (* idempotent *)

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "shootdown"
     [
       ("sim", Test_sim.suite);
+      ("cpuset", Test_cpuset.suite);
       ("hw", Test_hw.suite);
       ("mm", Test_mm.suite);
       ("core-structs", Test_core_structs.suite);
