@@ -705,6 +705,46 @@ let bigmachine_plan () =
   in
   { Shard.name = "bigmachine"; jobs; reused; reduce }
 
+(* ----- Shootout: protocol-backend comparison (DESIGN.md §13) ----- *)
+
+(* Like [bigmachine_results]: the reduce phase stashes the rows so perf
+   mode can emit the schema-6 "shootout" block without re-running the
+   cells. Those rows are keyed ["protocol":], never ["name":] or
+   ["scale":], so neither of perf_gate's other scanners picks them up and
+   pre-schema-6 gates skip them entirely. *)
+let shootout_results : Shootout.row list ref = ref []
+
+let shootout_plan () =
+  let jobs, get_rows = Shootout.plan_cells ~iterations:(micro_iters ()) () in
+  let reduce () =
+    let rows = get_rows () in
+    shootout_results := rows;
+    let cell = function None -> "-" | Some v -> Printf.sprintf "%.0f" v in
+    Report.table
+      ~title:
+        "Shootout — protocol backends on the cross-socket madvise microbenchmark \
+         (10 PTEs, safe mode; phase p50s in cycles)"
+      ~header:
+        [
+          "backend"; "initiator"; "responder"; "prep"; "ipi"; "flush"; "ack";
+          "line xfers";
+        ]
+      (List.map
+         (fun r ->
+           [
+             r.Shootout.sh_label;
+             Report.cycles r.Shootout.sh_initiator_mean;
+             Report.cycles r.Shootout.sh_responder_mean;
+             cell r.Shootout.sh_prep_p50;
+             cell r.Shootout.sh_ipi_p50;
+             cell r.Shootout.sh_flush_p50;
+             cell r.Shootout.sh_ack_p50;
+             string_of_int r.Shootout.sh_line_transfers;
+           ])
+         rows)
+  in
+  { Shard.name = "shootout"; jobs; reused = 0; reduce }
+
 (* ----- Bechamel: wall-clock self-measurement of the harness ----- *)
 
 let bechamel () =
@@ -784,7 +824,7 @@ let all_tasks =
       ("table4", table4_plan);
     ]
   @ ablation_tasks
-  @ [ ("bigmachine", bigmachine_plan) ]
+  @ [ ("bigmachine", bigmachine_plan); ("shootout", shootout_plan) ]
 
 (* Plan every requested experiment (sequential: the cell memos assign
    shared cells to their first requester), execute all cells on one shared
@@ -882,7 +922,7 @@ let perf ~jobs () =
   let oc = open_out "BENCH_PERF.json" in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
-  out "  \"schema\": 5,\n";
+  out "  \"schema\": 6,\n";
   out "  \"mode\": \"%s\",\n" (if !quick then "quick" else "full");
   out "  \"jobs\": %d,\n" jobs;
   out "  \"experiments\": [\n";
@@ -946,6 +986,17 @@ let perf ~jobs () =
         (if i = n_bm - 1 then "" else ","))
     !bigmachine_results;
   out "  ],\n";
+  (* Schema-6 protocol-backend rows, filled by the shootout plan's reduce
+     during [execute] above. Keyed ["protocol":], so pre-schema-6 gates
+     (which scan ["name":] and ["scale":]) walk past them. Simulated-time
+     values: identical across hosts and [-j], compared raw by the gate. *)
+  out "  \"shootout\": [\n";
+  let n_sh = List.length !shootout_results in
+  List.iteri
+    (fun i r ->
+      out "    %s%s\n" (Shootout.json_of_row r) (if i = n_sh - 1 then "" else ","))
+    !shootout_results;
+  out "  ],\n";
   out
     "  \"total\": {\"wall_s\": %.4f, \"elapsed_s\": %.4f, \"engine_ops\": %d, \
      \"engine_ops_per_s\": %.0f},\n"
@@ -1007,7 +1058,7 @@ let () =
   let group = function
     | "figs5-8" -> Some fig_tasks
     | ("fig5" | "fig6" | "fig7" | "fig8" | "table3" | "fig9" | "fig10" | "fig11"
-      | "table2" | "table4" | "bigmachine") as cmd ->
+      | "table2" | "table4" | "bigmachine" | "shootout") as cmd ->
         Some (List.filter (fun (n, _) -> String.equal n cmd) all_tasks)
     | "ablation" -> Some ablation_tasks
     | "all" -> Some all_tasks

@@ -1,4 +1,4 @@
-(* Perf regression gate over BENCH_PERF.json (schema 4).
+(* Perf regression gate over BENCH_PERF.json (schema 6).
 
      perf_gate.exe BASELINE.json CURRENT.json [--threshold 0.25]
 
@@ -176,6 +176,51 @@ let scale_rows_of_file path =
   in
   collect 0 []
 
+type proto_row = {
+  backend : string;
+  p_initiator_mean : float option;
+  p_shootdowns : int option;
+}
+
+(* Schema-6 "shootout" protocol-backend rows, keyed ["protocol":] (the
+   other scanners key on ["name":] and ["scale":], so none sees another's
+   rows). Row identity is the "backend" field — two rows share the
+   "paper" protocol label. A pre-schema-6 file yields the empty list and
+   the backend gates are skipped. *)
+let proto_rows_of_file path =
+  let s = read_file path in
+  let rec collect from acc =
+    match raw_field s ~from "protocol" with
+    | None -> List.rev acc
+    | Some (_, p1) ->
+        let bound =
+          match find_key s ~from:p1 "protocol" with
+          | Some k -> k
+          | None -> String.length s
+        in
+        let field key =
+          match raw_field s ~from:p1 ~until:bound key with
+          | Some (v, _) -> Some v
+          | None -> None
+        in
+        let row =
+          {
+            backend = Option.value (Option.map unquote (field "backend")) ~default:"?";
+            p_initiator_mean = Option.bind (field "initiator_mean") float_of_string_opt;
+            p_shootdowns = Option.bind (field "shootdowns") int_of_string_opt;
+          }
+        in
+        collect bound (row :: acc)
+  in
+  collect 0 []
+
+(* A backend row is gateable only when it performed shootdowns: a
+   zero-shootdown cell's latency means the bench was misconfigured. *)
+let proto_gateable r =
+  match (r.p_initiator_mean, r.p_shootdowns) with
+  | Some c, Some n -> c > 0.0 && n > 0
+  | _ -> false
+
 (* A scaling row is gateable only when it actually performed shootdowns:
    a zero-shootdown run's cycles_per_shootdown is a placeholder 0. *)
 let scale_gateable r =
@@ -305,6 +350,35 @@ let () =
               b.scale rel cc
       | Some _ -> Printf.printf "skip %-16s no shootdowns (not gated)\n" b.scale)
     base_scales;
+  (* --- schema-6 protocol-backend gates --- *)
+  let base_protos = proto_rows_of_file baseline_path in
+  let cur_protos = proto_rows_of_file current_path in
+  (* initiator_mean is simulated time, identical across hosts, so it is
+     compared raw. Gated only when the baseline carries the row — a
+     pre-schema-6 baseline gates no backends; a row the current run
+     dropped is a failure (a backend silently fell out of the shootout). *)
+  List.iter
+    (fun b ->
+      match List.find_opt (fun c -> String.equal c.backend b.backend) cur_protos with
+      | None ->
+          Printf.printf "FAIL %-16s missing from current run\n" b.backend;
+          incr failed
+      | Some c when proto_gateable b && proto_gateable c ->
+          let bc = Option.get b.p_initiator_mean
+          and cc = Option.get c.p_initiator_mean in
+          let rel = cc /. bc in
+          if rel > 1.0 +. !threshold then begin
+            Printf.printf
+              "FAIL %-16s initiator cycles %.2fx of baseline (%.0f vs %.0f, limit \
+               %.2fx)\n"
+              b.backend rel cc bc (1.0 +. !threshold);
+            incr failed
+          end
+          else
+            Printf.printf "ok   %-16s initiator cycles %.2fx of baseline (%.0f)\n"
+              b.backend rel cc
+      | Some _ -> Printf.printf "skip %-16s no shootdowns (not gated)\n" b.backend)
+    base_protos;
   (* In-file scaling bound: the 1024-CPU machine's per-shootdown cost must
      stay within 2x of the 56-CPU paper machine's on the SAME run — the
      O(active CPUs) property the cpuset layer exists to provide. Checked

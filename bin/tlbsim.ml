@@ -363,10 +363,7 @@ let fuzz_cmd =
         Format.printf "%a@." Fuzz.pp_program program;
         if replay then begin
           List.iteri (fun i op -> Format.printf "  op %2d: %a@." i Fuzz.pp_op op) program.Fuzz.p_ops;
-          let opts =
-            Fuzz.opts_of_combo ~safe:program.Fuzz.p_safe ~inject_bug program.Fuzz.p_combo
-          in
-          let r = Fuzz.execute ~opts program in
+          let r = Fuzz.execute ~opts:(Fuzz.program_opts program) program in
           Array.iteri (fun i o -> Format.printf "  obs %2d: %s@." i o) r.Fuzz.xr_obs
         end;
         (match Fuzz.check_seed ~max_ops ~inject_bug ~shrink seed with
@@ -396,6 +393,35 @@ let fuzz_cmd =
     Term.(
       const run $ count_t $ seed_base_t $ seed_one_t $ replay_t $ inject_bug_t $ max_ops_t
       $ no_shrink_t $ jobs_t)
+
+(* --- shootout --- *)
+
+let shootout_cmd =
+  let format_t =
+    let doc = "Output format: table or json." in
+    let alist = [ ("table", Shootout.Table); ("json", Shootout.Json) ] in
+    Arg.(value & opt (enum alist) Shootout.Table & info [ "format" ] ~doc)
+  in
+  let jobs_t =
+    let doc =
+      "Domains to shard backend cells over (0 = ask the runtime); output is \
+       byte-identical at any value."
+    in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~doc)
+  in
+  let run format ptes iterations seed jobs =
+    let jobs = if jobs <= 0 then Domain_pool.default_jobs () else jobs in
+    print_string
+      (Shootout.run ~pte_count:ptes ~iterations ~seed:(Int64.of_int seed) ~jobs format)
+  in
+  Cmd.v
+    (Cmd.info "shootout"
+       ~doc:
+         "Protocol-backend comparison: run the metered madvise microbenchmark once \
+          per backend (paper all/baseline, oracle, sync-broadcast, queue-spin) and \
+          print one row each — initiator/responder latency, phase-latency p50s, and \
+          cacheline traffic.")
+    Term.(const run $ format_t $ ptes_t $ iters_t $ seed_t $ jobs_t)
 
 (* --- stats --- *)
 
@@ -445,5 +471,6 @@ let () =
             trace_cmd;
             analyze_cmd;
             fuzz_cmd;
+            shootout_cmd;
             stats_cmd;
           ]))

@@ -97,7 +97,10 @@ let post_invariants m add_failure =
     if pcpu.Percpu.inflight_flush then
       add_failure (Printf.sprintf "cpu%d: inflight-flush flag stuck at quiescence" cpu);
     if not (List.is_empty pcpu.Percpu.batch) then
-      add_failure (Printf.sprintf "cpu%d: unflushed batched shootdowns at quiescence" cpu)
+      add_failure (Printf.sprintf "cpu%d: unflushed batched shootdowns at quiescence" cpu);
+    (* Backend-specific residue: an undrained Queue_spin ring, a
+       still-posted Sync_broadcast descriptor, ... *)
+    Shootdown.protocol_quiescent m ~cpu add_failure
   done
 
 let run_once ~config ~build ~prefix ~add_failure =

@@ -57,11 +57,21 @@ type t = {
          Never mutated after create. *)
   mutable next_mm_id : int;
   mutable next_ipi_seq : int;
-  mutable shootdown_irq_id : int;
-      (* Apic registry ids for the two long-lived shootdown irq records,
-         created by Shootdown at first use (-1 = not yet); per machine so
-         IPI delivery never allocates an irq record or closure. *)
-  mutable oracle_irq_id : int;
+  mutable proto_irq_id : int;
+      (* Apic registry id for the active protocol backend's long-lived
+         shootdown irq record, created by the backend at first use (-1 =
+         not yet); per machine so IPI delivery never allocates an irq
+         record or closure. One machine runs one backend for its lifetime
+         (Opts.protocol is part of the memoization key), so one slot. *)
+  line_sync_status : Cache.line;
+      (* Sync_broadcast's protocol-wide status table + posted-info line:
+         every responder writes its done bit here and the initiator spins
+         reading it — the deliberate cronus-style contention point. *)
+  mutable sync_info : Flush_info.t option;
+      (* the flush currently posted by Sync_broadcast's initiator; None
+         outside a broadcast (the global ipi_mutex serializes writers) *)
+  mutable sync_from : int;
+      (* the posting initiator, for responder-side distance attribution *)
   checker : Checker.t;
   ipi_mutex : Rwsem.t;
   stats : stats;
@@ -171,8 +181,11 @@ let create ?(topo = Topology.paper_machine) ?(costs = Costs.default)
        s);
     next_mm_id = 1;
     next_ipi_seq = 0;
-    shootdown_irq_id = -1;
-    oracle_irq_id = -1;
+    proto_irq_id = -1;
+    line_sync_status =
+      Cache.create_line registry ~name:(lazy "sync_broadcast.status_table");
+    sync_info = None;
+    sync_from = -1;
     checker = Checker.create ~enabled:checker ();
     ipi_mutex = Rwsem.create engine;
     stats = fresh_stats ();

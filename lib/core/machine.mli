@@ -63,11 +63,21 @@ type t = {
           into scratch sets. Treat as read-only. *)
   mutable next_mm_id : int;
   mutable next_ipi_seq : int;
-  mutable shootdown_irq_id : int;
-      (** Apic registry ids for the two long-lived shootdown irq records,
-          created by [Shootdown] at first use ([-1] = not yet); per machine
-          so IPI delivery never allocates an irq record or closure. *)
-  mutable oracle_irq_id : int;
+  mutable proto_irq_id : int;
+      (** Apic registry id for the active {!Protocol} backend's long-lived
+          shootdown irq record, created by the backend at first use ([-1] =
+          not yet); per machine so IPI delivery never allocates an irq
+          record or closure. A machine runs one backend for its lifetime
+          ([Opts.protocol] is part of the memoization key), so one slot. *)
+  line_sync_status : Cache.line;
+      (** [Sync_broadcast]'s protocol-wide status table + posted-info line:
+          responders write their done bits here and the initiator spins
+          reading it — the deliberate cronus-style contention point. *)
+  mutable sync_info : Flush_info.t option;
+      (** the flush currently posted by [Sync_broadcast]'s initiator; [None]
+          outside a broadcast (the global [ipi_mutex] serializes writers) *)
+  mutable sync_from : int;
+      (** the posting initiator, for responder-side distance attribution *)
   checker : Checker.t;
   ipi_mutex : Rwsem.t;
       (** FreeBSD's smp_ipi_mtx: taken (write) around each shootdown when

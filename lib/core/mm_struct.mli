@@ -36,7 +36,7 @@ val bump_tlb_gen : t -> int
 
 (** CPUs on which this address space is (or recently was) active, as the
     live bitset — what the shootdown paths iterate (snapshotting into a
-    scratch set first; {!Shootdown.select_targets} yields between candidate
+    scratch set first; {!Proto_paper.select_targets} yields between candidate
     reads, and the mask may change under it). Callers must not mutate it
     except through {!cpu_set}/{!cpu_clear}. *)
 val cpuset : t -> Cpuset.t

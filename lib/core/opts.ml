@@ -1,3 +1,24 @@
+(* Which shootdown-protocol backend drives remote invalidation. Each
+   constructor maps to one [Core.Protocol] backend (see protocol.mli);
+   everything protocol-specific in [Core.Shootdown] dispatches on this
+   variant exactly once. *)
+type protocol = Paper | Oracle | Sync_broadcast | Queue_spin
+
+let protocol_label = function
+  | Paper -> "paper"
+  | Oracle -> "oracle"
+  | Sync_broadcast -> "sync-broadcast"
+  | Queue_spin -> "queue-spin"
+
+let protocol_of_string = function
+  | "paper" -> Some Paper
+  | "oracle" -> Some Oracle
+  | "sync-broadcast" | "sync" -> Some Sync_broadcast
+  | "queue-spin" | "queue" -> Some Queue_spin
+  | _ -> None
+
+let all_protocols = [ Paper; Oracle; Sync_broadcast; Queue_spin ]
+
 type t = {
   mutable safe : bool;
   mutable concurrent_flush : bool;
@@ -9,7 +30,7 @@ type t = {
   mutable unsafe_lazy_batching : bool;
   mutable freebsd_protocol : bool;
   mutable bug_skip_deferred_flush : bool;
-  mutable oracle_flush : bool;
+  mutable protocol : protocol;
   mutable spec_pte_recache_p : float;
   mutable full_flush_threshold : int;
   mutable batch_slots : int;
@@ -27,7 +48,7 @@ let baseline ~safe =
     unsafe_lazy_batching = false;
     freebsd_protocol = false;
     bug_skip_deferred_flush = false;
-    oracle_flush = false;
+    protocol = Paper;
     spec_pte_recache_p = 0.05;
     full_flush_threshold = 33;
     batch_slots = 4;
@@ -40,7 +61,12 @@ let baseline ~safe =
    flush), unusably slow — exactly what an oracle should be. *)
 let oracle ~safe =
   let t = baseline ~safe in
-  t.oracle_flush <- true;
+  t.protocol <- Oracle;
+  t
+
+let with_protocol protocol ~safe =
+  let t = baseline ~safe in
+  t.protocol <- protocol;
   t
 
 let freebsd ~safe =
@@ -77,7 +103,7 @@ let copy t =
     unsafe_lazy_batching = t.unsafe_lazy_batching;
     freebsd_protocol = t.freebsd_protocol;
     bug_skip_deferred_flush = t.bug_skip_deferred_flush;
-    oracle_flush = t.oracle_flush;
+    protocol = t.protocol;
     spec_pte_recache_p = t.spec_pte_recache_p;
     full_flush_threshold = t.full_flush_threshold;
     batch_slots = t.batch_slots;
@@ -136,18 +162,18 @@ let key
       unsafe_lazy_batching;
       freebsd_protocol;
       bug_skip_deferred_flush;
-      oracle_flush;
+      protocol;
       spec_pte_recache_p;
       full_flush_threshold;
       batch_slots;
     } =
   Printf.sprintf
     "safe=%b conc=%b eack=%b cline=%b inctx=%b cow=%b ubatch=%b lazy=%b fbsd=%b \
-     bugskip=%b oracle=%b specp=%h fft=%d slots=%d"
+     bugskip=%b proto=%s specp=%h fft=%d slots=%d"
     safe concurrent_flush early_ack cacheline_consolidation in_context_flush
     cow_avoid_flush userspace_batching unsafe_lazy_batching freebsd_protocol
-    bug_skip_deferred_flush oracle_flush spec_pte_recache_p full_flush_threshold
-    batch_slots
+    bug_skip_deferred_flush (protocol_label protocol) spec_pte_recache_p
+    full_flush_threshold batch_slots
 
 let pp fmt t =
   let flag name b = if b then Some name else None in
@@ -163,7 +189,8 @@ let pp fmt t =
         flag "UNSAFE-LAZY" t.unsafe_lazy_batching;
         flag "freebsd" t.freebsd_protocol;
         flag "BUG-SKIP-DEFERRED" t.bug_skip_deferred_flush;
-        flag "ORACLE" t.oracle_flush;
+        flag (String.uppercase_ascii (protocol_label t.protocol))
+          (t.protocol <> Paper);
       ]
   in
   Format.fprintf fmt "%s mode [%s]"

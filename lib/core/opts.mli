@@ -6,6 +6,33 @@
     (mitigations off); under [safe], every address space has separate kernel
     and user PCIDs and user PTEs must be flushed too. *)
 
+(** Shootdown-protocol backend selector. Each constructor names one
+    {!Protocol} backend:
+    - [Paper]: the paper's optimized Linux protocol (default) — targeted
+      IPIs, generation bookkeeping, and every Table-1 optimization gated by
+      the flags below.
+    - [Oracle]: the conservative differential-testing reference — every PTE
+      change one synchronous whole-TLB broadcast to every other CPU, no
+      deferral/batching/early-ack/filtering.
+    - [Sync_broadcast]: cronus-style single-global-lock synchronous full
+      broadcast — one machine-wide status table, the initiator
+      self-invalidates, then spins until every other CPU has flushed.
+    - [Queue_spin]: charmos-style per-CPU bounded ring-buffer queue with
+      initial-spin/backoff/resend retry and flush-all collapsing when a
+      target's ring overflows. *)
+type protocol = Paper | Oracle | Sync_broadcast | Queue_spin
+
+(** Stable lowercase label ("paper", "oracle", "sync-broadcast",
+    "queue-spin") used in {!key}, CLI flags, metrics rows and reports. *)
+val protocol_label : protocol -> string
+
+(** Inverse of {!protocol_label}; also accepts the short forms "sync" and
+    "queue". *)
+val protocol_of_string : string -> protocol option
+
+(** All backends, in fixed shootout/report order. *)
+val all_protocols : protocol list
+
 type t = {
   mutable safe : bool;  (** PTI + mitigations on *)
   mutable concurrent_flush : bool;  (** §3.1 flush local TLB while waiting *)
@@ -28,13 +55,10 @@ type t = {
           flushes (§3.4) at kernel exit instead of executing them. The
           happens-before analyzer must flag the resulting stale user-PCID
           hits as genuine races. *)
-  mutable oracle_flush : bool;
-      (** Conservative reference protocol for differential testing (the
-          {!Fuzz} oracle): every flush request becomes one synchronous
-          whole-TLB flush IPI broadcast to every other CPU — no deferral,
-          no batching, no early ack, no target filtering. Trivially
-          correct; meant to be paired with {!oracle}, i.e. every other
-          optimization off. *)
+  mutable protocol : protocol;
+      (** Which shootdown backend performs remote invalidation. All
+          protocol-specific behaviour in {!Shootdown} flows through the
+          {!Protocol} interface selected by this field. *)
   mutable spec_pte_recache_p : float;
       (** probability that, between a CoW fault and its PTE update, a
           speculative page walk re-caches the stale PTE (paper §4.1's
@@ -56,9 +80,12 @@ val all : safe:bool -> t
     4096-entry full-flush ceiling (§2.1). *)
 val freebsd : safe:bool -> t
 
-(** Baseline with {!field-oracle_flush} set: the trivially-correct
+(** Baseline with [protocol = Oracle]: the trivially-correct
     synchronous-broadcast reference the differential fuzzer diffs against. *)
 val oracle : safe:bool -> t
+
+(** Baseline with the given backend selected and every optimization off. *)
+val with_protocol : protocol -> safe:bool -> t
 
 val copy : t -> t
 

@@ -49,9 +49,32 @@ type t = {
          shootdown without allocation: a CPU runs one initiator at a time
          (no preemption of a syscall mid-protocol), and nothing that runs
          from this CPU's IRQ handlers selects targets. *)
+  (* --- Sync_broadcast backend (cronus-style) --- *)
+  mutable sync_done : bool;
+      (* this CPU's entry in the protocol-wide status table: set by the
+         responder once it has applied the posted flush, cleared by the
+         initiator (under the global lock) before broadcasting. *)
+  (* --- Queue_spin backend (charmos-style) --- *)
+  q_mm : int array;  (* bounded per-CPU ring of posted invalidations *)
+  q_vpn : int array;
+  q_gen : int array;  (* mm tlb_gen the posted entry proves flushed *)
+  q_from : int array;  (* posting initiator, for distance attribution *)
+  mutable q_head : int;  (* ring cursors, monotone; slot = cursor mod size *)
+  mutable q_tail : int;
+  mutable q_flush_all : bool;
+      (* overflow collapse: the ring filled, so the next drain does one
+         whole-TLB flush instead of replaying entries *)
+  mutable q_target_gen : int;  (* newest queue generation posted to us *)
+  mutable q_ack_gen : int;  (* queue generation we have drained up to *)
+  line_queue : Cache.line;  (* the ring's shared cache line *)
 }
 
 let n_asids = 6
+
+(* Queue_spin ring capacity. Charmos-style: small and bounded — overflow is
+   expected under bursts and collapses to a flush-all rather than blocking
+   the initiator. *)
+let queue_slots = 8
 
 let create cpu registry ~n_cpus =
   let id = Cpu.id cpu in
@@ -74,6 +97,17 @@ let create cpu registry ~n_cpus =
     line_stack_info =
       Cache.create_line registry ~name:(lazy (Printf.sprintf "cpu%d.stack_flush_info" id));
     scratch_targets = Cpuset.create ~bits:0;
+    sync_done = true;
+    q_mm = Array.make queue_slots (-1);
+    q_vpn = Array.make queue_slots 0;
+    q_gen = Array.make queue_slots 0;
+    q_from = Array.make queue_slots 0;
+    q_head = 0;
+    q_tail = 0;
+    q_flush_all = false;
+    q_target_gen = 0;
+    q_ack_gen = 0;
+    line_queue = Cache.create_line registry ~name:(lazy (Printf.sprintf "cpu%d.tlb_queue" id));
   }
 
 let csd_line t ~target =

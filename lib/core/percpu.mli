@@ -66,6 +66,19 @@ type t = {
       (** this CPU's shootdown target scratch set, reused across its
           shootdowns (one initiator per CPU at a time, and IRQ handlers
           never select targets) *)
+  mutable sync_done : bool;
+      (** [Sync_broadcast] status-table entry: true once this CPU has applied
+          the posted flush (initiator clears it before broadcasting) *)
+  q_mm : int array;  (** [Queue_spin] ring: posted mm ids *)
+  q_vpn : int array;  (** posted vpns *)
+  q_gen : int array;  (** mm tlb_gen each posted entry proves flushed *)
+  q_from : int array;  (** posting initiator, for distance attribution *)
+  mutable q_head : int;  (** consumer cursor (monotone; slot = mod size) *)
+  mutable q_tail : int;  (** producer cursor *)
+  mutable q_flush_all : bool;  (** ring overflowed; drain as whole-TLB flush *)
+  mutable q_target_gen : int;  (** newest queue generation posted to us *)
+  mutable q_ack_gen : int;  (** queue generation drained up to *)
+  line_queue : Cache.line;  (** the ring's shared cache line *)
 }
 
 val create : Cpu.t -> Cache.registry -> n_cpus:int -> t
@@ -75,6 +88,9 @@ val create : Cpu.t -> Cache.registry -> n_cpus:int -> t
 val csd_line : t -> target:int -> Cache.line
 
 val n_asids : int
+
+(** [Queue_spin] ring capacity; pushing past it sets [q_flush_all]. *)
+val queue_slots : int
 
 (** Hardware PCID values for a slot (user PCID has bit 11 set, like Linux).
     In unsafe mode (no PTI) only the kernel PCID is used. *)

@@ -1,0 +1,6 @@
+(** The conservative oracle backend: every flush request becomes one
+    synchronous whole-TLB flush IPI broadcast to every other CPU — no
+    deferral, no batching, no early ack, no target filtering. Trivially
+    correct by construction; the differential fuzzer's reference. *)
+
+val backend : Protocol.t

@@ -1,0 +1,11 @@
+(** Charmos-style per-CPU ring-buffer queue backend: bounded invalidation
+    rings with flush-all collapsing on overflow, and an initial-spin /
+    backoff-multiplier / resend ack-wait ladder. See SNIPPETS.md §2-3. *)
+
+val backend : Protocol.t
+
+(** Retry-ladder constants (exposed for tests). *)
+val initial_spin : int
+
+val max_retries : int
+val backoff_mult : int

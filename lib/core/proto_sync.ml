@@ -1,0 +1,158 @@
+(* Cronus-style single-global-lock synchronous full broadcast (SNIPPETS.md
+   §1): the initiator takes the machine-wide ipi_mutex, posts the flush
+   descriptor to one protocol-wide status line, clears every target's done
+   bit, self-invalidates, kicks every other CPU, and spins until the whole
+   status table reads done. No target filtering, no early ack, no overlap —
+   the whole machine serializes on one lock and one cache line, which is
+   exactly the contention the paper's protocol avoids and the shootout
+   report prices.
+
+   Blocked waiters are safe: a CPU parked in Rwsem.down_write still services
+   IPIs (Cpu.post_irq dispatches detached handlers), so an initiator-to-be
+   can acknowledge the current broadcast while queueing for the lock — the
+   same argument that keeps Opts.freebsd_protocol deadlock-free. *)
+
+open Flush_core
+
+(* Responder: read the posted descriptor off the status line, apply it with
+   the shared generation-tracked flush function, and set our done bit. The
+   global lock serializes broadcasts, so at most one posted descriptor
+   exists at a time and the None case is unreachable (kept as a no-op for
+   robustness against spurious wakeups). *)
+let ipi_handler m ~me (_ : Cpu.t) =
+  let pcpu = Machine.percpu m me in
+  Machine.charge_read m m.Machine.line_sync_status ~by:me;
+  (match m.Machine.sync_info with
+  | None -> ()
+  | Some info ->
+      if not pcpu.Percpu.sync_done then begin
+        let t0 = Machine.now m in
+        let result =
+          flush_tlb_func_impl m ~cpu:me ~user:(default_user_policy m info)
+            ~eager_user:false info
+        in
+        if Machine.metering m then begin
+          let rank =
+            if m.Machine.sync_from >= 0 then
+              Machine.distance_rank m m.Machine.sync_from me
+            else 0
+          in
+          record_flush m ~rank ~kind:(kind_of_result result) (Machine.now m - t0)
+        end;
+        (* Status-table write: the deliberate all-responders contention
+           point of the design. *)
+        pcpu.Percpu.sync_done <- true;
+        Machine.charge_atomic m m.Machine.line_sync_status ~by:me
+      end);
+  if Cpu.irq_from_user (Machine.cpu m me) then flush_pending_user m ~cpu:me ~has_stack:true
+
+let irq_id m =
+  let id = m.Machine.proto_irq_id in
+  if id >= 0 then id
+  else begin
+    let irq =
+      {
+        Cpu.vector = Smp.tlb_shootdown_vector;
+        maskable = true;
+        handler = (fun cpu -> ipi_handler m ~me:(Cpu.id cpu) cpu);
+      }
+    in
+    let id = Apic.register_irq m.Machine.apic irq in
+    m.Machine.proto_irq_id <- id;
+    id
+  end
+
+let perform m ~from ~mm:_ (info : Flush_info.t) token =
+  let stats = m.Machine.stats in
+  let pcpu = Machine.percpu m from in
+  (* One shootdown machine-wide at a time. *)
+  Machine.delay m m.Machine.costs.Costs.lock_uncontended;
+  Rwsem.down_write m.Machine.ipi_mutex;
+  let targets = pcpu.Percpu.scratch_targets in
+  Cpuset.copy_into ~dst:targets ~src:m.Machine.all_cpus;
+  Cpuset.clear targets from;
+  if Cpuset.is_empty targets then begin
+    stats.Machine.local_only_flushes <- stats.Machine.local_only_flushes + 1;
+    let t0 = Machine.now m in
+    let result =
+      flush_tlb_func_impl m ~cpu:from ~user:(default_user_policy m info)
+        ~eager_user:false info
+    in
+    if Machine.metering m then
+      record_flush m ~rank:0 ~kind:(kind_of_result result) (Machine.now m - t0);
+    Rwsem.up_write m.Machine.ipi_mutex;
+    Machine.end_window m ~cpu:from ~mm_id:info.Flush_info.mm_id token
+  end
+  else begin
+    stats.Machine.shootdowns <- stats.Machine.shootdowns + 1;
+    let prep0 = Machine.now m in
+    (* Post the descriptor and clear the status table, one line write. *)
+    Machine.charge_write m m.Machine.line_sync_status ~by:from;
+    m.Machine.sync_info <- Some info;
+    m.Machine.sync_from <- from;
+    Cpuset.iter (fun c -> (Machine.percpu m c).Percpu.sync_done <- false) targets;
+    (* Initiator self-invalidates before kicking anyone. *)
+    let t0 = Machine.now m in
+    let result =
+      flush_tlb_func_impl m ~cpu:from ~user:(default_user_policy m info)
+        ~eager_user:false info
+    in
+    if Machine.metering m then
+      record_flush m ~rank:0 ~kind:(kind_of_result result) (Machine.now m - t0);
+    Smp.send_ipis m ~from ~targets ~irq_id:(irq_id m);
+    if Machine.metering m then
+      record_prep m ~from ~targets (Machine.now m - prep0);
+    (* Spin until the whole status table reads done. [ready] only loads
+       responder-written booleans — side-effect-free, as poll_wait
+       requires. *)
+    let ack0 = Machine.now m in
+    let all_done () =
+      Cpuset.fold (fun acc c -> acc && (Machine.percpu m c).Percpu.sync_done) true targets
+    in
+    let cpu_t = Machine.cpu m from in
+    while not (all_done ()) do
+      Cpu.poll_wait cpu_t all_done
+    done;
+    (* Observing the table pulls the responder-written line back once. *)
+    Machine.charge_read m m.Machine.line_sync_status ~by:from;
+    if Machine.metering m then begin
+      let far =
+        Cpuset.fold
+          (fun acc c -> Stdlib.max acc (Machine.distance_rank m from c))
+          0 targets
+      in
+      Metrics.record_cycles m.Machine.phases.Machine.ack.(far) (Machine.now m - ack0)
+    end;
+    (* Retire the post before releasing the lock: the next initiator's
+       clear-and-post must never race a responder reading our descriptor. *)
+    m.Machine.sync_info <- None;
+    m.Machine.sync_from <- -1;
+    Machine.charge_write m m.Machine.line_sync_status ~by:from;
+    Rwsem.up_write m.Machine.ipi_mutex;
+    Machine.end_window m ~cpu:from ~mm_id:info.Flush_info.mm_id token;
+    tracef m ~cpu:from "sync-broadcast complete"
+  end
+
+let backend =
+  {
+    Protocol.name = "sync-broadcast";
+    full_only = false;
+    eager_user_full = false;
+    honors_batching = false;
+    honors_cow = false;
+    irq_id;
+    perform;
+    responder_pending =
+      (fun m ~cpu ->
+        (* A posted broadcast this CPU has not applied yet counts as
+           outstanding responder work. *)
+        Option.is_some m.Machine.sync_info
+        && not (Machine.percpu m cpu).Percpu.sync_done);
+    quiescent =
+      (fun m ~cpu fail ->
+        if Option.is_some m.Machine.sync_info then
+          fail "sync-broadcast descriptor still posted at quiescence";
+        if not (Machine.percpu m cpu).Percpu.sync_done then
+          fail
+            (Printf.sprintf "cpu%d sync-broadcast done bit clear at quiescence" cpu));
+  }

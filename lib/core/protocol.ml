@@ -1,0 +1,37 @@
+(* The shootdown-protocol backend interface. One value of [t] per
+   Opts.protocol constructor (proto_paper / proto_oracle / proto_sync /
+   proto_queue); Shootdown dispatches on the variant exactly once and
+   everything protocol-specific flows through these hooks. *)
+
+type t = {
+  name : string;
+      (* stable label, = Opts.protocol_label of the matching constructor *)
+  full_only : bool;
+      (* flush-decision hook: request construction never builds ranged
+         infos (the oracle: full, always) *)
+  eager_user_full : bool;
+      (* flush-decision hook: a local full flush invalidates the user PCID
+         on the spot instead of deferring to return-to-user *)
+  honors_batching : bool;
+      (* the §4.2 userspace-batching deferral applies under this backend *)
+  honors_cow : bool;
+      (* the §4.1 CoW local-flush elision applies under this backend *)
+  irq_id : Machine.t -> int;
+      (* ipi-handler hook: the backend's registered shootdown irq, created
+         at the machine's first shootdown and cached in
+         Machine.proto_irq_id *)
+  perform :
+    Machine.t -> from:int -> mm:Mm_struct.t -> Flush_info.t -> Checker.token -> unit;
+      (* one complete shootdown for an info whose generation is already
+         bumped; must close the checker window on every path *)
+  responder_pending : Machine.t -> cpu:int -> bool;
+      (* ack-tracking hook: does this CPU have outstanding responder work
+         (posted but unexecuted flushes)? Feeds nmi_uaccess_okay. *)
+  quiescent : Machine.t -> cpu:int -> (string -> unit) -> unit;
+      (* invariant hook: report (via the callback) any backend state that
+         should not survive quiescence; Explorer.post_invariants drives it *)
+}
+
+(* The Opts.protocol -> t dispatch lives in Shootdown (each backend module
+   depends on this interface type, so the table cannot live here without a
+   cycle). *)

@@ -1,482 +1,35 @@
-(* The TLB shootdown protocol. Figure 1 (baseline) / Figure 3 (optimized).
+(* The TLB shootdown entry points, dispatching to the protocol backend the
+   machine's Opts.protocol selects (DESIGN.md §13). Terminology matches the
+   paper: the "initiator" runs flush_tlb_mm_range; "responders" run the
+   backend's IPI handler. The shared flush logic with Linux's generation
+   bookkeeping lives in Flush_core; protocol-specific behaviour — perform,
+   the IPI handler, flush decisions, ack tracking — lives behind the
+   Protocol interface, one backend per constructor. *)
 
-   Terminology matches the paper: the "initiator" runs flush_tlb_mm_range;
-   "responders" run the IPI handler. flush_tlb_func is the shared flush
-   logic with Linux's generation bookkeeping. *)
+open Flush_core
 
-let actor cpu = Printf.sprintf "cpu%d" cpu
+(* The single Opts.protocol dispatch. Every protocol-conditional in this
+   module flows through the backend record this returns. *)
+let backend m : Protocol.t =
+  match m.Machine.opts.Opts.protocol with
+  | Opts.Paper -> Proto_paper.backend
+  | Opts.Oracle -> Proto_oracle.backend
+  | Opts.Sync_broadcast -> Proto_sync.backend
+  | Opts.Queue_spin -> Proto_queue.backend
 
-(* [actor] formats eagerly, so check enablement before building it. *)
-let tracef m ~cpu fmt =
-  let trace = m.Machine.trace in
-  if Trace.enabled trace then Trace.emitf trace ~actor:(actor cpu) fmt
-  else Format.ikfprintf ignore Format.str_formatter fmt
-
-(* How the user-PCID half of a flush is handled under PTI. *)
-type user_flush = Eager | Defer | Skip
-
-(* --- phase metering helpers (DESIGN.md §10) --- *)
-
-let kind_of_result = function
-  | `Ranged -> Machine.flush_kind_invlpg
-  | `Full -> Machine.flush_kind_cr3
-  | `Skipped -> Machine.flush_kind_skipped
-
-(* Callers gate on [Machine.metering]. *)
-let record_flush m ~rank ~kind dt =
-  Metrics.record_cycles
-    m.Machine.phases.Machine.flush.(Machine.flush_index ~rank ~kind)
-    dt
-
-(* Full local flush of the kernel PCID; the user PCID full flush is always
-   deferred to the next return-to-user CR3 load (stock Linux behaviour).
-   The oracle mode flushes the user PCID eagerly instead — it never defers
-   anything. *)
-let local_full_flush m ~cpu pcpu =
-  let tlb = Cpu.tlb (Machine.cpu m cpu) in
-  Machine.delay m m.Machine.costs.Costs.cr3_write;
-  Tlb.cr3_flush tlb ~pcid:(Percpu.kernel_pcid pcpu.Percpu.curr_asid);
-  if m.Machine.opts.Opts.safe then begin
-    if m.Machine.opts.Opts.oracle_flush then begin
-      Machine.delay m m.Machine.costs.Costs.cr3_write;
-      Tlb.cr3_flush tlb ~pcid:(Percpu.user_pcid pcpu.Percpu.curr_asid)
-    end
-    else pcpu.Percpu.pending_user <- Percpu.Full_flush
-  end
-
-let flush_tlb_func_impl m ~cpu ~user (info : Flush_info.t) =
-  let opts = m.Machine.opts and costs = m.Machine.costs and stats = m.Machine.stats in
-  let pcpu = Machine.percpu m cpu in
-  let tlb = Cpu.tlb (Machine.cpu m cpu) in
-  match pcpu.Percpu.loaded_mm with
-  | Some mm when Mm_struct.id mm = info.Flush_info.mm_id ->
-      let slot = pcpu.Percpu.asids.(pcpu.Percpu.curr_asid) in
-      if slot.Percpu.gen_seen >= info.Flush_info.new_tlb_gen then begin
-        stats.Machine.flush_requests_skipped <- stats.Machine.flush_requests_skipped + 1;
-        `Skipped
-      end
-      else begin
-        (* Read the mm's current generation (one contended line). *)
-        Machine.charge_read m (Mm_struct.line mm) ~by:cpu;
-        let latest_gen = Mm_struct.tlb_gen mm in
-        if Machine.tracing m then
-          Machine.trace_event m ~cpu
-            (Trace.Gen_read { mm_id = info.Flush_info.mm_id; gen = latest_gen });
-        let behind = info.Flush_info.new_tlb_gen > slot.Percpu.gen_seen + 1 in
-        if info.Flush_info.full
-           || Flush_info.nr_entries info > opts.Opts.full_flush_threshold
-           || behind
-        then begin
-          (* Full flush; fast-forward to the latest generation so queued
-             requests can be skipped (the §5.2 "flush storm" shortcut). *)
-          if behind && not info.Flush_info.full then
-            stats.Machine.full_flush_fallbacks <- stats.Machine.full_flush_fallbacks + 1;
-          local_full_flush m ~cpu pcpu;
-          slot.Percpu.gen_seen <- Stdlib.max latest_gen info.Flush_info.new_tlb_gen;
-          if Machine.tracing m then
-            Machine.trace_event m ~cpu
-              (Trace.Tlb_flush
-                 {
-                   mm_id = info.Flush_info.mm_id;
-                   full = true;
-                   entries = 0;
-                   gen = slot.Percpu.gen_seen;
-                 });
-          `Full
-        end
-        else begin
-          let vpns = Flush_info.vpns info in
-          let kernel_pcid = Percpu.kernel_pcid pcpu.Percpu.curr_asid in
-          List.iter
-            (fun vpn ->
-              Machine.delay m costs.Costs.invlpg;
-              Tlb.invlpg tlb ~current_pcid:kernel_pcid ~vpn)
-            vpns;
-          if opts.Opts.safe then begin
-            match user with
-            | Eager ->
-                let user_pcid = Percpu.user_pcid pcpu.Percpu.curr_asid in
-                List.iter
-                  (fun vpn ->
-                    Machine.delay m costs.Costs.invpcid_single;
-                    Tlb.invpcid_addr tlb ~pcid:user_pcid ~vpn)
-                  vpns
-            | Defer ->
-                stats.Machine.in_context_deferrals <- stats.Machine.in_context_deferrals + 1;
-                Percpu.defer_user_flush pcpu info ~threshold:opts.Opts.full_flush_threshold
-            | Skip -> ()
-          end;
-          slot.Percpu.gen_seen <- info.Flush_info.new_tlb_gen;
-          if Machine.tracing m then
-            Machine.trace_event m ~cpu
-              (Trace.Tlb_flush
-                 {
-                   mm_id = info.Flush_info.mm_id;
-                   full = false;
-                   entries = List.length vpns;
-                   gen = slot.Percpu.gen_seen;
-                 });
-          `Ranged
-        end
-      end
-  | Some _ | None ->
-      (* The address space is not loaded here (raced with a context
-         switch); the switch-in generation check covers it. *)
-      stats.Machine.flush_requests_skipped <- stats.Machine.flush_requests_skipped + 1;
-      `Skipped
-
-(* Default user-flush policy for a CPU that is not the initiator (or an
-   initiator without the concurrent-flush overlap): defer under §3.4 unless
-   page tables are being freed. *)
-let default_user_policy m (info : Flush_info.t) =
-  if m.Machine.opts.Opts.in_context_flush && not info.Flush_info.freed_tables then Defer
-  else Eager
+let flush_pending_user = Flush_core.flush_pending_user
+let return_to_user = Flush_core.return_to_user
 
 let flush_tlb_func m ~cpu info =
-  flush_tlb_func_impl m ~cpu ~user:(default_user_policy m info) info
-
-let flush_pending_user m ~cpu ~has_stack =
-  let opts = m.Machine.opts and costs = m.Machine.costs in
-  if opts.Opts.safe then begin
-    let pcpu = Machine.percpu m cpu in
-    let tlb = Cpu.tlb (Machine.cpu m cpu) in
-    let user_pcid = Percpu.user_pcid pcpu.Percpu.curr_asid in
-    let pending = Percpu.take_pending_user pcpu in
-    let t0 = Machine.now m in
-    (match pending with
-    | Percpu.No_flush -> ()
-    | (Percpu.Full_flush | Percpu.Ranged _) when opts.Opts.bug_skip_deferred_flush ->
-        (* Injected protocol bug for the race detector: the deferred user
-           flush is silently dropped, leaving stale user-PCID entries live
-           past return-to-user. *)
-        tracef m ~cpu "BUG: deferred user flush dropped"
-    | Percpu.Full_flush ->
-        (* The return-to-user CR3 load simply skips the NOFLUSH bit: the
-           whole user PCID is invalidated for free. *)
-        Tlb.cr3_flush tlb ~pcid:user_pcid;
-        if Machine.tracing m then
-          Machine.trace_event m ~cpu
-            (Trace.Deferred_flush_exec { full = true; entries = 0 })
-    | Percpu.Ranged info ->
-        if not has_stack then begin
-          (* No stack to run the INVLPG loop on (e.g. IRET return path). *)
-          Tlb.cr3_flush tlb ~pcid:user_pcid;
-          if Machine.tracing m then
-            Machine.trace_event m ~cpu
-              (Trace.Deferred_flush_exec { full = true; entries = 0 })
-        end
-        else begin
-          let vpns = Flush_info.vpns info in
-          List.iter
-            (fun vpn ->
-              Machine.delay m costs.Costs.invlpg;
-              Tlb.invlpg tlb ~current_pcid:user_pcid ~vpn)
-            vpns;
-          (* Spectre-v1: the flush loop's bound must not be speculated
-             past while stale user PTEs linger. *)
-          Machine.delay m costs.Costs.lfence;
-          if Machine.tracing m then
-            Machine.trace_event m ~cpu
-              (Trace.Deferred_flush_exec { full = false; entries = List.length vpns })
-        end);
-    match pending with
-    | Percpu.No_flush -> ()
-    | Percpu.Full_flush | Percpu.Ranged _ ->
-        (* The §3.4 deferred-to-return execution runs on the deferring CPU
-           itself; a near-zero sample (the free CR3 NOFLUSH-bit skip) is
-           the optimization's whole point and worth seeing in the p50. *)
-        if Machine.metering m then
-          record_flush m ~rank:0 ~kind:Machine.flush_kind_deferred (Machine.now m - t0)
-  end
-
-let return_to_user m ~cpu ~has_stack =
-  let cpu_t = Machine.cpu m cpu in
-  Cpu.quiesce_and_mask cpu_t;
-  flush_pending_user m ~cpu ~has_stack;
-  Machine.trace_event m ~cpu Trace.User_resume;
-  Cpu.set_in_user cpu_t true;
-  Cpu.irq_enable cpu_t
-
-(* The shootdown IPI handler run by responder CPUs. *)
-let ipi_handler m ~me (_ : Cpu.t) =
-  let pcpu = Machine.percpu m me in
-  Smp.drain_queue m ~me ~run:(fun cfd ->
-      let info = cfd.Percpu.cfd_info in
-      if Machine.tracing m then
-        Machine.trace_event m ~cpu:me
-          (Trace.Ipi_begin
-             {
-               seq = cfd.Percpu.cfd_seq;
-               initiator = cfd.Percpu.cfd_initiator;
-               early_ack = cfd.Percpu.cfd_early_ack;
-             });
-      if cfd.Percpu.cfd_early_ack then begin
-        (* §3.2: no user mapping can be used from inside this handler, so
-           acknowledge before flushing — unless page tables are freed,
-           which the initiator already encoded in cfd_early_ack. An NMI
-           could still preempt us between the ack and the flush: flag the
-           window so nmi_uaccess_okay refuses user accesses. *)
-        pcpu.Percpu.inflight_flush <- true;
-        Smp.ack m ~me ~early:true cfd
-      end;
-      let t0 = Machine.now m in
-      let result =
-        flush_tlb_func_impl m ~cpu:me ~user:(default_user_policy m info) info
-      in
-      if Machine.metering m then
-        record_flush m
-          ~rank:(Machine.distance_rank m cfd.Percpu.cfd_initiator me)
-          ~kind:(kind_of_result result) (Machine.now m - t0);
-      cfd.Percpu.cfd_executed <- true;
-      pcpu.Percpu.inflight_flush <- false;
-      if not cfd.Percpu.cfd_early_ack then Smp.ack m ~me cfd);
-  (* If we interrupted user mode we are about to return to it: any flush
-     deferred by §3.4 must complete first. *)
-  if Cpu.irq_from_user (Machine.cpu m me) then flush_pending_user m ~cpu:me ~has_stack:true
-
-(* The two shootdown irq records are fixed per machine (the handler depends
-   only on [m]; the responder CPU is recovered from the [Cpu.t] the
-   dispatcher passes in), so register each with the APIC once, at the
-   machine's first shootdown, and send every IPI by id — the send path
-   then allocates neither irq records nor delivery closures. *)
-let shootdown_irq_id m =
-  let id = m.Machine.shootdown_irq_id in
-  if id >= 0 then id
-  else begin
-    let irq =
-      {
-        Cpu.vector = Smp.tlb_shootdown_vector;
-        maskable = true;
-        handler = (fun cpu -> ipi_handler m ~me:(Cpu.id cpu) cpu);
-      }
-    in
-    let id = Apic.register_irq m.Machine.apic irq in
-    m.Machine.shootdown_irq_id <- id;
-    id
-  end
-
-(* Initiator-side local flush. Returns the list of user VPNs left for the
-   §3.4/§3.1 interplay to flush during the ack wait (empty otherwise). *)
-let initiator_local_flush m ~from ~has_remote_targets (info : Flush_info.t) =
-  let opts = m.Machine.opts in
-  let hybrid =
-    opts.Opts.safe && opts.Opts.in_context_flush && opts.Opts.concurrent_flush
-    && has_remote_targets
-    && (not info.Flush_info.full)
-    && (not info.Flush_info.freed_tables)
-    && Flush_info.nr_entries info <= opts.Opts.full_flush_threshold
-  in
-  let user = if hybrid then Skip else default_user_policy m info in
-  let t0 = Machine.now m in
-  let result = flush_tlb_func_impl m ~cpu:from ~user info in
-  if Machine.metering m then
-    record_flush m ~rank:0 ~kind:(kind_of_result result) (Machine.now m - t0);
-  if hybrid && result = `Ranged then Flush_info.vpns info else []
-
-(* Select remote targets into the initiator's scratch cpuset, paying one
-   line read per candidate. The mm's cpumask is snapshotted first (the
-   candidate reads yield, and a remote context switch may edit the live
-   mask under us — the list-building version had the same snapshot
-   semantics), then filtered in place: clearing the current bit during
-   [Cpuset.iter] is part of its contract. Returns the scratch set, valid
-   until this CPU's next shootdown. *)
-let select_targets m ~from ~mm (info : Flush_info.t) =
-  let opts = m.Machine.opts and stats = m.Machine.stats in
-  let targets = (Machine.percpu m from).Percpu.scratch_targets in
-  Cpuset.copy_into ~dst:targets ~src:(Mm_struct.cpuset mm);
-  Cpuset.clear targets from;
-  Cpuset.iter
-    (fun c ->
-      Smp.read_remote_tlb_state m ~from ~target:c;
-      let p = Machine.percpu m c in
-      if p.Percpu.lazy_mode then begin
-        (* Lazy-TLB CPU: it will sync generations before resuming user. *)
-        stats.Machine.ipis_skipped_lazy <- stats.Machine.ipis_skipped_lazy + 1;
-        Cpuset.clear targets c
-      end
-      else if
-        opts.Opts.userspace_batching && p.Percpu.batched_mode
-        && not info.Flush_info.freed_tables
-      then begin
-        (* §4.2: the CPU is inside a batching syscall and will sync at its
-           mmap_sem-release barrier; no IPI needed. *)
-        stats.Machine.ipis_skipped_batched <- stats.Machine.ipis_skipped_batched + 1;
-        Cpuset.clear targets c
-      end)
-    targets;
-  targets
-
-(* The conservative-oracle responder: ignore generations and ranges, drop
-   the whole TLB (every PCID, globals included) for every request. *)
-let oracle_ipi_handler m ~me (_ : Cpu.t) =
-  let pcpu = Machine.percpu m me in
-  let tlb = Cpu.tlb (Machine.cpu m me) in
-  Smp.drain_queue m ~me ~run:(fun cfd ->
-      let info = cfd.Percpu.cfd_info in
-      Machine.delay m m.Machine.costs.Costs.cr3_write;
-      Tlb.flush_all tlb;
-      (* The flush covered whatever a deferred user flush would have. *)
-      pcpu.Percpu.pending_user <- Percpu.No_flush;
-      Array.iter
-        (fun slot ->
-          if slot.Percpu.slot_mm = info.Flush_info.mm_id then
-            slot.Percpu.gen_seen <-
-              Stdlib.max slot.Percpu.gen_seen info.Flush_info.new_tlb_gen)
-        pcpu.Percpu.asids;
-      cfd.Percpu.cfd_executed <- true;
-      Smp.ack m ~me cfd);
-  if Cpu.irq_from_user (Machine.cpu m me) then flush_pending_user m ~cpu:me ~has_stack:true
-
-let oracle_irq_id m =
-  let id = m.Machine.oracle_irq_id in
-  if id >= 0 then id
-  else begin
-    let irq =
-      {
-        Cpu.vector = Smp.tlb_shootdown_vector;
-        maskable = true;
-        handler = (fun cpu -> oracle_ipi_handler m ~me:(Cpu.id cpu) cpu);
-      }
-    in
-    let id = Apic.register_irq m.Machine.apic irq in
-    m.Machine.oracle_irq_id <- id;
-    id
-  end
-
-(* The conservative oracle (differential-fuzzing reference): one synchronous
-   whole-TLB flush on every CPU per request. No target filtering (lazy and
-   batched CPUs are IPI'd too), no early ack, no local/remote overlap, no
-   deferral of the user PCID — trivially correct by construction. *)
-let oracle_perform m ~from (info : Flush_info.t) token =
-  let stats = m.Machine.stats in
-  let pcpu = Machine.percpu m from in
-  let tlb = Cpu.tlb (Machine.cpu m from) in
-  Machine.delay m m.Machine.costs.Costs.cr3_write;
-  Tlb.flush_all tlb;
-  pcpu.Percpu.pending_user <- Percpu.No_flush;
-  Array.iter
-    (fun slot ->
-      if slot.Percpu.slot_mm = info.Flush_info.mm_id then
-        slot.Percpu.gen_seen <-
-          Stdlib.max slot.Percpu.gen_seen info.Flush_info.new_tlb_gen)
-    pcpu.Percpu.asids;
-  (* Flush-all broadcast: snapshot the machine's all-cpus set into the
-     initiator's scratch instead of building (and filtering) per-broadcast
-     lists — two word-array copies, no allocation. *)
-  let targets = pcpu.Percpu.scratch_targets in
-  Cpuset.copy_into ~dst:targets ~src:m.Machine.all_cpus;
-  Cpuset.clear targets from;
-  if Cpuset.is_empty targets then begin
-    stats.Machine.local_only_flushes <- stats.Machine.local_only_flushes + 1;
-    Machine.end_window m ~cpu:from ~mm_id:info.Flush_info.mm_id token
-  end
-  else begin
-    stats.Machine.shootdowns <- stats.Machine.shootdowns + 1;
-    let cfds = Smp.enqueue_work m ~from ~targets ~info ~early_ack:false in
-    Smp.send_ipis m ~from ~targets ~irq_id:(oracle_irq_id m);
-    Smp.wait_for_acks m ~from cfds ();
-    Machine.end_window m ~cpu:from ~mm_id:info.Flush_info.mm_id token
-  end
+  flush_tlb_func_impl m ~cpu ~user:(default_user_policy m info)
+    ~eager_user:(backend m).Protocol.eager_user_full info
 
 (* One complete shootdown for [info], generation already bumped. *)
 let perform m ~from ~mm (info : Flush_info.t) token =
-  let opts = m.Machine.opts and costs = m.Machine.costs and stats = m.Machine.stats in
-  if opts.Opts.oracle_flush then oracle_perform m ~from info token
-  else if opts.Opts.unsafe_lazy_batching then begin
-    (* LATR-style strawman: flush locally, never notify remote CPUs, and
-       return as if the flush were complete. The Checker flags the stale
-       accesses this permits. *)
-    ignore (flush_tlb_func_impl m ~cpu:from ~user:(default_user_policy m info) info);
-    stats.Machine.local_only_flushes <- stats.Machine.local_only_flushes + 1;
-    Machine.end_window m ~cpu:from ~mm_id:info.Flush_info.mm_id token
-  end
-  else begin
-    let sel0 = Machine.now m in
-    let targets = select_targets m ~from ~mm info in
-    let sel_dt = Machine.now m - sel0 in
-    if Cpuset.is_empty targets then begin
-      stats.Machine.local_only_flushes <- stats.Machine.local_only_flushes + 1;
-      ignore (initiator_local_flush m ~from ~has_remote_targets:false info);
-      Machine.end_window m ~cpu:from ~mm_id:info.Flush_info.mm_id token
-    end
-    else begin
-      stats.Machine.shootdowns <- stats.Machine.shootdowns + 1;
-      (* FreeBSD comparator: one machine-wide shootdown at a time. *)
-      if opts.Opts.freebsd_protocol then begin
-        Machine.delay m m.Machine.costs.Costs.lock_uncontended;
-        Rwsem.down_write m.Machine.ipi_mutex
-      end;
-      let early_ack = opts.Opts.early_ack && not info.Flush_info.freed_tables in
-      let run_remote () =
-        let t0 = Machine.now m in
-        let cfds = Smp.enqueue_work m ~from ~targets ~info ~early_ack in
-        Smp.send_ipis m ~from ~targets ~irq_id:(shootdown_irq_id m);
-        (* Prep = target selection + CFD enqueue + ICR writes, i.e. every
-           initiator-side cycle before the IPIs are in flight; attributed
-           like ack_wait to the farthest target. *)
-        if Machine.metering m then begin
-          let far =
-            Cpuset.fold
-              (fun acc c -> Stdlib.max acc (Machine.distance_rank m from c))
-              0 targets
-          in
-          Metrics.record_cycles
-            m.Machine.phases.Machine.prep.(far)
-            (sel_dt + (Machine.now m - t0))
-        end;
-        cfds
-      in
-      if opts.Opts.concurrent_flush then begin
-        (* §3.1: send first; the local flush overlaps IPI delivery. *)
-        let cfds = run_remote () in
-        let leftover = ref (initiator_local_flush m ~from ~has_remote_targets:true info) in
-        let pcpu = Machine.percpu m from in
-        let tlb = Cpu.tlb (Machine.cpu m from) in
-        let user_pcid = Percpu.user_pcid pcpu.Percpu.curr_asid in
-        let any_ack () = Array.exists (fun c -> c.Percpu.cfd_acked) cfds in
-        let while_waiting () =
-          (* §3.4 interplay: burn the wait on user-PTE INVPCIDs until the
-             first ack lands, then defer the rest to kernel exit. *)
-          match !leftover with
-          | [] -> ()
-          | vpn :: rest ->
-              if not (any_ack ()) then begin
-                Machine.delay m costs.Costs.invpcid_single;
-                Tlb.invpcid_addr tlb ~pcid:user_pcid ~vpn;
-                leftover := rest
-              end
-        in
-        (* Same condition [while_waiting] acts on, minus the action: lets
-           the ack wait skip resuming us on poll ticks with nothing to do. *)
-        let waiting_work () =
-          match !leftover with [] -> false | _ :: _ -> not (any_ack ())
-        in
-        Smp.wait_for_acks m ~from cfds ~while_waiting ~waiting_work ();
-        (match !leftover with
-        | [] -> ()
-        | vpn :: _ as rest ->
-            stats.Machine.in_context_deferrals <- stats.Machine.in_context_deferrals + 1;
-            let deferred =
-              Flush_info.ranged ~mm_id:info.Flush_info.mm_id ~start_vpn:vpn
-                ~pages:(List.length rest) ~stride:info.Flush_info.stride
-                ~new_tlb_gen:info.Flush_info.new_tlb_gen ()
-            in
-            Percpu.defer_user_flush pcpu deferred ~threshold:opts.Opts.full_flush_threshold)
-      end
-      else begin
-        (* Baseline (Figure 1): local flush strictly before the IPIs. *)
-        ignore (initiator_local_flush m ~from ~has_remote_targets:false info);
-        let cfds = run_remote () in
-        Smp.wait_for_acks m ~from cfds ()
-      end;
-      if opts.Opts.freebsd_protocol then Rwsem.up_write m.Machine.ipi_mutex;
-      Machine.end_window m ~cpu:from ~mm_id:info.Flush_info.mm_id token;
-      tracef m ~cpu:from "shootdown complete"
-    end
-  end
+  (backend m).Protocol.perform m ~from ~mm info token
 
 let make_info m ~mm ~start_vpn ~pages ~stride ~freed_tables ~new_tlb_gen =
-  if m.Machine.opts.Opts.oracle_flush then
+  if (backend m).Protocol.full_only then
     (* The oracle never sends ranged flushes: full, always. *)
     Flush_info.full ~mm_id:(Mm_struct.id mm) ~freed_tables ~new_tlb_gen ()
   else if pages > m.Machine.opts.Opts.full_flush_threshold then
@@ -499,7 +52,7 @@ let flush_tlb_mm_range m ~from ~mm ~start_vpn ~pages ?(stride = Tlb.Four_k)
   let token = Machine.begin_window m ~cpu:from info in
   if
     opts.Opts.userspace_batching && pcpu.Percpu.batched_mode && (not freed_tables)
-    && not opts.Opts.oracle_flush
+    && (backend m).Protocol.honors_batching
   then begin
     (* §4.2: defer the flush to the mmap_sem-release barrier. Flushes that
        free page tables are never deferred: the tables must be gone from
@@ -524,8 +77,10 @@ let flush_tlb_page m ~from ~mm ~vpn =
 let flush_tlb_page_cow m ~from ~mm ~vpn ~executable =
   let opts = m.Machine.opts and costs = m.Machine.costs and stats = m.Machine.stats in
   (* The instruction TLB is not affected by data accesses, so the trick is
-     unusable for executable mappings (§4.1). *)
-  if not (opts.Opts.cow_avoid_flush && (not executable) && not opts.Opts.oracle_flush)
+     unusable for executable mappings (§4.1). The elision composes with the
+     paper protocol's targeted remote machinery only; other backends take
+     the ordinary flush path. *)
+  if not (opts.Opts.cow_avoid_flush && (not executable) && (backend m).Protocol.honors_cow)
   then flush_tlb_page m ~from ~mm ~vpn
   else begin
     Machine.charge_atomic m (Mm_struct.line mm) ~by:from;
@@ -553,22 +108,16 @@ let flush_tlb_page_cow m ~from ~mm ~vpn ~executable =
     tracef m ~cpu:from "CoW: avoided local flush for vpn %d" vpn;
     (* Remote CPUs sharing the mapping still need the shootdown. *)
     let sel0 = Machine.now m in
-    let targets = select_targets m ~from ~mm info in
+    let targets = Proto_paper.select_targets m ~from ~mm info in
     if Cpuset.is_empty targets then
       Machine.end_window m ~cpu:from ~mm_id:(Mm_struct.id mm) token
     else begin
       stats.Machine.shootdowns <- stats.Machine.shootdowns + 1;
       let early_ack = opts.Opts.early_ack in
       let cfds = Smp.enqueue_work m ~from ~targets ~info ~early_ack in
-      Smp.send_ipis m ~from ~targets ~irq_id:(shootdown_irq_id m);
-      if Machine.metering m then begin
-        let far =
-          Cpuset.fold
-            (fun acc c -> Stdlib.max acc (Machine.distance_rank m from c))
-            0 targets
-        in
-        Metrics.record_cycles m.Machine.phases.Machine.prep.(far) (Machine.now m - sel0)
-      end;
+      Smp.send_ipis m ~from ~targets ~irq_id:(Proto_paper.irq_id m);
+      if Machine.metering m then
+        record_prep m ~from ~targets (Machine.now m - sel0);
       Smp.wait_for_acks m ~from cfds ();
       Machine.end_window m ~cpu:from ~mm_id:(Mm_struct.id mm) token
     end
@@ -605,8 +154,16 @@ let nmi_uaccess_okay m ~cpu =
      treat both as off-limits — the interleaving explorer probes this. *)
   && (not pcpu.Percpu.batched_mode)
   && (not pcpu.Percpu.inflight_flush)
-  && Queue.is_empty pcpu.Percpu.csq
+  && (not ((backend m).Protocol.responder_pending m ~cpu))
   && Percpu.no_pending_user pcpu.Percpu.pending_user
+
+(* Backend-specific quiescence invariants, reported through [fail]; the
+   explorer's post-run invariant pass drives this per CPU alongside its
+   generic checks (pending_user drained, csq empty, ...). *)
+let protocol_quiescent m ~cpu fail = (backend m).Protocol.quiescent m ~cpu fail
+
+(* The active backend's stable label, for reports. *)
+let protocol_name m = (backend m).Protocol.name
 
 let check_and_sync_tlb m ~cpu =
   let pcpu = Machine.percpu m cpu in
@@ -621,7 +178,7 @@ let check_and_sync_tlb m ~cpu =
       if slot.Percpu.slot_mm = Mm_struct.id mm
          && slot.Percpu.gen_seen < Mm_struct.tlb_gen mm
       then begin
-        local_full_flush m ~cpu pcpu;
+        local_full_flush m ~cpu ~eager_user:(backend m).Protocol.eager_user_full pcpu;
         slot.Percpu.gen_seen <- Mm_struct.tlb_gen mm;
         if Machine.tracing m then
           Machine.trace_event m ~cpu

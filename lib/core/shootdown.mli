@@ -1,7 +1,11 @@
-(** The TLB shootdown protocol: Linux 5.2.8 baseline (paper Figure 1) plus
-    the paper's optimizations (Figure 3), selected by {!Opts}.
+(** The TLB shootdown entry points, dispatching to the {!Protocol} backend
+    selected by {!Opts.protocol}: the paper's optimized Linux protocol
+    ([Paper], Figures 1/3, optimizations selected by {!Opts} flags), the
+    conservative differential-testing oracle ([Oracle]), the cronus-style
+    global-lock synchronous broadcast ([Sync_broadcast]) and the
+    charmos-style per-CPU ring queue ([Queue_spin]).
 
-    Protocol outline for [flush_tlb_mm_range]:
+    Paper-protocol outline for [flush_tlb_mm_range]:
 
     + bump the address space's TLB generation (atomic on the mm line);
     + select targets from the cpumask, skipping lazy-TLB CPUs (and, with
@@ -86,5 +90,18 @@ val flush_tlb_func :
     deferred user-PCID flush is pending — the situations in which the TLB
     may hold mappings the rest of the kernel already considers dead.
     Linux's NMI/kprobe paths already perform the base check; the paper
-    extends it to cover early acknowledgement. *)
+    extends it to cover early acknowledgement. The "work still queued"
+    condition is the active backend's {!Protocol.t.responder_pending}
+    hook — CSQ entries for [Paper]/[Oracle], an unapplied posted broadcast
+    for [Sync_broadcast], an undrained ring for [Queue_spin]. *)
 val nmi_uaccess_okay : Machine.t -> cpu:int -> bool
+
+(** Backend-specific quiescence invariants: report (through the callback)
+    any protocol state on [cpu] that should not survive quiescence — an
+    undrained [Queue_spin] ring, a still-posted [Sync_broadcast]
+    descriptor. Driven per CPU by [Explorer.post_invariants] alongside its
+    generic checks. *)
+val protocol_quiescent : Machine.t -> cpu:int -> (string -> unit) -> unit
+
+(** The active backend's stable label ({!Opts.protocol_label}). *)
+val protocol_name : Machine.t -> string

@@ -3,12 +3,15 @@
 
    Each seed deterministically generates a program: a random topology, a
    random Opts combination (all 64 of the paper's optimization subsets are
-   reached via [seed mod 64]), a handful of worker threads pinned to
-   distinct CPUs, and a sequence of kernel operations over the mm those
-   workers share (plus any address spaces fork creates). The program is
-   executed twice on machines that differ only in the flush protocol: the
-   optimized one under test, and [Opts.oracle] — every PTE change one
-   synchronous whole-TLB broadcast, nothing deferred, nothing skipped.
+   reached via [seed mod 64]), a protocol backend (from seed bits 6.., a
+   distinct axis so every (combo, backend) pair is reachable without
+   aliasing — seeds 0..63 stay on the paper backend), a handful of worker
+   threads pinned to distinct CPUs, and a sequence of kernel operations
+   over the mm those workers share (plus any address spaces fork creates).
+   The program is executed twice on machines that differ only in the flush
+   protocol: the backend under test, and [Opts.oracle] — every PTE change
+   one synchronous whole-TLB broadcast, nothing deferred, nothing
+   skipped.
 
    Ops execute sequentially (a driver process hands one op at a time to
    the worker that owns it), so every op's functional result — the address
@@ -48,6 +51,7 @@ type program = {
   p_smt : int;
   p_safe : bool;
   p_combo : int;  (* 6-bit optimization mask, see [opts_of_combo] *)
+  p_protocol : Opts.protocol;  (* backend under test, from seed bits 6.. *)
   p_inject_bug : bool;
   p_workers : int;
   p_tlb_capacity : int;  (* small TLBs force eviction + recycling paths *)
@@ -58,8 +62,9 @@ type program = {
 (* Combo bit layout — bit [i] set enables optimization [i]:
    1 concurrent_flush, 2 early_ack, 4 cacheline_consolidation,
    8 in_context_flush, 16 cow_avoid_flush, 32 userspace_batching. *)
-let opts_of_combo ~safe ~inject_bug combo =
+let opts_of_combo ?(protocol = Opts.Paper) ~safe ~inject_bug combo =
   let o = Opts.baseline ~safe in
+  o.Opts.protocol <- protocol;
   o.Opts.concurrent_flush <- combo land 1 <> 0;
   o.Opts.early_ack <- combo land 2 <> 0;
   o.Opts.cacheline_consolidation <- combo land 4 <> 0;
@@ -106,6 +111,13 @@ let pp_op fmt op =
 let gen_program ?(max_ops = 32) ?(inject_bug = false) seed =
   let r = Rng.create ~seed:(Int64.of_int seed) in
   let combo = seed land 63 in
+  (* The backend under test comes from disjoint seed bits (6..), so the
+     protocol axis never aliases the optimization-combo axis: seeds
+     0..63 exercise every combo on the paper backend, 64..127 on
+     sync-broadcast, 128..191 on queue-spin, then the cycle repeats.
+     The oracle is never the subject — it is always the reference. *)
+  let protocols = [| Opts.Paper; Opts.Sync_broadcast; Opts.Queue_spin |] in
+  let protocol = protocols.(seed lsr 6 mod Array.length protocols) in
   (* The injected bug drops deferred user flushes, which only exist under
      PTI with §3.4 on — force that combination so --inject-bug always
      demonstrates a divergence for the shrinker to minimize. *)
@@ -153,6 +165,7 @@ let gen_program ?(max_ops = 32) ?(inject_bug = false) seed =
     p_smt = smt;
     p_safe = safe;
     p_combo = combo;
+    p_protocol = protocol;
     p_inject_bug = inject_bug;
     p_workers = n_workers;
     p_tlb_capacity = Rng.choose r [| 16; 32; 64; 1536 |];
@@ -448,12 +461,12 @@ let compare_runs ~optimized ~oracle =
   end;
   List.rev !reasons
 
+let program_opts program =
+  opts_of_combo ~protocol:program.p_protocol ~safe:program.p_safe
+    ~inject_bug:program.p_inject_bug program.p_combo
+
 let run_program program =
-  let optimized =
-    execute program
-      ~opts:
-        (opts_of_combo ~safe:program.p_safe ~inject_bug:program.p_inject_bug program.p_combo)
-  in
+  let optimized = execute program ~opts:(program_opts program) in
   let oracle = execute program ~opts:(Opts.oracle ~safe:program.p_safe) in
   compare_runs ~optimized ~oracle
 
@@ -519,13 +532,13 @@ let replay_command f =
 
 let pp_program fmt p =
   Format.fprintf fmt
-    "seed %d: topo %dx%dx%d, %s mode, combo %d [%a], %d workers, tlb %d, threshold %d, %d \
-     ops"
+    "seed %d: topo %dx%dx%d, %s mode, proto %s, combo %d [%a], %d workers, tlb %d, \
+     threshold %d, %d ops"
     p.p_seed p.p_sockets p.p_cores p.p_smt
     (if p.p_safe then "safe" else "unsafe")
-    p.p_combo Opts.pp
-    (opts_of_combo ~safe:p.p_safe ~inject_bug:p.p_inject_bug p.p_combo)
-    p.p_workers p.p_tlb_capacity p.p_flush_threshold (List.length p.p_ops)
+    (Opts.protocol_label p.p_protocol)
+    p.p_combo Opts.pp (program_opts p) p.p_workers p.p_tlb_capacity p.p_flush_threshold
+    (List.length p.p_ops)
 
 let pp_failure fmt f =
   Format.fprintf fmt "@[<v>FAIL %a@," pp_program f.f_program;

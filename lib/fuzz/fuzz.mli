@@ -3,10 +3,12 @@
 
     Each seed deterministically generates a program — random topology,
     random [Opts] combination (all 64 subsets reached via [seed mod 64]),
+    a protocol backend from disjoint seed bits ([seed lsr 6 mod 3]: seeds
+    0..63 paper, 64..127 sync-broadcast, 128..191 queue-spin, repeating),
     worker threads pinned to distinct CPUs, and a sequence of kernel ops
-    over their address spaces — then executes it twice: under the
-    optimized protocol and under the oracle (every PTE change one
-    synchronous whole-TLB broadcast). Ops run sequentially but overlap
+    over their address spaces — then executes it twice: under the backend
+    under test and under the oracle (every PTE change one synchronous
+    whole-TLB broadcast). Ops run sequentially but overlap
     with responder-side IPI handling, early-acked flush tails and §3.4
     deferrals, so each op's functional result (addresses, observed pfns,
     faults) is identical across both runs exactly when no CPU ever uses a
@@ -38,6 +40,7 @@ type program = {
   p_smt : int;
   p_safe : bool;
   p_combo : int;
+  p_protocol : Opts.protocol;
   p_inject_bug : bool;
   p_workers : int;
   p_tlb_capacity : int;
@@ -46,9 +49,14 @@ type program = {
 }
 
 (** Optimization subset [combo] (6 bits: concurrent, early-ack, cacheline,
-    in-context, cow, batching) as an [Opts.t]; [inject_bug] additionally
-    sets {!Opts.t.bug_skip_deferred_flush}. *)
-val opts_of_combo : safe:bool -> inject_bug:bool -> int -> Opts.t
+    in-context, cow, batching) as an [Opts.t] running [protocol] (default
+    [Paper]); [inject_bug] additionally sets
+    {!Opts.t.bug_skip_deferred_flush}. *)
+val opts_of_combo :
+  ?protocol:Opts.protocol -> safe:bool -> inject_bug:bool -> int -> Opts.t
+
+(** The [Opts.t] the program's own combo/protocol/inject-bug fields denote. *)
+val program_opts : program -> Opts.t
 
 (** The program seed [seed] denotes, deterministically. [inject_bug]
     forces safe mode + §3.4 so the injected bug is reachable. *)

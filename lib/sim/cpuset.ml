@@ -92,7 +92,7 @@ let count t =
 
 (* Traversals snapshot each word as they reach it: [f] may clear the
    element it was called with (or earlier ones) without disturbing the
-   walk — the in-place filtering [Shootdown.select_targets] relies on —
+   walk — the in-place filtering [Proto_paper.select_targets] relies on —
    but must not set bits, which could be missed or double-visited. *)
 let iter f t =
   let words = t.words in

@@ -40,7 +40,7 @@ val count : t -> int
 (** [iter f t] applies [f] to each member in ascending order. [f] may
     [clear] the member it was given (or any earlier one) — the traversal
     snapshots one word at a time, which is what lets
-    [Shootdown.select_targets] filter a scratch set in place — but must
+    [Proto_paper.select_targets] filter a scratch set in place — but must
     not [set] bits in [t]. *)
 val iter : (int -> unit) -> t -> unit
 

@@ -1,0 +1,153 @@
+(* The `tlbsim shootout` workload: the same metered madvise microbenchmark
+   run once per protocol backend, reduced to one comparison row each —
+   initiator/responder latency, shootdown count, phase-latency p50s from
+   the machine's metric registry (DESIGN.md §10), and cacheline traffic.
+
+   Cells are self-contained (config, seed) sim runs executed on the shared
+   Domain_pool and read back in plan order, the same contract as the bench
+   harness and `tlbsim stats`, so the report is byte-identical at any
+   [-j]. The paper backend appears twice — all optimizations and bare
+   baseline — bracketing the protocol's own headroom before the
+   alternative backends are compared against it. *)
+
+type format = Table | Json
+
+type row = {
+  sh_label : string;
+  sh_protocol : Opts.protocol;
+  sh_initiator_mean : float;
+  sh_initiator_sd : float;
+  sh_responder_mean : float;
+  sh_shootdowns : int;
+  sh_prep_p50 : float option;
+  sh_ipi_p50 : float option;
+  sh_flush_p50 : float option;
+  sh_ack_p50 : float option;
+  sh_line_transfers : int;  (* metered cacheline transfers, all ranks *)
+  sh_line_cycles : float;  (* total cycles those transfers cost *)
+}
+
+(* One entry per backend under comparison; opts built fresh per call (they
+   are mutable and each cell's machine owns its copy). *)
+let backends () =
+  [
+    ("paper", Opts.all ~safe:true);
+    ("paper-baseline", Opts.baseline ~safe:true);
+    ("oracle", Opts.oracle ~safe:true);
+    ("sync-broadcast", Opts.with_protocol Opts.Sync_broadcast ~safe:true);
+    ("queue-spin", Opts.with_protocol Opts.Queue_spin ~safe:true);
+  ]
+
+(* Pool every series of [name]: exact-moment merge of each per-rank
+   accumulator into a fresh one (phase series are split by topology
+   distance; the comparison wants the phase as a whole). Series carrying
+   kind="skipped" are excluded — generation-skip "flushes" are priced at
+   ~0 cycles and a broadcast backend IPIs 50+ idle CPUs per shootdown, so
+   pooling them in would pin every broadcast flush p50 to 0. *)
+let pooled_stats metrics name =
+  let acc = Stats.create () in
+  List.iter
+    (fun s ->
+      if
+        String.equal (Metrics.series_name s) name
+        && not (List.mem ("kind", "skipped") (Metrics.series_labels s))
+      then Stats.merge_into acc (Metrics.stats s))
+    (Metrics.all metrics);
+  acc
+
+let row_of_result label protocol (r : Microbench.result) =
+  let p50 name = Stats.percentile_opt (pooled_stats r.Microbench.metrics name) 50.0 in
+  let line = pooled_stats r.Microbench.metrics "cacheline_transfer_cycles" in
+  {
+    sh_label = label;
+    sh_protocol = protocol;
+    sh_initiator_mean = r.Microbench.initiator_mean;
+    sh_initiator_sd = r.Microbench.initiator_sd;
+    sh_responder_mean = r.Microbench.responder_mean;
+    sh_shootdowns = r.Microbench.shootdowns;
+    sh_prep_p50 = p50 "shootdown_prep_cycles";
+    sh_ipi_p50 = p50 "ipi_delivery_cycles";
+    sh_flush_p50 = p50 "flush_exec_cycles";
+    sh_ack_p50 = p50 "ack_wait_cycles";
+    sh_line_transfers = Stats.count line;
+    sh_line_cycles = Stats.total line;
+  }
+
+(* The backend cells as Shard jobs plus a plan-order row reader, for
+   embedding in a larger plan set (the bench harness owns its own
+   Shard.execute); row order is a pure function of [backends]. *)
+let plan_cells ?(pte_count = 10) ?(iterations = 200) ?(seed = 7L) () =
+  let cells =
+    List.map
+      (fun (label, opts) ->
+        let base =
+          Microbench.default_config ~opts ~placement:Microbench.Cross_socket ~pte_count
+        in
+        let config = { base with Microbench.iterations; seed; metering = true } in
+        let job, get =
+          Shard.cell
+            ~label:(Printf.sprintf "shootout/%s" label)
+            ~ops:(fun r -> r.Microbench.engine_ops)
+            ~weight:(float_of_int (iterations * pte_count))
+            (fun () -> Microbench.run config)
+        in
+        (label, opts.Opts.protocol, job, get))
+      (backends ())
+  in
+  ( List.map (fun (_, _, job, _) -> job) cells,
+    fun () ->
+      List.map (fun (label, protocol, _, get) -> row_of_result label protocol (get ())) cells
+  )
+
+let collect ?pte_count ?iterations ?seed ~jobs () =
+  let cell_jobs, get_rows = plan_cells ?pte_count ?iterations ?seed () in
+  let plan =
+    { Shard.name = "shootout"; jobs = cell_jobs; reused = 0; reduce = (fun () -> ()) }
+  in
+  let _outcomes, _gc = Shard.execute ~jobs [ plan ] in
+  get_rows ()
+
+let opt_cell = function None -> "-" | Some v -> Printf.sprintf "%.0f" v
+
+let render_table rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "%-16s %-14s %14s %12s %10s %9s %8s %9s %8s %10s\n" "backend"
+       "protocol" "madvise cyc" "responder" "shootdowns" "prep p50" "ipi p50" "flush p50"
+       "ack p50" "line xfers");
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf "%-16s %-14s %8.0f +-%4.0f %12.0f %10d %9s %8s %9s %8s %10d\n"
+           r.sh_label
+           (Opts.protocol_label r.sh_protocol)
+           r.sh_initiator_mean r.sh_initiator_sd r.sh_responder_mean r.sh_shootdowns
+           (opt_cell r.sh_prep_p50) (opt_cell r.sh_ipi_p50) (opt_cell r.sh_flush_p50)
+           (opt_cell r.sh_ack_p50) r.sh_line_transfers))
+    rows;
+  Buffer.contents b
+
+let json_opt = function None -> "null" | Some v -> Printf.sprintf "%.1f" v
+
+(* One JSON object per row, keyed by "protocol" — deliberately not "name",
+   so perf-gate scanners that only understand the workload-row schema walk
+   past shootout rows instead of misreading them. *)
+let json_of_row r =
+  Printf.sprintf
+    "{\"protocol\": \"%s\", \"backend\": \"%s\", \"initiator_mean\": %.1f, \
+     \"initiator_sd\": %.1f, \"responder_mean\": %.1f, \"shootdowns\": %d, \
+     \"prep_p50\": %s, \"ipi_p50\": %s, \"flush_p50\": %s, \"ack_p50\": %s, \
+     \"line_transfers\": %d, \"line_cycles\": %.0f}"
+    (Opts.protocol_label r.sh_protocol)
+    r.sh_label r.sh_initiator_mean r.sh_initiator_sd r.sh_responder_mean r.sh_shootdowns
+    (json_opt r.sh_prep_p50) (json_opt r.sh_ipi_p50) (json_opt r.sh_flush_p50)
+    (json_opt r.sh_ack_p50) r.sh_line_transfers r.sh_line_cycles
+
+let render_json rows =
+  "[\n  " ^ String.concat ",\n  " (List.map json_of_row rows) ^ "\n]\n"
+
+let render format rows =
+  match format with Table -> render_table rows | Json -> render_json rows
+
+let run ?pte_count ?iterations ?seed ~jobs format =
+  render format (collect ?pte_count ?iterations ?seed ~jobs ())

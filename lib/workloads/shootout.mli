@@ -1,0 +1,51 @@
+(** The `tlbsim shootout` report: the metered madvise microbenchmark run
+    once per protocol backend ({!Opts.protocol} — the paper protocol with
+    all optimizations and bare, the oracle, the cronus-style synchronous
+    broadcast and the charmos-style per-CPU queue), reduced to one
+    comparison row each: initiator/responder latency, shootdown count,
+    phase-latency p50s (DESIGN.md §10) and cacheline traffic.
+
+    Cells run through {!Shard} and are read back in plan order, so the
+    rendered report is byte-identical at any [~jobs]. *)
+
+type format = Table | Json
+
+type row = {
+  sh_label : string;  (** backend row label, e.g. ["paper-baseline"] *)
+  sh_protocol : Opts.protocol;
+  sh_initiator_mean : float;  (** madvise cycles, mean over iterations *)
+  sh_initiator_sd : float;
+  sh_responder_mean : float;  (** responder interruption per shootdown *)
+  sh_shootdowns : int;
+  sh_prep_p50 : float option;  (** pooled over distance ranks; [None] = no samples *)
+  sh_ipi_p50 : float option;
+  sh_flush_p50 : float option;
+  sh_ack_p50 : float option;
+  sh_line_transfers : int;  (** metered cacheline transfers, all ranks *)
+  sh_line_cycles : float;  (** total cycles those transfers cost *)
+}
+
+(** The backend cells as {!Shard} jobs plus a plan-order row reader (only
+    valid after the jobs executed), for embedding in a harness that owns
+    its own [Shard.execute]. Defaults: 10 PTEs, 200 iterations, seed 7. *)
+val plan_cells :
+  ?pte_count:int ->
+  ?iterations:int ->
+  ?seed:int64 ->
+  unit ->
+  Shard.job list * (unit -> row list)
+
+(** Run every backend's cell (sharded over [jobs] domains) and return the
+    rows in backend order. *)
+val collect :
+  ?pte_count:int -> ?iterations:int -> ?seed:int64 -> jobs:int -> unit -> row list
+
+(** One JSON object, keyed by ["protocol"] (not ["name"], so workload-row
+    scanners skip shootout rows rather than misread them). *)
+val json_of_row : row -> string
+
+val render : format -> row list -> string
+
+(** {!collect} + {!render}. *)
+val run :
+  ?pte_count:int -> ?iterations:int -> ?seed:int64 -> jobs:int -> format -> string

@@ -20,6 +20,7 @@ let () =
       ("analysis", Test_analysis.suite);
       ("coverage", Test_coverage.suite);
       ("determinism", Test_determinism.suite);
+      ("protocols", Test_protocols.suite);
       ("fuzz", Test_fuzz.suite);
       ("properties", Test_props.suite);
     ]

@@ -1,0 +1,228 @@
+(* Tests for the protocol-backend interface (DESIGN.md §13): config-key
+   and memo-cell separation between backends, backend-observable flush
+   semantics (sync-broadcast full flushes, queue-spin ring overflow),
+   oracle indifference to optimization flags, differential equivalence of
+   every backend against the oracle over a fuzz corpus, and shootout
+   report determinism across -j. *)
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+(* ---------- key / memo separation ---------- *)
+
+let test_opts_key_distinct_per_protocol () =
+  let keys =
+    List.map (fun p -> Opts.key (Opts.with_protocol p ~safe:true)) Opts.all_protocols
+  in
+  check int_t "every protocol keys differently"
+    (List.length Opts.all_protocols)
+    (List.length (List.sort_uniq compare keys))
+
+let micro_config protocol =
+  let opts = Opts.with_protocol protocol ~safe:true in
+  Microbench.default_config ~opts ~placement:Microbench.Cross_socket ~pte_count:10
+
+let test_memo_cells_not_shared_across_protocols () =
+  (* Two configs differing only in protocol must own separate cells; the
+     same config registered twice must share one. *)
+  let memo = Shard.create_memo () in
+  let register protocol =
+    let config = micro_config protocol in
+    let jobs, _get, owned =
+      Shard.memo_cell memo ~key:(Microbench.config_key config) ~weight:1.0 (fun () ->
+          Microbench.run config)
+    in
+    (List.length jobs, owned)
+  in
+  check (Alcotest.pair int_t bool_t) "paper owns its cell" (1, true)
+    (register Opts.Paper);
+  check (Alcotest.pair int_t bool_t) "queue-spin owns a distinct cell" (1, true)
+    (register Opts.Queue_spin);
+  check (Alcotest.pair int_t bool_t) "re-registering paper reuses it" (0, false)
+    (register Opts.Paper)
+
+(* ---------- backend-observable flush semantics ---------- *)
+
+let tlb_of m cpu = Cpu.tlb (Machine.cpu m cpu)
+
+let map_pages m mm ~pages =
+  let start_vpn = Mm_struct.alloc_va_range mm ~pages () in
+  Mm_struct.add_vma mm (Vma.make ~start_vpn ~pages ());
+  let pt = Mm_struct.page_table mm in
+  for i = 0 to pages - 1 do
+    Page_table.map pt ~vpn:(start_vpn + i) ~size:Tlb.Four_k
+      (Pte.user_data ~pfn:(Frame_alloc.alloc m.Machine.frames))
+  done;
+  start_vpn
+
+let warm m ~cpu ~start_vpn ~pages =
+  Access.touch_range m ~cpu ~addr:(Addr.addr_of_vpn start_vpn) ~pages ~write:false
+
+(* Run [body] as a user thread on cpu 0 with a busy responder on cpu 14
+   (cross-socket), as in the shootdown tests. *)
+let with_pair ~opts body =
+  let m = Machine.create ~opts ~seed:3L () in
+  let mm = Machine.new_mm m in
+  let stop = ref false in
+  Kernel.spawn_user m ~cpu:14 ~mm ~name:"responder" (fun () ->
+      let cpu_t = Machine.cpu m 14 in
+      while not !stop do
+        Cpu.compute cpu_t ~quantum:100 100
+      done);
+  Kernel.spawn_user m ~cpu:0 ~mm ~name:"initiator" (fun () ->
+      Machine.delay m 2_000;
+      body m mm;
+      Machine.delay m 10_000;
+      stop := true);
+  Kernel.run m;
+  m
+
+(* Plant a translation in the responder's TLB at [vpn], kernel PCID of its
+   current ASID slot, so ranged-vs-full responder behavior is observable. *)
+let plant m ~cpu ~vpn =
+  Tlb.insert (tlb_of m cpu)
+    {
+      Tlb.vpn;
+      pfn = 0;
+      pcid = Percpu.kernel_pcid (Machine.percpu m cpu).Percpu.curr_asid;
+      size = Tlb.Four_k;
+      global = false;
+      writable = true;
+      fractured = false;
+      ck_ver = -1;
+    }
+
+let planted_present m ~cpu ~vpn =
+  Tlb.mem (tlb_of m cpu)
+    ~pcid:(Percpu.kernel_pcid (Machine.percpu m cpu).Percpu.curr_asid)
+    ~vpn
+
+let test_sync_broadcast_ipis_every_cpu () =
+  (* The cronus-style backend broadcasts unfiltered: one 1-page flush IPIs
+     every other CPU on the machine (the paper protocol would send exactly
+     one, to the only other CPU in the mm's cpumask), and the responder
+     applies the posted descriptor through the shared ranged flush. *)
+  let ipis = ref 0 and n = ref 0 and gone = ref false in
+  let _m =
+    with_pair ~opts:(Opts.with_protocol Opts.Sync_broadcast ~safe:true) (fun m mm ->
+        let vpn = map_pages m mm ~pages:1 in
+        warm m ~cpu:0 ~start_vpn:vpn ~pages:1;
+        plant m ~cpu:14 ~vpn;
+        n := Topology.n_cpus m.Machine.topo;
+        Shootdown.flush_tlb_page m ~from:0 ~mm ~vpn;
+        Machine.delay m 10_000;
+        ipis := Apic.ipis_sent m.Machine.apic;
+        gone := not (planted_present m ~cpu:14 ~vpn))
+  in
+  check int_t "every other CPU IPI'd" (!n - 1) !ipis;
+  check bool_t "flushed on the responder" true !gone
+
+let test_queue_ring_overflow_collapses_to_flush_all () =
+  (* Under-capacity ranged flushes post per-page ring entries: only the
+     posted vpns are invalidated. Overflowing Percpu.queue_slots collapses
+     the post to a whole-TLB flush-all on the responder. *)
+  let small_survives = ref false and overflow_gone = ref false in
+  let _m =
+    with_pair ~opts:(Opts.with_protocol Opts.Queue_spin ~safe:true) (fun m mm ->
+        let pages = Percpu.queue_slots + 1 in
+        let vpn = map_pages m mm ~pages in
+        let other = map_pages m mm ~pages:1 in
+        warm m ~cpu:0 ~start_vpn:vpn ~pages;
+        plant m ~cpu:14 ~vpn:other;
+        (* 2 entries fit in the ring: [other] must survive the drain. *)
+        Shootdown.flush_tlb_mm_range m ~from:0 ~mm ~start_vpn:vpn ~pages:2 ();
+        Machine.delay m 10_000;
+        small_survives := planted_present m ~cpu:14 ~vpn:other;
+        (* queue_slots+1 entries overflow: the responder flushes all. *)
+        Shootdown.flush_tlb_mm_range m ~from:0 ~mm ~start_vpn:vpn ~pages ();
+        Machine.delay m 10_000;
+        overflow_gone := not (planted_present m ~cpu:14 ~vpn:other))
+  in
+  check bool_t "unposted entry survives an in-capacity drain" true !small_survives;
+  check bool_t "overflow collapses to flush-all" true !overflow_gone
+
+(* ---------- oracle indifference to optimization flags ---------- *)
+
+(* PR-site audit pin: migrating the oracle special cases into a backend
+   found no behavioral divergence, so the oracle must ignore every
+   optimization bit — notably cow (16) and early-ack (2), the two flags
+   the scattered [oracle_flush] branches used to guard against. *)
+let test_oracle_ignores_combo_flags () =
+  let program = Fuzz.gen_program 11 in
+  let reference = Fuzz.execute ~opts:(Opts.oracle ~safe:true) program in
+  List.iter
+    (fun combo ->
+      let opts =
+        Fuzz.opts_of_combo ~protocol:Opts.Oracle ~safe:true ~inject_bug:false combo
+      in
+      let r = Fuzz.execute ~opts program in
+      check bool_t
+        (Printf.sprintf "combo %d: same observations as the plain oracle" combo)
+        true
+        (r.Fuzz.xr_obs = reference.Fuzz.xr_obs);
+      check bool_t
+        (Printf.sprintf "combo %d: same final state" combo)
+        true
+        (r.Fuzz.xr_final = reference.Fuzz.xr_final))
+    [ 2; 16; 18; 63 ]
+
+(* ---------- differential equivalence over a fuzz corpus ---------- *)
+
+(* Every backend must be indistinguishable from the conservative oracle on
+   a fixed corpus: identical observations and final state, no checker
+   violation, no quiescence-invariant failure (run_program checks all of
+   these). The corpus seeds span optimization combos and topologies. *)
+let test_backends_match_oracle_on_corpus () =
+  let seeds = [ 0; 3; 7; 17; 42; 56 ] in
+  List.iter
+    (fun protocol ->
+      List.iter
+        (fun seed ->
+          let program =
+            { (Fuzz.gen_program seed) with Fuzz.p_protocol = protocol }
+          in
+          match Fuzz.run_program program with
+          | [] -> ()
+          | reasons ->
+              Alcotest.failf "%s diverged on seed %d: %s"
+                (Opts.protocol_label protocol)
+                seed
+                (String.concat "; " reasons))
+        seeds)
+    [ Opts.Paper; Opts.Sync_broadcast; Opts.Queue_spin ]
+
+(* ---------- shootout determinism ---------- *)
+
+let test_shootout_identical_at_any_j () =
+  let run jobs = Shootout.run ~iterations:30 ~jobs Shootout.Table in
+  let j1 = run 1 in
+  check bool_t "report lists every backend" true
+    (List.for_all
+       (fun label ->
+         let n = String.length label in
+         let rec go i =
+           i + n <= String.length j1 && (String.sub j1 i n = label || go (i + 1))
+         in
+         go 0)
+       [ "paper"; "paper-baseline"; "oracle"; "sync-broadcast"; "queue-spin" ]);
+  check bool_t "-j2 byte-identical to -j1" true (String.equal j1 (run 2));
+  check bool_t "-j4 byte-identical to -j1" true (String.equal j1 (run 4))
+
+let suite =
+  [
+    Alcotest.test_case "opts key distinct per protocol" `Quick
+      test_opts_key_distinct_per_protocol;
+    Alcotest.test_case "memo cells not shared across protocols" `Quick
+      test_memo_cells_not_shared_across_protocols;
+    Alcotest.test_case "sync-broadcast IPIs every CPU" `Quick
+      test_sync_broadcast_ipis_every_cpu;
+    Alcotest.test_case "queue-spin ring overflow -> flush-all" `Quick
+      test_queue_ring_overflow_collapses_to_flush_all;
+    Alcotest.test_case "oracle ignores optimization flags" `Quick
+      test_oracle_ignores_combo_flags;
+    Alcotest.test_case "backends match oracle on corpus" `Quick
+      test_backends_match_oracle_on_corpus;
+    Alcotest.test_case "shootout byte-identical at any -j" `Quick
+      test_shootout_identical_at_any_j;
+  ]
