@@ -658,11 +658,9 @@ let bigmachine_plan () =
     List.map
       (fun n_cpus ->
         let cfg = Bigmachine.default_config ~opts:(Opts.all ~safe:true) ~n_cpus in
-        let cfg =
-          if !quick then
-            { cfg with Bigmachine.ops_per_thread = 24; churn_every = 8; churn_pages = 8 }
-          else cfg
-        in
+        (* The canonical quick shaping, shared with shootout --workloads so
+           the 56-CPU paper cell is one memo entry, not two near-twins. *)
+        let cfg = if !quick then Bigmachine.quick_shape cfg else cfg in
         let js, get, fresh =
           Shard.memo_cell bigmachine_memo ~key:(Bigmachine.config_key cfg)
             ~label:(Printf.sprintf "bigmachine %d" n_cpus)
@@ -745,6 +743,71 @@ let shootout_plan () =
   in
   { Shard.name = "shootout"; jobs; reused = 0; reduce }
 
+(* ----- Shootout workloads: fig10/fig11/bigmachine-56 per backend ----- *)
+
+(* Stashed by the reduce for the schema-7 "workloads" JSON block, like
+   [bigmachine_results]/[shootout_results]. Rows are keyed ["experiment":]
+   with the backend under ["proto":] — none of the keys older gate
+   scanners walk ("name"/"scale"/"phase"/"protocol"), so a pre-schema-7
+   gate can neither misread nor silently half-parse them. *)
+let workloads_results : Shootout.wl_report option ref = ref None
+
+(* Planned LAST (see [all_tasks]): the paper backend's cells are
+   value-identical to fig10/fig11's "+batching" stack and the bigmachine
+   56-CPU config, so in an `all` run they are owned by those earlier plans
+   and every paper row reads from the memo. *)
+let shootout_workloads_plan () =
+  let jobs, get, reused =
+    Shootout.workload_cells ~sysbench_memo ~apache_memo ~bigmachine_memo
+      ~fig10:(Figures.fig10_scale ~quick:!quick)
+      ~fig11:(Figures.fig11_scale ~quick:!quick)
+      ~quick:!quick ()
+  in
+  let reduce () =
+    let report = get () in
+    workloads_results := Some report;
+    let backend_cols = List.map (fun (l, _) -> l) (Shootout.workload_backends ()) in
+    let tput_table ~title ~axis ~fmt rows =
+      match rows with
+      | [] -> ()
+      | (_, first) :: _ ->
+          Report.table ~title ~header:(axis :: backend_cols)
+            (List.mapi
+               (fun i (n, _, _) ->
+                 string_of_int n
+                 :: List.map
+                      (fun (_, cells) ->
+                        let _, t, _ = List.nth cells i in
+                        Printf.sprintf fmt t)
+                      rows)
+               first)
+    in
+    tput_table
+      ~title:
+        "Shootout workloads — fig10 sysbench ops/kcyc per protocol backend (safe \
+         mode)"
+      ~axis:"threads" ~fmt:"%.3f" report.Shootout.wl_fig10;
+    tput_table
+      ~title:
+        "Shootout workloads — fig11 apache req/Mcyc per protocol backend (safe mode)"
+      ~axis:"cores" ~fmt:"%.2f" report.Shootout.wl_fig11;
+    Report.table
+      ~title:
+        "Shootout workloads — bigmachine-56 multi-tenant churn per protocol backend"
+      ~header:[ "backend"; "cycles/shootdown"; "shootdowns"; "IPIs"; "ICR writes" ]
+      (List.map
+         (fun (p, r) ->
+           [
+             Opts.protocol_label p;
+             Printf.sprintf "%.0f" r.Bigmachine.cycles_per_shootdown;
+             string_of_int r.Bigmachine.shootdowns;
+             string_of_int r.Bigmachine.ipis;
+             string_of_int r.Bigmachine.icr_writes;
+           ])
+         report.Shootout.wl_big)
+  in
+  { Shard.name = "shootout-workloads"; jobs; reused; reduce }
+
 (* ----- Bechamel: wall-clock self-measurement of the harness ----- *)
 
 let bechamel () =
@@ -824,7 +887,13 @@ let all_tasks =
       ("table4", table4_plan);
     ]
   @ ablation_tasks
-  @ [ ("bigmachine", bigmachine_plan); ("shootout", shootout_plan) ]
+  @ [
+      ("bigmachine", bigmachine_plan);
+      ("shootout", shootout_plan);
+      (* Last on purpose: its paper-backend cells must find fig10/fig11/
+         bigmachine already owning the shared memo entries. *)
+      ("shootout-workloads", shootout_workloads_plan);
+    ]
 
 (* Plan every requested experiment (sequential: the cell memos assign
    shared cells to their first requester), execute all cells on one shared
@@ -922,7 +991,7 @@ let perf ~jobs () =
   let oc = open_out "BENCH_PERF.json" in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
-  out "  \"schema\": 6,\n";
+  out "  \"schema\": 7,\n";
   out "  \"mode\": \"%s\",\n" (if !quick then "quick" else "full");
   out "  \"jobs\": %d,\n" jobs;
   out "  \"experiments\": [\n";
@@ -997,6 +1066,21 @@ let perf ~jobs () =
       out "    %s%s\n" (Shootout.json_of_row r) (if i = n_sh - 1 then "" else ","))
     !shootout_results;
   out "  ],\n";
+  (* Schema-7 cross-backend workload rows, filled by the shootout-workloads
+     plan's reduce during [execute] above. Keyed ["experiment":] with the
+     backend under ["proto":] — none of the keys the older scanners walk —
+     and carrying ["memoized":] so tests can pin that paper rows reuse the
+     figure cells. Simulated-time values, compared raw by the gate. *)
+  let wl_rows =
+    match !workloads_results with None -> [] | Some r -> r.Shootout.wl_rows
+  in
+  out "  \"workloads\": [\n";
+  let n_wl = List.length wl_rows in
+  List.iteri
+    (fun i r ->
+      out "    %s%s\n" (Shootout.json_of_wl_row r) (if i = n_wl - 1 then "" else ","))
+    wl_rows;
+  out "  ],\n";
   out
     "  \"total\": {\"wall_s\": %.4f, \"elapsed_s\": %.4f, \"engine_ops\": %d, \
      \"engine_ops_per_s\": %.0f},\n"
@@ -1058,7 +1142,8 @@ let () =
   let group = function
     | "figs5-8" -> Some fig_tasks
     | ("fig5" | "fig6" | "fig7" | "fig8" | "table3" | "fig9" | "fig10" | "fig11"
-      | "table2" | "table4" | "bigmachine" | "shootout") as cmd ->
+      | "table2" | "table4" | "bigmachine" | "shootout" | "shootout-workloads") as cmd
+      ->
         Some (List.filter (fun (n, _) -> String.equal n cmd) all_tasks)
     | "ablation" -> Some ablation_tasks
     | "all" -> Some all_tasks

@@ -1,4 +1,4 @@
-(* Perf regression gate over BENCH_PERF.json (schema 6).
+(* Perf regression gate over BENCH_PERF.json (schema 7).
 
      perf_gate.exe BASELINE.json CURRENT.json [--threshold 0.25]
 
@@ -30,9 +30,15 @@
 
    The parser is a minimal scanner for the schema this repo's own perf
    mode emits — not a general JSON reader, and deliberately so: it keeps
-   the gate dependency-free. *)
+   the gate dependency-free. Each row family keys on a field no other
+   family uses ("name" / "scale" / "protocol" / "experiment"), so every
+   scanner walks the whole file and sees only its own rows. A file whose
+   declared "schema" is newer than [supported_schema] still gates every
+   family this gate knows, but says so on stderr: rows from the newer
+   schema are invisible to these scanners, not validated. *)
 
 let min_ops = 100_000
+let supported_schema = 7
 
 let read_file path =
   let ic = open_in_bin path in
@@ -214,6 +220,67 @@ let proto_rows_of_file path =
   in
   collect 0 []
 
+type wl_row = {
+  wl_experiment : string;
+  wl_proto : string;
+  wl_throughput : float option;
+  wl_cycles : float option;
+  wl_shootdowns : int option;
+  wl_memoized : bool;
+}
+
+(* Schema-7 "workloads" rows, keyed ["experiment":] with the backend under
+   ["proto":] — note "proto" is not a substring of "protocol" nor the
+   reverse, so this scanner and the shootout one cannot see each other's
+   rows. Row identity is the (experiment, proto) pair: the same
+   wl-fig10 experiment appears once per backend. A pre-schema-7 file
+   yields the empty list and the workload gates are skipped. *)
+let wl_rows_of_file path =
+  let s = read_file path in
+  let rec collect from acc =
+    match raw_field s ~from "experiment" with
+    | None -> List.rev acc
+    | Some (experiment, p1) ->
+        let bound =
+          match find_key s ~from:p1 "experiment" with
+          | Some k -> k
+          | None -> String.length s
+        in
+        let field key =
+          match raw_field s ~from:p1 ~until:bound key with
+          | Some (v, _) -> Some v
+          | None -> None
+        in
+        let row =
+          {
+            wl_experiment = unquote experiment;
+            wl_proto = Option.value (Option.map unquote (field "proto")) ~default:"?";
+            wl_throughput = Option.bind (field "throughput") float_of_string_opt;
+            wl_cycles =
+              Option.bind (field "cycles_per_shootdown") float_of_string_opt;
+            wl_shootdowns = Option.bind (field "shootdowns") int_of_string_opt;
+            wl_memoized = field "memoized" = Some "true";
+          }
+        in
+        collect bound (row :: acc)
+  in
+  collect 0 []
+
+(* A workload row is gateable only when it performed shootdowns and
+   executed its own cells: a memoized row's numbers were measured (and
+   gated) under the experiment that owns the cells. Both metrics are
+   simulated-deterministic, so like words/op they are compared raw. *)
+let wl_gateable r =
+  (not r.wl_memoized) && match r.wl_shootdowns with Some n -> n > 0 | None -> false
+
+(* The declared "schema" of the file's first (top-level) schema key.
+   Pre-schema files have none and read as 0. *)
+let schema_of_file path =
+  let s = read_file path in
+  match raw_field s ~from:0 "schema" with
+  | Some (v, _) -> Option.value (int_of_string_opt v) ~default:0
+  | None -> 0
+
 (* A backend row is gateable only when it performed shootdowns: a
    zero-shootdown cell's latency means the bench was misconfigured. *)
 let proto_gateable r =
@@ -270,6 +337,18 @@ let () =
         prerr_endline "usage: perf_gate.exe BASELINE.json CURRENT.json [--threshold 0.25]";
         exit 2
   in
+  (* A newer file still passes through every known gate — its extra row
+     families simply aren't scanned — but that blind spot must be visible
+     in the CI log, not silent. *)
+  List.iter
+    (fun path ->
+      let schema = schema_of_file path in
+      if schema > supported_schema then
+        Printf.eprintf
+          "perf_gate: %s declares schema %d (gate supports %d): unknown newer \
+           schema rows present and not gated\n"
+          path schema supported_schema)
+    [ baseline_path; current_path ];
   let baseline = rows_of_file baseline_path in
   let current = rows_of_file current_path in
   if List.is_empty baseline then begin
@@ -379,6 +458,60 @@ let () =
               b.backend rel cc
       | Some _ -> Printf.printf "skip %-16s no shootdowns (not gated)\n" b.backend)
     base_protos;
+  (* --- schema-7 cross-backend workload gates --- *)
+  let base_wl = wl_rows_of_file baseline_path in
+  let cur_wl = wl_rows_of_file current_path in
+  (* Both metrics are simulated time, identical across hosts, so they are
+     compared raw. Throughput must not drop, cycles/shootdown must not
+     rise, each by more than the threshold. A row present in the baseline
+     but missing from the current run is a failure (a backend silently
+     fell out of the workload sweep); memoized rows are measured under the
+     cell-owning experiment and skipped here, on either side. *)
+  List.iter
+    (fun b ->
+      let id = Printf.sprintf "%s/%s" b.wl_experiment b.wl_proto in
+      match
+        List.find_opt
+          (fun c ->
+            String.equal c.wl_experiment b.wl_experiment
+            && String.equal c.wl_proto b.wl_proto)
+          cur_wl
+      with
+      | None ->
+          Printf.printf "FAIL %-28s missing from current run\n" id;
+          incr failed
+      | Some c when wl_gateable b && wl_gateable c -> (
+          (match (b.wl_throughput, c.wl_throughput) with
+          | Some bt, Some ct when bt > 0.0 ->
+              let rel = ct /. bt in
+              if rel < 1.0 -. !threshold then begin
+                Printf.printf
+                  "FAIL %-28s throughput %.2fx of baseline (%.4f vs %.4f, limit \
+                   %.2fx)\n"
+                  id rel ct bt (1.0 -. !threshold);
+                incr failed
+              end
+              else Printf.printf "ok   %-28s throughput %.2fx of baseline\n" id rel
+          | _ -> ());
+          match (b.wl_cycles, c.wl_cycles) with
+          | Some bc, Some cc when bc > 0.0 ->
+              let rel = cc /. bc in
+              if rel > 1.0 +. !threshold then begin
+                Printf.printf
+                  "FAIL %-28s cycles/shootdown %.2fx of baseline (%.0f vs %.0f, \
+                   limit %.2fx)\n"
+                  id rel cc bc (1.0 +. !threshold);
+                incr failed
+              end
+              else
+                Printf.printf "ok   %-28s cycles/shootdown %.2fx of baseline\n" id rel
+          | _ -> ())
+      | Some c ->
+          if b.wl_memoized || c.wl_memoized then
+            Printf.printf "skip %-28s memoized (cells owned by an earlier experiment)\n"
+              id
+          else Printf.printf "skip %-28s no shootdowns (not gated)\n" id)
+    base_wl;
   (* In-file scaling bound: the 1024-CPU machine's per-shootdown cost must
      stay within 2x of the 56-CPU paper machine's on the SAME run — the
      O(active CPUs) property the cpuset layer exists to provide. Checked

@@ -263,30 +263,63 @@ let analyze_cmd =
       ("in-context", fun o v -> o.Opts.in_context_flush <- v);
     ]
   in
-  let run safe spec inject_bug explore rounds seed jobs =
+  let protocol_t =
+    let doc =
+      "Backend whose quiescence/invariants the $(b,--explore) sweep validates: \
+       paper, oracle, sync-broadcast, queue-spin, or 'all' to sweep every backend."
+    in
+    let alist =
+      [
+        ("paper", `One Opts.Paper);
+        ("oracle", `One Opts.Oracle);
+        ("sync-broadcast", `One Opts.Sync_broadcast);
+        ("sync", `One Opts.Sync_broadcast);
+        ("queue-spin", `One Opts.Queue_spin);
+        ("queue", `One Opts.Queue_spin);
+        ("all", `All);
+      ]
+    in
+    Arg.(value & opt (enum alist) (`One Opts.Paper) & info [ "protocol" ] ~doc)
+  in
+  let run safe spec inject_bug explore protocol_sel rounds seed jobs =
     let opts = make_opts ~safe spec in
     let opts =
       match spec with `None when not explore -> Opts.all_general ~safe | _ -> opts
     in
     if inject_bug then opts.Opts.bug_skip_deferred_flush <- true;
     if explore then begin
-      (* Sweep every subset of the four general optimizations on the
-         exhaustively-explorable 2-CPU scenario; each subset's exploration
-         is one pool task, reported in mask order whatever the schedule. *)
+      (* Sweep every subset of the four general optimizations — per
+         selected protocol backend — on the exhaustively-explorable 2-CPU
+         scenario; each (backend, subset)'s exploration is one pool task,
+         reported in (backend, mask) order whatever the schedule. *)
+      let protocols =
+        match protocol_sel with `One p -> [ p ] | `All -> Opts.all_protocols
+      in
       let nflags = List.length general_flags in
       let combos =
-        List.init (1 lsl nflags) (fun mask ->
-            let o = Opts.copy opts in
-            List.iteri (fun i (_, set) -> set o (mask land (1 lsl i) <> 0)) general_flags;
-            let label =
-              if mask = 0 then "baseline"
-              else
-                String.concat ","
-                  (List.filteri
-                     (fun i _ -> mask land (1 lsl i) <> 0)
-                     (List.map fst general_flags))
-            in
-            (label, o))
+        List.concat_map
+          (fun p ->
+            List.init (1 lsl nflags) (fun mask ->
+                let o = Opts.copy opts in
+                o.Opts.protocol <- p;
+                List.iteri
+                  (fun i (_, set) -> set o (mask land (1 lsl i) <> 0))
+                  general_flags;
+                let flags =
+                  if mask = 0 then "baseline"
+                  else
+                    String.concat ","
+                      (List.filteri
+                         (fun i _ -> mask land (1 lsl i) <> 0)
+                         (List.map fst general_flags))
+                in
+                let label =
+                  match protocol_sel with
+                  | `One Opts.Paper -> flags
+                  | _ -> Printf.sprintf "%s %s" (Opts.protocol_label p) flags
+                in
+                (label, o)))
+          protocols
       in
       let jobs = if jobs <= 0 then Domain_pool.default_jobs () else jobs in
       let results =
@@ -319,7 +352,9 @@ let analyze_cmd =
        ~doc:
          "Happens-before race analysis of a shootdown trace; with $(b,--explore), \
           systematic interleaving exploration.")
-    Term.(const run $ safe_t $ opts_t $ inject_bug_t $ explore_t $ rounds_t $ seed_t $ jobs_t)
+    Term.(
+      const run $ safe_t $ opts_t $ inject_bug_t $ explore_t $ protocol_t $ rounds_t
+      $ seed_t $ jobs_t)
 
 (* --- fuzz --- *)
 
@@ -409,10 +444,20 @@ let shootout_cmd =
     in
     Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~doc)
   in
-  let run format ptes iterations seed jobs =
+  let workloads_t =
+    let doc =
+      "Compare the backends on the paper's workload evaluation instead of the \
+       microbenchmark: fig10 sysbench, fig11 apache and the bigmachine-56 \
+       multi-tenant churn, at quick scale (DESIGN.md §13)."
+    in
+    Arg.(value & flag & info [ "workloads" ] ~doc)
+  in
+  let run format ptes iterations seed jobs workloads =
     let jobs = if jobs <= 0 then Domain_pool.default_jobs () else jobs in
-    print_string
-      (Shootout.run ~pte_count:ptes ~iterations ~seed:(Int64.of_int seed) ~jobs format)
+    if workloads then print_string (Shootout.run_workloads ~jobs format)
+    else
+      print_string
+        (Shootout.run ~pte_count:ptes ~iterations ~seed:(Int64.of_int seed) ~jobs format)
   in
   Cmd.v
     (Cmd.info "shootout"
@@ -420,8 +465,9 @@ let shootout_cmd =
          "Protocol-backend comparison: run the metered madvise microbenchmark once \
           per backend (paper all/baseline, oracle, sync-broadcast, queue-spin) and \
           print one row each — initiator/responder latency, phase-latency p50s, and \
-          cacheline traffic.")
-    Term.(const run $ format_t $ ptes_t $ iters_t $ seed_t $ jobs_t)
+          cacheline traffic. With $(b,--workloads), race the backends on the \
+          fig10/fig11/bigmachine workload family instead.")
+    Term.(const run $ format_t $ ptes_t $ iters_t $ seed_t $ jobs_t $ workloads_t)
 
 (* --- stats --- *)
 

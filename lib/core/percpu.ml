@@ -49,6 +49,10 @@ type t = {
          shootdown without allocation: a CPU runs one initiator at a time
          (no preemption of a syscall mid-protocol), and nothing that runs
          from this CPU's IRQ handlers selects targets. *)
+  scratch_resend : Cpuset.t;
+      (* retry-ladder resend scratch (Proto_queue): rebuilt as the un-acked
+         subset of scratch_targets at each resend, while scratch_targets
+         still holds the full set the ack wait folds over. *)
   (* --- Sync_broadcast backend (cronus-style) --- *)
   mutable sync_done : bool;
       (* this CPU's entry in the protocol-wide status table: set by the
@@ -97,6 +101,7 @@ let create cpu registry ~n_cpus =
     line_stack_info =
       Cache.create_line registry ~name:(lazy (Printf.sprintf "cpu%d.stack_flush_info" id));
     scratch_targets = Cpuset.create ~bits:0;
+    scratch_resend = Cpuset.create ~bits:0;
     sync_done = true;
     q_mm = Array.make queue_slots (-1);
     q_vpn = Array.make queue_slots 0;

@@ -66,6 +66,9 @@ type t = {
       (** this CPU's shootdown target scratch set, reused across its
           shootdowns (one initiator per CPU at a time, and IRQ handlers
           never select targets) *)
+  scratch_resend : Cpuset.t;
+      (** [Queue_spin] retry-ladder scratch: the un-acked subset of
+          [scratch_targets], rebuilt per resend *)
   mutable sync_done : bool;
       (** [Sync_broadcast] status-table entry: true once this CPU has applied
           the posted flush (initiator clears it before broadcasting) *)

@@ -149,11 +149,14 @@ let perform m ~from ~mm (info : Flush_info.t) token =
     if Machine.metering m then
       record_prep m ~from ~targets (Machine.now m - prep0);
     (* Ack wait: all targets must drain past [gen]. Initial spin, then up
-       to [max_retries] resends with a backoff-multiplied spin each —
-       resends go to the full target set (an already-acked responder
-       drains an empty ring, which is idempotent); after the ladder is
-       exhausted we spin without resending (simulated IPIs are reliable,
-       so the wait terminates). *)
+       to [max_retries] resends with a backoff-multiplied spin each.
+       Resends go only to the still-pending subset: re-IPIing an acked
+       responder would be semantically idempotent (it drains an empty
+       ring), but it would re-interrupt the responder and count phantom
+       deliveries into n_ipis and the per-distance delivery meter —
+       Apic.send_ipi_id bills every target it is handed. After the ladder
+       is exhausted we spin without resending (simulated IPIs are
+       reliable, so the wait terminates). *)
     let ack0 = Machine.now m in
     let all_acked () =
       Cpuset.fold
@@ -168,7 +171,18 @@ let perform m ~from ~mm (info : Flush_info.t) token =
       if !retries < max_retries then begin
         Cpu.poll_wait cpu_t (fun () -> all_acked () || Machine.now m >= !deadline);
         if (not (all_acked ())) && Machine.now m >= !deadline then begin
-          Smp.send_ipis m ~from ~targets ~irq_id:(irq_id m);
+          (* [scratch_targets] must keep the full set for the ack fold and
+             the post-wait line reads, so the pending subset gets its own
+             per-initiator scratch. *)
+          let pending = pcpu.Percpu.scratch_resend in
+          Cpuset.copy_into ~dst:pending ~src:targets;
+          Cpuset.iter
+            (fun c ->
+              if (Machine.percpu m c).Percpu.q_ack_gen >= gen then
+                Cpuset.clear pending c)
+            pending;
+          if not (Cpuset.is_empty pending) then
+            Smp.send_ipis m ~from ~targets:pending ~irq_id:(irq_id m);
           incr retries;
           spin := !spin * backoff_mult;
           deadline := Machine.now m + !spin

@@ -52,6 +52,11 @@ let default_config ~opts ~n_cpus =
     seed = 37L;
   }
 
+(* The one quick-mode shaping every harness must agree on: the bench
+   bigmachine column, the shootout --workloads comparison and the tests
+   all need value-identical configs for the memo to share their cells. *)
+let quick_shape cfg = { cfg with ops_per_thread = 24; churn_every = 8; churn_pages = 8 }
+
 (* Canonical value key over the whole config: equal keys iff the runs are
    identical, so the bench harness may share one cell between experiments. *)
 let config_key c =

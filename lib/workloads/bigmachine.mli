@@ -28,6 +28,11 @@ val topo_of_cpus : int -> int * int * int
 (** Same work at every size: the config differs only in topology. *)
 val default_config : opts:Opts.t -> n_cpus:int -> config
 
+(** The canonical quick-mode reduction (fewer ops, denser churn). Every
+    harness that wants memo sharing with the bench column must shape its
+    quick configs through this one function. *)
+val quick_shape : config -> config
+
 (** Canonical value key for bench-harness cell memoization. *)
 val config_key : config -> string
 

@@ -164,6 +164,58 @@ let fig10_plan ~memo scale =
   in
   { Shard.name = "fig10"; jobs = List.rev !jobs; reused = !reused; reduce }
 
+(* One backend's fig10 column for the cross-backend workload comparison
+   (DESIGN.md §13): a memoized cell per (thread count, seed) under [opts],
+   reduced per thread count to the seed-averaged throughput plus the
+   seed-summed shootdown count. The paper backend's opts
+   ([Opts.all ~safe:true]) are value-identical to fig10's final
+   "+batching" stack, so when this is planned after {!fig10_plan} on the
+   same memo every paper cell is reused, never recomputed. *)
+let fig10_backend_cells ~memo ~tag ~opts scale =
+  let jobs = ref [] in
+  let reused = ref 0 in
+  let rows =
+    List.map
+      (fun n ->
+        let getters =
+          List.map
+            (fun seed ->
+              let cfg = Sysbench.default_config ~opts:(Opts.copy opts) ~threads:n in
+              let cfg =
+                {
+                  cfg with
+                  Sysbench.ops_per_thread = scale.sys_ops_per_thread;
+                  file_pages = scale.sys_file_pages;
+                  seed;
+                }
+              in
+              let js, get, fresh =
+                Shard.memo_cell memo ~key:(Sysbench.config_key cfg)
+                  ~label:(Printf.sprintf "wl-fig10 %s t=%d seed=%Ld" tag n seed)
+                  ~ops:(fun r -> r.Sysbench.engine_ops)
+                  ~weight:
+                    (sysbench_weight ~threads:n ~ops_per_thread:scale.sys_ops_per_thread)
+                  (fun () -> Sysbench.run cfg)
+              in
+              jobs := List.rev_append js !jobs;
+              if not fresh then incr reused;
+              get)
+            scale.sys_seeds
+        in
+        let nseeds = float_of_int (List.length getters) in
+        fun () ->
+          let tput =
+            List.fold_left (fun acc g -> acc +. (g ()).Sysbench.throughput) 0.0 getters
+            /. nseeds
+          in
+          let sh =
+            List.fold_left (fun acc g -> acc + (g ()).Sysbench.shootdowns) 0 getters
+          in
+          (n, tput, sh))
+      scale.sys_threads
+  in
+  (List.rev !jobs, (fun () -> List.map (fun g -> g ()) rows), !reused)
+
 (* ----- Figure 11: Apache ----- *)
 
 type fig11_scale = {
@@ -247,3 +299,43 @@ let fig11_plan ~memo scale =
       sides
   in
   { Shard.name = "fig11"; jobs = List.rev !jobs; reused = !reused; reduce }
+
+(* One backend's fig11 column, same shape as {!fig10_backend_cells}: a
+   memoized cell per (core count, seed), reduced per core count to the
+   seed-averaged throughput and seed-summed shootdowns. *)
+let fig11_backend_cells ~memo ~tag ~opts scale =
+  let jobs = ref [] in
+  let reused = ref 0 in
+  let rows =
+    List.map
+      (fun n ->
+        let getters =
+          List.map
+            (fun seed ->
+              let cfg = Apache.default_config ~opts:(Opts.copy opts) ~cores:n in
+              let cfg = { cfg with Apache.requests = scale.ap_requests; seed } in
+              let js, get, fresh =
+                Shard.memo_cell memo ~key:(Apache.config_key cfg)
+                  ~label:(Printf.sprintf "wl-fig11 %s c=%d seed=%Ld" tag n seed)
+                  ~ops:(fun r -> r.Apache.engine_ops)
+                  ~weight:(apache_weight ~cores:n ~requests:scale.ap_requests)
+                  (fun () -> Apache.run cfg)
+              in
+              jobs := List.rev_append js !jobs;
+              if not fresh then incr reused;
+              get)
+            scale.ap_seeds
+        in
+        let nseeds = float_of_int (List.length getters) in
+        fun () ->
+          let tput =
+            List.fold_left (fun acc g -> acc +. (g ()).Apache.throughput) 0.0 getters
+            /. nseeds
+          in
+          let sh =
+            List.fold_left (fun acc g -> acc + (g ()).Apache.shootdowns) 0 getters
+          in
+          (n, tput, sh))
+      scale.ap_cores
+  in
+  (List.rev !jobs, (fun () -> List.map (fun g -> g ()) rows), !reused)

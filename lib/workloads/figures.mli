@@ -47,3 +47,25 @@ type fig11_scale = { ap_cores : int list; ap_seeds : int64 list; ap_requests : i
 
 val fig11_scale : quick:bool -> fig11_scale
 val fig11_plan : memo:Apache.result Shard.memo -> fig11_scale -> Shard.plan
+
+(** One backend's fig10 column for the cross-backend workload comparison
+    (DESIGN.md §13): a memoized cell per (thread count, seed) under
+    [opts]; the getter yields, in thread order, [(threads, seed-averaged
+    ops/kcyc, seed-summed shootdowns)]. The paper backend's opts
+    ([Opts.all ~safe:true]) are value-identical to fig10's final
+    "+batching" stack, so planned after {!fig10_plan} on the same memo
+    its cells are all reused — the returned reuse count says how many. *)
+val fig10_backend_cells :
+  memo:Sysbench.result Shard.memo ->
+  tag:string ->
+  opts:Opts.t ->
+  fig10_scale ->
+  Shard.job list * (unit -> (int * float * int) list) * int
+
+(** Same for fig11: [(cores, seed-averaged req/Mcyc, shootdowns)]. *)
+val fig11_backend_cells :
+  memo:Apache.result Shard.memo ->
+  tag:string ->
+  opts:Opts.t ->
+  fig11_scale ->
+  Shard.job list * (unit -> (int * float * int) list) * int

@@ -151,3 +151,215 @@ let render format rows =
 
 let run ?pte_count ?iterations ?seed ~jobs format =
   render format (collect ?pte_count ?iterations ?seed ~jobs ())
+
+(* ----- Cross-backend workloads: fig10 / fig11 / bigmachine-56 ----- *)
+
+(* The workload comparison drops paper-baseline (fig10/fig11 already print
+   baseline speedup columns) and races the four real backends on the
+   paper's workload evaluation. Paper opts are [Opts.all ~safe:true] —
+   value-identical to fig10/fig11's final "+batching" stack and the bench
+   bigmachine config — so in a bench `all` run planned after those
+   experiments every paper cell comes from the memo, not a rerun. *)
+let workload_backends () =
+  [
+    ("paper", Opts.all ~safe:true);
+    ("oracle", Opts.oracle ~safe:true);
+    ("sync-broadcast", Opts.with_protocol Opts.Sync_broadcast ~safe:true);
+    ("queue-spin", Opts.with_protocol Opts.Queue_spin ~safe:true);
+  ]
+
+type wl_row = {
+  wl_experiment : string;
+  wl_protocol : Opts.protocol;
+  wl_throughput : float option;
+  wl_cycles_per_shootdown : float option;
+  wl_shootdowns : int;
+  wl_memoized : bool;
+}
+
+type wl_report = {
+  wl_fig10 : (Opts.protocol * (int * float * int) list) list;
+  wl_fig11 : (Opts.protocol * (int * float * int) list) list;
+  wl_big : (Opts.protocol * Bigmachine.result) list;
+  wl_rows : wl_row list;
+}
+
+let workload_cells ~sysbench_memo ~apache_memo ~bigmachine_memo ~fig10 ~fig11 ~quick ()
+    =
+  let jobs = ref [] in
+  let reused_total = ref 0 in
+  let add js r =
+    jobs := List.rev_append js !jobs;
+    reused_total := !reused_total + r
+  in
+  let f10_cells =
+    List.length fig10.Figures.sys_threads * List.length fig10.Figures.sys_seeds
+  in
+  let f11_cells =
+    List.length fig11.Figures.ap_cores * List.length fig11.Figures.ap_seeds
+  in
+  let f10 =
+    List.map
+      (fun (label, opts) ->
+        let js, get, r =
+          Figures.fig10_backend_cells ~memo:sysbench_memo ~tag:label ~opts fig10
+        in
+        add js r;
+        (opts.Opts.protocol, get, r = f10_cells))
+      (workload_backends ())
+  in
+  let f11 =
+    List.map
+      (fun (label, opts) ->
+        let js, get, r =
+          Figures.fig11_backend_cells ~memo:apache_memo ~tag:label ~opts fig11
+        in
+        add js r;
+        (opts.Opts.protocol, get, r = f11_cells))
+      (workload_backends ())
+  in
+  let big =
+    List.map
+      (fun (label, opts) ->
+        let cfg = Bigmachine.default_config ~opts ~n_cpus:56 in
+        let cfg = if quick then Bigmachine.quick_shape cfg else cfg in
+        let js, get, fresh =
+          Shard.memo_cell bigmachine_memo ~key:(Bigmachine.config_key cfg)
+            ~label:(Printf.sprintf "wl-bigmachine-56 %s" label)
+            ~ops:(fun r -> r.Bigmachine.engine_ops)
+            ~weight:
+              (float_of_int
+                 ((cfg.Bigmachine.tenants * cfg.Bigmachine.threads_per_tenant
+                  * cfg.Bigmachine.ops_per_thread * 40)
+                 + 5600))
+            (fun () -> Bigmachine.run cfg)
+        in
+        add js (if fresh then 0 else 1);
+        (opts.Opts.protocol, get, not fresh))
+      (workload_backends ())
+  in
+  let mean_tput cells =
+    List.fold_left (fun acc (_, t, _) -> acc +. t) 0.0 cells
+    /. float_of_int (List.length cells)
+  in
+  let sum_sh cells = List.fold_left (fun acc (_, _, s) -> acc + s) 0 cells in
+  let get () =
+    let fig10_rows = List.map (fun (p, g, _) -> (p, g ())) f10 in
+    let fig11_rows = List.map (fun (p, g, _) -> (p, g ())) f11 in
+    let big_rows = List.map (fun (p, g, _) -> (p, g ())) big in
+    let tput_rows name per_backend =
+      List.map
+        (fun (p, g, memoized) ->
+          let cells = g () in
+          {
+            wl_experiment = name;
+            wl_protocol = p;
+            wl_throughput = Some (mean_tput cells);
+            wl_cycles_per_shootdown = None;
+            wl_shootdowns = sum_sh cells;
+            wl_memoized = memoized;
+          })
+        per_backend
+    in
+    let big_gate_rows =
+      List.map
+        (fun (p, g, memoized) ->
+          let r = g () in
+          {
+            wl_experiment = "wl-bigmachine-56";
+            wl_protocol = p;
+            wl_throughput = None;
+            wl_cycles_per_shootdown = Some r.Bigmachine.cycles_per_shootdown;
+            wl_shootdowns = r.Bigmachine.shootdowns;
+            wl_memoized = memoized;
+          })
+        big
+    in
+    {
+      wl_fig10 = fig10_rows;
+      wl_fig11 = fig11_rows;
+      wl_big = big_rows;
+      wl_rows = tput_rows "wl-fig10" f10 @ tput_rows "wl-fig11" f11 @ big_gate_rows;
+    }
+  in
+  (List.rev !jobs, get, !reused_total)
+
+(* One JSON object per (experiment, proto) summary row. Keyed
+   ["experiment":] with the backend in ["proto":] — deliberately neither
+   ["name":], ["scale":], ["phase":] nor ["protocol":], so none of the
+   pre-schema-7 perf_gate scanners can misread a workload row, and the
+   schema-7 workload scanner sees only these. *)
+let json_of_wl_row r =
+  let opt fmt = function None -> "null" | Some v -> Printf.sprintf fmt v in
+  Printf.sprintf
+    "{\"experiment\": \"%s\", \"proto\": \"%s\", \"throughput\": %s, \
+     \"cycles_per_shootdown\": %s, \"shootdowns\": %d, \"memoized\": %b}"
+    r.wl_experiment
+    (Opts.protocol_label r.wl_protocol)
+    (opt "%.4f" r.wl_throughput)
+    (opt "%.2f" r.wl_cycles_per_shootdown)
+    r.wl_shootdowns r.wl_memoized
+
+(* Plain-text rendition for the CLI: one table per workload family,
+   backends as columns (fig10/fig11) or rows (bigmachine). *)
+let render_workloads report =
+  let b = Buffer.create 2048 in
+  let backend_header = List.map (fun (l, _) -> l) (workload_backends ()) in
+  let tput_table ~title ~axis rows =
+    Buffer.add_string b (title ^ "\n");
+    Buffer.add_string b (Printf.sprintf "%-8s" axis);
+    List.iter (fun l -> Buffer.add_string b (Printf.sprintf " %14s" l)) backend_header;
+    Buffer.add_char b '\n';
+    (match rows with
+    | [] -> ()
+    | (_, first) :: _ ->
+        List.iteri
+          (fun i (n, _, _) ->
+            Buffer.add_string b (Printf.sprintf "%-8d" n);
+            List.iter
+              (fun (_, cells) ->
+                let _, t, _ = List.nth cells i in
+                Buffer.add_string b (Printf.sprintf " %14.4f" t))
+              rows;
+            Buffer.add_char b '\n')
+          first);
+    Buffer.add_char b '\n'
+  in
+  tput_table ~title:"fig10 — sysbench ops/kcyc per backend" ~axis:"threads"
+    report.wl_fig10;
+  tput_table ~title:"fig11 — apache req/Mcyc per backend" ~axis:"cores" report.wl_fig11;
+  Buffer.add_string b "bigmachine-56 — multi-tenant churn per backend\n";
+  Buffer.add_string b
+    (Printf.sprintf "%-16s %18s %10s %8s %10s\n" "backend" "cycles/shootdown"
+       "shootdowns" "IPIs" "ICR writes");
+  List.iter
+    (fun (p, r) ->
+      Buffer.add_string b
+        (Printf.sprintf "%-16s %18.0f %10d %8d %10d\n" (Opts.protocol_label p)
+           r.Bigmachine.cycles_per_shootdown r.Bigmachine.shootdowns r.Bigmachine.ipis
+           r.Bigmachine.icr_writes))
+    report.wl_big;
+  Buffer.contents b
+
+let render_wl_json report =
+  "[\n  " ^ String.concat ",\n  " (List.map json_of_wl_row report.wl_rows) ^ "\n]\n"
+
+let run_workloads ?(quick = true) ~jobs format =
+  let sysbench_memo = Shard.create_memo () in
+  let apache_memo = Shard.create_memo () in
+  let bigmachine_memo = Shard.create_memo () in
+  let cell_jobs, get, _reused =
+    workload_cells ~sysbench_memo ~apache_memo ~bigmachine_memo
+      ~fig10:(Figures.fig10_scale ~quick) ~fig11:(Figures.fig11_scale ~quick) ~quick ()
+  in
+  let plan =
+    {
+      Shard.name = "shootout-workloads";
+      jobs = cell_jobs;
+      reused = 0;
+      reduce = (fun () -> ());
+    }
+  in
+  let _outcomes, _gc = Shard.execute ~jobs [ plan ] in
+  let report = get () in
+  match format with Table -> render_workloads report | Json -> render_wl_json report

@@ -49,3 +49,61 @@ val render : format -> row list -> string
 (** {!collect} + {!render}. *)
 val run :
   ?pte_count:int -> ?iterations:int -> ?seed:int64 -> jobs:int -> format -> string
+
+(** {2 Cross-backend workloads}
+
+    The paper's workload evaluation — fig10 sysbench, fig11 apache and the
+    bigmachine-56 multi-tenant churn — run once per real backend (paper /
+    oracle / sync-broadcast / queue-spin; paper-baseline is omitted since
+    the figures already print baseline columns). Paper opts are
+    [Opts.all ~safe:true], value-identical to fig10/fig11's final
+    "+batching" stack and the bench bigmachine config, so embedded after
+    those plans on shared memos every paper cell is reused. *)
+
+(** The compared backends, label + fresh opts per call; labels equal
+    {!Opts.protocol_label} of the backend's protocol. *)
+val workload_backends : unit -> (string * Opts.t) list
+
+(** One gate/JSON summary row per (experiment, backend). *)
+type wl_row = {
+  wl_experiment : string;  (** ["wl-fig10"] | ["wl-fig11"] | ["wl-bigmachine-56"] *)
+  wl_protocol : Opts.protocol;
+  wl_throughput : float option;
+      (** fig10 ops/kcyc, fig11 req/Mcyc — mean over the scale's points *)
+  wl_cycles_per_shootdown : float option;  (** bigmachine only *)
+  wl_shootdowns : int;  (** summed over the family's cells *)
+  wl_memoized : bool;  (** every cell reused from an earlier plan *)
+}
+
+type wl_report = {
+  wl_fig10 : (Opts.protocol * (int * float * int) list) list;
+      (** per backend: [(threads, ops/kcyc, shootdowns)] in thread order *)
+  wl_fig11 : (Opts.protocol * (int * float * int) list) list;
+  wl_big : (Opts.protocol * Bigmachine.result) list;
+  wl_rows : wl_row list;  (** flattened summary rows, fixed plan order *)
+}
+
+(** The per-backend workload cells as {!Shard} jobs plus a plan-order
+    report reader, for embedding in a harness that owns its own memos and
+    [Shard.execute]; also returns the total reused-cell count. *)
+val workload_cells :
+  sysbench_memo:Sysbench.result Shard.memo ->
+  apache_memo:Apache.result Shard.memo ->
+  bigmachine_memo:Bigmachine.result Shard.memo ->
+  fig10:Figures.fig10_scale ->
+  fig11:Figures.fig11_scale ->
+  quick:bool ->
+  unit ->
+  Shard.job list * (unit -> wl_report) * int
+
+(** One JSON object, keyed ["experiment":] with the backend under
+    ["proto":] — deliberately none of the keys the pre-schema-7 gate
+    scanners walk, so they can neither misread nor silently skip-parse a
+    workload row as something else. *)
+val json_of_wl_row : wl_row -> string
+
+val render_workloads : wl_report -> string
+
+(** Standalone run on fresh memos (the `tlbsim shootout --workloads`
+    path), sharded over [jobs] domains; byte-identical at any [~jobs]. *)
+val run_workloads : ?quick:bool -> jobs:int -> format -> string

@@ -254,6 +254,34 @@ let test_explore_all_flag_combos () =
   check bool_t "races exercised" true (!total_hits > 0);
   check int_t "every hit proved or latent, none genuine" !total_hits !total_proved
 
+(* The cross-backend sweep's testable core: the same 2-CPU shootdown
+   explored under each alternative protocol backend must violate no
+   invariant and expose no genuine race. Sync-broadcast and queue-spin
+   synchronize responders through mechanisms the vector clocks do not
+   model as edges (posted descriptors, ring generations), so their stale
+   hits may classify unordered-latent — the checker's wall-clock window
+   excuses them — but never genuine. *)
+let test_explore_alternative_backends () =
+  let protocols = [ Opts.Oracle; Opts.Sync_broadcast; Opts.Queue_spin ] in
+  let results =
+    Explorer.explore_set ~config:quick_config ~jobs:2
+      (List.map
+         (fun p ->
+           let opts = Opts.with_protocol p ~safe:true in
+           fun () -> Scenarios.shootdown_2cpu ~opts ())
+         protocols)
+  in
+  List.iter2
+    (fun p r ->
+      let label = Opts.protocol_label p in
+      if r.Explorer.failures <> [] then
+        Alcotest.failf "%s: %s" label
+          (String.concat "; "
+             (List.map (fun f -> f.Explorer.fail_what) r.Explorer.failures));
+      check int_t (label ^ ": no genuine race") 0 r.Explorer.genuine;
+      check bool_t (label ^ ": explored several runs") true (r.Explorer.runs > 1))
+    protocols results
+
 let test_explore_branches_reach_new_interleavings () =
   let r =
     Explorer.explore ~config:{ quick_config with Explorer.max_runs = 8 } (fun () ->
@@ -289,6 +317,8 @@ let suite =
     Alcotest.test_case "hb: LATR strawman flagged" `Quick test_latr_strawman_flagged_genuine;
     Alcotest.test_case "scenarios: deterministic replay" `Quick test_scenarios_deterministic;
     Alcotest.test_case "explorer: all 64 opt combos" `Slow test_explore_all_flag_combos;
+    Alcotest.test_case "explorer: alternative protocol backends" `Quick
+      test_explore_alternative_backends;
     Alcotest.test_case "explorer: branching works" `Quick
       test_explore_branches_reach_new_interleavings;
     Alcotest.test_case "explorer: catches injected bug" `Quick test_explore_catches_injected_bug;

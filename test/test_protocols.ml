@@ -192,6 +192,95 @@ let test_backends_match_oracle_on_corpus () =
         seeds)
     [ Opts.Paper; Opts.Sync_broadcast; Opts.Queue_spin ]
 
+(* ---------- queue-spin resend ladder ---------- *)
+
+(* The retry ladder must re-IPI only the still-pending subset: cpu 1 acks
+   within the initial spin, cpu 14 sits in one uninterruptible compute
+   stretch that outlasts it, so every resend must go to cpu 14 alone. The
+   per-rank delivery meter separates the two (cpu 1 shares the
+   initiator's socket, cpu 14 is cross-socket); before the subset fix
+   each resend re-billed the already-acked cpu 1 too. *)
+let test_queue_resend_only_unacked () =
+  let opts = Opts.with_protocol Opts.Queue_spin ~safe:true in
+  let m = Machine.create ~opts ~seed:3L () in
+  let near_rank = Machine.distance_rank m 0 1
+  and far_rank = Machine.distance_rank m 0 14 in
+  check bool_t "ranks distinguish near from far" true (near_rank <> far_rank);
+  let near = ref 0 and far = ref 0 in
+  Apic.set_delivery_meter m.Machine.apic (fun rank _cycles ->
+      if rank = near_rank then incr near
+      else if rank = far_rank then incr far);
+  let mm = Machine.new_mm m in
+  let stop = ref false in
+  Kernel.spawn_user m ~cpu:1 ~mm ~name:"fast" (fun () ->
+      let cpu_t = Machine.cpu m 1 in
+      while not !stop do
+        Cpu.compute cpu_t ~quantum:100 100
+      done);
+  Kernel.spawn_user m ~cpu:14 ~mm ~name:"slow" (fun () ->
+      let cpu_t = Machine.cpu m 14 in
+      (* One uninterruptible stretch: the IPI pends past the initial
+         2000-cycle spin, forcing at least one resend. *)
+      Cpu.compute cpu_t 9_000;
+      while not !stop do
+        Cpu.compute cpu_t ~quantum:100 100
+      done);
+  Kernel.spawn_user m ~cpu:0 ~mm ~name:"initiator" (fun () ->
+      Machine.delay m 2_000;
+      let vpn = map_pages m mm ~pages:1 in
+      warm m ~cpu:0 ~start_vpn:vpn ~pages:1;
+      Shootdown.flush_tlb_page m ~from:0 ~mm ~vpn;
+      Machine.delay m 20_000;
+      stop := true);
+  Kernel.run m;
+  check int_t "near responder IPI'd exactly once" 1 !near;
+  check bool_t "far responder resent at least once" true (!far >= 2)
+
+(* ---------- cross-backend workload cells ---------- *)
+
+(* Planned after fig10_plan/fig11_plan and the bench's 56-CPU cell on the
+   same memos, the paper backend's workload cells must all be reused —
+   [Opts.all ~safe:true] is value-identical to the figures' final
+   "+batching" stack and to the bench bigmachine config — while the other
+   three backends own every one of theirs. *)
+let test_paper_workload_cells_reused () =
+  let sysbench_memo = Shard.create_memo () in
+  let apache_memo = Shard.create_memo () in
+  let bigmachine_memo = Shard.create_memo () in
+  let fig10 = Figures.fig10_scale ~quick:true in
+  let fig11 = Figures.fig11_scale ~quick:true in
+  let (_ : Shard.plan) = Figures.fig10_plan ~memo:sysbench_memo fig10 in
+  let (_ : Shard.plan) = Figures.fig11_plan ~memo:apache_memo fig11 in
+  let cfg =
+    Bigmachine.quick_shape
+      (Bigmachine.default_config ~opts:(Opts.all ~safe:true) ~n_cpus:56)
+  in
+  let _js, _get, owned =
+    Shard.memo_cell bigmachine_memo ~key:(Bigmachine.config_key cfg) ~weight:1.0
+      (fun () -> Bigmachine.run cfg)
+  in
+  check bool_t "the bench registration owns the 56-CPU cell" true owned;
+  let f10 =
+    List.length fig10.Figures.sys_threads * List.length fig10.Figures.sys_seeds
+  in
+  let f11 =
+    List.length fig11.Figures.ap_cores * List.length fig11.Figures.ap_seeds
+  in
+  let jobs, _get, reused =
+    Shootout.workload_cells ~sysbench_memo ~apache_memo ~bigmachine_memo ~fig10
+      ~fig11 ~quick:true ()
+  in
+  check int_t "every paper cell reused from the earlier plans" (f10 + f11 + 1) reused;
+  check int_t "the other three backends own all their cells"
+    (3 * (f10 + f11 + 1))
+    (List.length jobs)
+
+let test_workloads_identical_at_any_j () =
+  let run jobs = Shootout.run_workloads ~quick:true ~jobs Shootout.Table in
+  let j1 = run 1 in
+  check bool_t "-j2 byte-identical to -j1" true (String.equal j1 (run 2));
+  check bool_t "-j4 byte-identical to -j1" true (String.equal j1 (run 4))
+
 (* ---------- shootout determinism ---------- *)
 
 let test_shootout_identical_at_any_j () =
@@ -223,6 +312,12 @@ let suite =
       test_oracle_ignores_combo_flags;
     Alcotest.test_case "backends match oracle on corpus" `Quick
       test_backends_match_oracle_on_corpus;
+    Alcotest.test_case "queue-spin resends only to un-acked CPUs" `Quick
+      test_queue_resend_only_unacked;
+    Alcotest.test_case "paper workload cells reused from figure plans" `Quick
+      test_paper_workload_cells_reused;
+    Alcotest.test_case "workload report byte-identical at any -j" `Quick
+      test_workloads_identical_at_any_j;
     Alcotest.test_case "shootout byte-identical at any -j" `Quick
       test_shootout_identical_at_any_j;
   ]
